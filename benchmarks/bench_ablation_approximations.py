@@ -1,0 +1,56 @@
+"""Ablation — exact Poisson-binomial DP vs closed-form approximations.
+
+Quantifies what [23]-style approximation would buy: the normal and Le Cam
+Poisson estimates are O(1)/O(min_sup) versus the DP's O(n * min_sup), at
+the price of an uncertified (normal) or certified-but-loose (Poisson) error.
+"""
+
+import random
+
+import pytest
+
+from repro.core.approximations import (
+    normal_frequent_probability,
+    poisson_frequent_probability,
+)
+from repro.core.support import frequent_probability
+
+from .conftest import run_once
+
+
+def _probabilities(count, low, high, seed=0):
+    rng = random.Random(seed)
+    return [rng.uniform(low, high) for _ in range(count)]
+
+
+@pytest.mark.parametrize("size", [1000, 4000])
+def test_exact_dp(benchmark, size):
+    probabilities = _probabilities(size, 0.3, 0.7)
+    value = run_once(
+        benchmark, lambda: frequent_probability(probabilities, size // 2)
+    )
+    benchmark.extra_info["value"] = round(value, 6)
+
+
+@pytest.mark.parametrize("size", [1000, 4000])
+def test_normal_approximation(benchmark, size):
+    probabilities = _probabilities(size, 0.3, 0.7)
+    exact = frequent_probability(probabilities, size // 2)
+    value = run_once(
+        benchmark, lambda: normal_frequent_probability(probabilities, size // 2)
+    )
+    benchmark.extra_info["abs_error"] = round(abs(value - exact), 6)
+    assert abs(value - exact) < 0.02  # CLT regime: large balanced sums
+
+
+@pytest.mark.parametrize("size", [1000, 4000])
+def test_poisson_approximation(benchmark, size):
+    # Le Cam regime: small per-transaction probabilities.
+    probabilities = _probabilities(size, 0.001, 0.02)
+    min_sup = max(1, int(sum(probabilities)))
+    exact = frequent_probability(probabilities, min_sup)
+    value = run_once(
+        benchmark, lambda: poisson_frequent_probability(probabilities, min_sup)
+    )
+    benchmark.extra_info["abs_error"] = round(abs(value - exact), 6)
+    assert abs(value - exact) < 0.05

@@ -1,0 +1,52 @@
+"""Ablation — which union bounds power Lemma 4.4 best.
+
+Compares the default de Caen (lower) / Kwerel (upper) pair against
+Dawson-Sankoff / Boole: mining time, and how many checks each pair decides
+without sampling (accepted by lower + rejected by upper).
+"""
+
+import time
+
+import pytest
+
+from repro.core.miner import MPFCIMiner
+from repro.eval.experiments import default_config
+
+from .conftest import run_once
+
+PAIRS = [("de_caen", "kwerel"), ("de_caen", "boole"), ("dawson_sankoff", "kwerel")]
+
+
+@pytest.mark.parametrize("lower,upper", PAIRS, ids=["dc+kw", "dc+boole", "ds+kw"])
+def test_bound_pair(benchmark, mushroom_db, lower, upper):
+    config = default_config(
+        mushroom_db, 0.2, lower_bound=lower, upper_bound=upper
+    )
+    miner = MPFCIMiner(mushroom_db, config)
+    results = run_once(benchmark, miner.mine)
+    stats = miner.stats
+    benchmark.extra_info["decided_by_bounds"] = (
+        stats.accepted_by_lower_bound
+        + stats.rejected_by_upper_bound
+        + stats.fcp_exact_evaluations  # tight intervals
+    )
+    benchmark.extra_info["sampled"] = stats.fcp_sampled_evaluations
+    benchmark.extra_info["results"] = len(results)
+
+
+def test_all_pairs_agree(benchmark, mushroom_db):
+    """Bound choice is a performance knob, never a correctness one."""
+
+    def mine_all():
+        outcomes = []
+        for lower, upper in PAIRS:
+            config = default_config(
+                mushroom_db, 0.25, lower_bound=lower, upper_bound=upper
+            )
+            outcomes.append(
+                {r.itemset for r in MPFCIMiner(mushroom_db, config).mine()}
+            )
+        return outcomes
+
+    outcomes = run_once(benchmark, mine_all)
+    assert all(outcome == outcomes[0] for outcome in outcomes)

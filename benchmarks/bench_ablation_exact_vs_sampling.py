@@ -1,0 +1,70 @@
+"""Ablation — exact inclusion-exclusion vs ApproxFCP for the final check.
+
+The paper always samples (its Fig. 2 FPRAS); this library adds an exact
+inclusion-exclusion path for itemsets with few extension events
+(``MinerConfig.exact_event_limit``).  This bench measures the crossover:
+event limit 0 is the paper-faithful configuration, larger limits trade
+sampling for exact enumeration.
+"""
+
+import pytest
+
+from repro.core.events import ExtensionEventSystem
+from repro.core.miner import MPFCIMiner
+from repro.eval.experiments import default_config
+
+from .conftest import run_once
+
+
+@pytest.mark.parametrize("limit", [0, 4, 12, 24])
+def test_event_limit(benchmark, mushroom_db, limit):
+    config = default_config(mushroom_db, 0.25).variant(
+        exact_event_limit=limit, use_probability_bounds=False
+    )
+    miner = MPFCIMiner(mushroom_db, config)
+    results = run_once(benchmark, miner.mine)
+    benchmark.extra_info["exact"] = miner.stats.fcp_exact_evaluations
+    benchmark.extra_info["sampled"] = miner.stats.fcp_sampled_evaluations
+    benchmark.extra_info["results"] = len(results)
+
+
+def test_limits_agree_where_itemsets_are_clearcut(benchmark, mushroom_db):
+    """Exact and sampled paths agree on the result set (no borderline
+    itemsets in this workload at the default thresholds)."""
+
+    def mine_both():
+        sampled_config = default_config(mushroom_db, 0.25).variant(
+            exact_event_limit=0
+        )
+        exact_config = sampled_config.variant(exact_event_limit=64)
+        sampled = {r.itemset for r in MPFCIMiner(mushroom_db, sampled_config).mine()}
+        exact = {r.itemset for r in MPFCIMiner(mushroom_db, exact_config).mine()}
+        return sampled, exact
+
+    sampled, exact = run_once(benchmark, mine_both)
+    assert sampled == exact
+
+
+def test_single_itemset_crossover(benchmark, quest_db):
+    """Per-itemset comparison: exact IE time vs one full ApproxFCP."""
+    import random
+    import time
+
+    from repro.core.approx import approx_union_probability
+
+    config = default_config(quest_db, 0.4)
+    results = MPFCIMiner(quest_db, config).mine()
+    target = max(results, key=lambda r: len(r.itemset))
+    events = ExtensionEventSystem(quest_db, target.itemset, config.min_sup)
+
+    exact_value = run_once(benchmark, events.union_probability_exact)
+
+    started = time.perf_counter()
+    estimate, _samples = approx_union_probability(
+        events, 0.1, 0.1, random.Random(0)
+    )
+    sampling_seconds = time.perf_counter() - started
+    benchmark.extra_info["sampling_seconds"] = round(sampling_seconds, 4)
+    benchmark.extra_info["events"] = len(events.events)
+    if estimate or exact_value:
+        assert abs(estimate - exact_value) <= 0.1 * max(exact_value, 0.05) + 0.05

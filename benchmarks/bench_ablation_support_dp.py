@@ -1,0 +1,69 @@
+"""Ablation — NumPy-vectorized vs pure-Python Poisson-binomial DP.
+
+``Pr_F`` is the innermost kernel of the whole system (every pruning rule,
+bound and event evaluates it), so the DP implementation choice matters.
+Both paths are exact; the bench quantifies the speedup and cross-checks the
+values at benchmark sizes.
+"""
+
+import random
+
+import pytest
+
+from repro.core.support import (
+    frequent_probability,
+    frequent_probability_python,
+    support_pmf,
+)
+
+from .conftest import run_once
+
+
+def _probabilities(count, seed=0):
+    rng = random.Random(seed)
+    return [rng.uniform(0.05, 0.99) for _ in range(count)]
+
+
+@pytest.mark.parametrize("size", [100, 1000, 4000])
+def test_numpy_dp(benchmark, size):
+    probabilities = _probabilities(size)
+    min_sup = size // 3
+    value = run_once(benchmark, lambda: frequent_probability(probabilities, min_sup))
+    benchmark.extra_info["value"] = round(value, 6)
+
+
+@pytest.mark.parametrize("size", [100, 1000])
+def test_python_dp(benchmark, size):
+    probabilities = _probabilities(size)
+    min_sup = size // 3
+    value = run_once(
+        benchmark, lambda: frequent_probability_python(probabilities, min_sup)
+    )
+    benchmark.extra_info["value"] = round(value, 6)
+
+
+def test_implementations_agree_at_scale(benchmark):
+    probabilities = _probabilities(800, seed=3)
+
+    def compare():
+        disagreements = 0
+        for min_sup in (1, 100, 267, 799, 800):
+            fast = frequent_probability(probabilities, min_sup)
+            slow = frequent_probability_python(probabilities, min_sup)
+            if abs(fast - slow) > 1e-9:
+                disagreements += 1
+        return disagreements
+
+    assert run_once(benchmark, compare) == 0
+
+
+def test_pmf_consistency(benchmark):
+    probabilities = _probabilities(300, seed=5)
+
+    def check():
+        pmf = support_pmf(probabilities)
+        tail = pmf[100:].sum()
+        direct = frequent_probability(probabilities, 100)
+        return abs(tail - direct)
+
+    assert run_once(benchmark, check) < 1e-9

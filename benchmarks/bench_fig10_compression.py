@@ -1,0 +1,104 @@
+"""Fig. 10 — compression quality of closed itemsets, exact vs probabilistic.
+
+Times the four result families (FP-growth FI, closed FCI, DP-based PFI,
+MPFCI PFCI) and asserts the compression relationships the paper plots:
+``#FCI <= #FI``, ``#PFCI <= #PFI``, and the higher-uncertainty Gaussian
+yields fewer probabilistic itemsets.
+"""
+
+import math
+
+import pytest
+
+from repro.core.miner import MPFCIMiner
+from repro.eval.datasets import ExperimentScale, mushroom_database
+from repro.eval.experiments import default_config
+from repro.exact.charm import mine_closed_itemsets
+from repro.exact.fpgrowth import mine_frequent_itemsets_fpgrowth
+from repro.uncertain.pfim import mine_probabilistic_frequent_itemsets
+
+from .conftest import SCALE, run_once
+
+RATIO = 0.2
+
+
+@pytest.fixture(scope="module")
+def low_uncertainty_db():
+    return mushroom_database(SCALE, mean=0.8, variance=0.1)
+
+
+@pytest.fixture(scope="module")
+def high_uncertainty_db():
+    return mushroom_database(SCALE, mean=0.5, variance=0.5)
+
+
+def test_fi_fpgrowth(benchmark, low_uncertainty_db):
+    certain = low_uncertainty_db.certain_projection()
+    min_sup = math.ceil(RATIO * len(certain))
+    results = run_once(
+        benchmark, lambda: mine_frequent_itemsets_fpgrowth(certain, min_sup)
+    )
+    benchmark.extra_info["count"] = len(results)
+
+
+def test_fci_closed(benchmark, low_uncertainty_db):
+    certain = low_uncertainty_db.certain_projection()
+    min_sup = math.ceil(RATIO * len(certain))
+    results = run_once(benchmark, lambda: mine_closed_itemsets(certain, min_sup))
+    benchmark.extra_info["count"] = len(results)
+
+
+@pytest.mark.parametrize("fixture", ["low_uncertainty_db", "high_uncertainty_db"])
+def test_pfi(benchmark, request, fixture):
+    database = request.getfixturevalue(fixture)
+    min_sup = math.ceil(RATIO * len(database))
+    results = run_once(
+        benchmark,
+        lambda: mine_probabilistic_frequent_itemsets(database, min_sup, 0.8),
+    )
+    benchmark.extra_info["count"] = len(results)
+
+
+@pytest.mark.parametrize("fixture", ["low_uncertainty_db", "high_uncertainty_db"])
+def test_pfci(benchmark, request, fixture):
+    database = request.getfixturevalue(fixture)
+    config = default_config(database, RATIO)
+    results = run_once(benchmark, lambda: MPFCIMiner(database, config).mine())
+    benchmark.extra_info["count"] = len(results)
+
+
+def test_compression_shape(benchmark, low_uncertainty_db, high_uncertainty_db):
+    """The Fig. 10 relationships, asserted in one place."""
+
+    def compute():
+        rows = {}
+        for label, database in (
+            ("a", low_uncertainty_db),
+            ("b", high_uncertainty_db),
+        ):
+            certain = database.certain_projection()
+            min_sup = math.ceil(RATIO * len(database))
+            num_fi = len(mine_frequent_itemsets_fpgrowth(certain, min_sup))
+            num_fci = len(mine_closed_itemsets(certain, min_sup))
+            num_pfi = len(
+                mine_probabilistic_frequent_itemsets(database, min_sup, 0.8)
+            )
+            num_pfci = len(
+                MPFCIMiner(database, default_config(database, RATIO)).mine()
+            )
+            rows[label] = (num_fi, num_fci, num_pfi, num_pfci)
+        return rows
+
+    rows = run_once(benchmark, compute)
+    for label, (num_fi, num_fci, num_pfi, num_pfci) in rows.items():
+        benchmark.extra_info[f"fig10{label}"] = {
+            "FI": num_fi, "FCI": num_fci, "PFI": num_pfi, "PFCI": num_pfci,
+        }
+        assert num_fci <= num_fi
+        assert num_pfci <= num_pfi
+        assert num_pfi <= num_fi
+    # Higher uncertainty (variant b) -> fewer probabilistic itemsets.
+    assert rows["b"][2] <= rows["a"][2]
+    assert rows["b"][3] <= rows["a"][3]
+    # Closed mining actually compresses on the dense mushroom data.
+    assert rows["a"][1] < rows["a"][0]

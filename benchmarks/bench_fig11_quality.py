@@ -1,0 +1,48 @@
+"""Fig. 11 — approximation quality (precision/recall) w.r.t. epsilon and delta.
+
+Times the sampled mining runs and asserts the paper's shape: recall stays
+high across the sweep (the reference set is recovered) and precision stays
+high, degrading at most mildly as epsilon grows.
+"""
+
+import pytest
+
+from repro.core.miner import MPFCIMiner
+from repro.eval.experiments import default_config
+from repro.eval.metrics import precision_recall
+
+from .conftest import run_once
+
+RATIO = 0.2
+
+
+@pytest.fixture(scope="module")
+def reference_results(mushroom_db):
+    config = default_config(mushroom_db, RATIO, epsilon=0.01, delta=0.01)
+    return {result.itemset for result in MPFCIMiner(mushroom_db, config).mine()}
+
+
+@pytest.mark.parametrize("epsilon", [0.05, 0.15, 0.3])
+def test_quality_vs_epsilon(benchmark, mushroom_db, reference_results, epsilon):
+    config = default_config(mushroom_db, RATIO, epsilon=epsilon)
+    results = run_once(benchmark, lambda: MPFCIMiner(mushroom_db, config).mine())
+    precision, recall = precision_recall(
+        (result.itemset for result in results), reference_results
+    )
+    benchmark.extra_info["precision"] = round(precision, 4)
+    benchmark.extra_info["recall"] = round(recall, 4)
+    assert recall >= 0.9
+    assert precision >= 0.8
+
+
+@pytest.mark.parametrize("delta", [0.05, 0.15, 0.3])
+def test_quality_vs_delta(benchmark, mushroom_db, reference_results, delta):
+    config = default_config(mushroom_db, RATIO, delta=delta)
+    results = run_once(benchmark, lambda: MPFCIMiner(mushroom_db, config).mine())
+    precision, recall = precision_recall(
+        (result.itemset for result in results), reference_results
+    )
+    benchmark.extra_info["precision"] = round(precision, 4)
+    benchmark.extra_info["recall"] = round(recall, 4)
+    assert recall >= 0.9
+    assert precision >= 0.8

@@ -1,0 +1,42 @@
+"""Fig. 7 — running time w.r.t. the probabilistic frequent closed threshold.
+
+Paper's claim: pfct barely moves the running time (unlike min_sup) — the
+enumeration is driven by the frequency structure, not the output threshold.
+"""
+
+import time
+
+import pytest
+
+from repro.core.miner import MPFCIMiner
+from repro.eval.experiments import default_config
+
+from .conftest import run_once
+
+
+@pytest.mark.parametrize("pfct", [0.5, 0.7, 0.9])
+@pytest.mark.parametrize("fixture,ratio", [("mushroom_db", 0.25), ("quest_db", 0.4)])
+def test_mpfci_pfct(benchmark, request, fixture, ratio, pfct):
+    database = request.getfixturevalue(fixture)
+    config = default_config(database, ratio, pfct=pfct)
+    results = run_once(benchmark, lambda: MPFCIMiner(database, config).mine())
+    benchmark.extra_info["results"] = len(results)
+
+
+def test_pfct_is_flat(benchmark, mushroom_db):
+    """Runtime at pfct=0.5 and pfct=0.9 stays within a small factor."""
+    low_config = default_config(mushroom_db, 0.25, pfct=0.5)
+    high_config = default_config(mushroom_db, 0.25, pfct=0.9)
+
+    run_once(benchmark, lambda: MPFCIMiner(mushroom_db, low_config).mine())
+    low_seconds = benchmark.stats.stats.min
+
+    started = time.perf_counter()
+    MPFCIMiner(mushroom_db, high_config).mine()
+    high_seconds = time.perf_counter() - started
+
+    benchmark.extra_info["pfct_0.9_seconds"] = round(high_seconds, 4)
+    ratio = max(low_seconds, high_seconds) / max(min(low_seconds, high_seconds), 1e-9)
+    # "remains approximately the same": far flatter than the min_sup sweep's
+    # order-of-magnitude swings.
+    assert ratio < 10.0

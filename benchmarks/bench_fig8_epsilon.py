@@ -1,0 +1,57 @@
+"""Fig. 8 — running time w.r.t. the relative tolerance epsilon.
+
+Paper's claims: the four variants that keep probability-bound pruning are
+insensitive to epsilon (they rarely sample), while MPFCI-NoBound slows down
+as epsilon shrinks because every surviving itemset pays the full
+``O(4k ln(2/delta)/eps^2 |UTD|)`` ApproxFCP cost.
+"""
+
+import time
+
+import pytest
+
+from repro.core.miner import MPFCIMiner
+from repro.eval.experiments import default_config
+
+from .conftest import run_once
+
+
+@pytest.mark.parametrize("epsilon", [0.3, 0.1])
+@pytest.mark.parametrize("variant_bounds", [True, False], ids=["MPFCI", "NoBound"])
+def test_epsilon(benchmark, mushroom_db, epsilon, variant_bounds):
+    config = default_config(
+        mushroom_db, 0.25, epsilon=epsilon
+    ).variant(use_probability_bounds=variant_bounds)
+    results = run_once(benchmark, lambda: MPFCIMiner(mushroom_db, config).mine())
+    benchmark.extra_info["results"] = len(results)
+
+
+def test_only_nobound_is_epsilon_sensitive(benchmark, mushroom_db):
+    coarse = default_config(mushroom_db, 0.25, epsilon=0.3).variant(
+        use_probability_bounds=False
+    )
+    fine = coarse.variant(epsilon=0.1)
+
+    run_once(benchmark, lambda: MPFCIMiner(mushroom_db, fine).mine())
+    fine_seconds = benchmark.stats.stats.min
+
+    started = time.perf_counter()
+    coarse_miner = MPFCIMiner(mushroom_db, coarse)
+    coarse_miner.mine()
+    coarse_seconds = time.perf_counter() - started
+
+    started = time.perf_counter()
+    bounded_miner = MPFCIMiner(
+        mushroom_db, default_config(mushroom_db, 0.25, epsilon=0.1)
+    )
+    bounded_miner.mine()
+    bounded_seconds = time.perf_counter() - started
+
+    benchmark.extra_info["eps_0.3_seconds"] = round(coarse_seconds, 4)
+    benchmark.extra_info["mpfci_seconds"] = round(bounded_seconds, 4)
+    if coarse_miner.stats.monte_carlo_samples:
+        # NoBound at eps=0.1 must be clearly slower than at eps=0.3 (the
+        # sample count scales with 1/eps^2 = 9x).
+        assert fine_seconds > coarse_seconds
+    # And the bound-pruned miner beats NoBound at fine tolerance.
+    assert bounded_seconds < fine_seconds

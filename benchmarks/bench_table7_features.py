@@ -1,0 +1,53 @@
+"""Table VII — the algorithm feature matrix.
+
+Regenerates the table from the configuration system and times a token run
+of every listed algorithm on the paper's own 4-row example, proving each
+variant is wired up and behaves identically there.
+"""
+
+import pytest
+
+from repro.core.bfs import MPFCIBreadthFirstMiner
+from repro.core.config import MinerConfig
+from repro.core.database import paper_table2_database
+from repro.core.miner import MPFCIMiner
+from repro.eval.experiments import experiment_table7, miner_variants
+
+from .conftest import run_once
+
+
+def test_feature_matrix(benchmark):
+    report = run_once(benchmark, experiment_table7)
+    benchmark.extra_info["rows"] = len(report.rows)
+    # Matrix must match the configs the sweeps actually construct.
+    configs = miner_variants(MinerConfig(min_sup=2))
+    matrix = {row[0]: row[1:5] for row in report.rows}
+    for name, config in configs.items():
+        assert matrix[name] == [
+            config.use_chernoff_pruning,
+            config.use_superset_pruning,
+            config.use_subset_pruning,
+            config.use_probability_bounds,
+        ]
+    assert matrix["MPFCI-BFS"] == [True, False, False, True]
+
+
+@pytest.mark.parametrize(
+    "name", ["MPFCI", "MPFCI-NoCH", "MPFCI-NoSuper", "MPFCI-NoSub", "MPFCI-NoBound"]
+)
+def test_variant_on_paper_example(benchmark, name):
+    database = paper_table2_database()
+    config = miner_variants(MinerConfig(min_sup=2, pfct=0.8))[name]
+    results = run_once(benchmark, lambda: MPFCIMiner(database, config).mine())
+    assert {r.itemset for r in results} == {("a", "b", "c"), ("a", "b", "c", "d")}
+
+
+def test_bfs_on_paper_example(benchmark):
+    database = paper_table2_database()
+    results = run_once(
+        benchmark,
+        lambda: MPFCIBreadthFirstMiner(
+            database, MinerConfig(min_sup=2, pfct=0.8)
+        ).mine(),
+    )
+    assert {r.itemset for r in results} == {("a", "b", "c"), ("a", "b", "c", "d")}

@@ -1,0 +1,40 @@
+"""Table VIII — dataset characteristics, and generation cost.
+
+Regenerates the characteristics table from the synthesized workloads and
+asserts the structural properties the paper's datasets have (fixed length 23
+for Mushroom, ~20 average for T20I10, bounded item universes).
+"""
+
+from repro.data.mushroom import MUSHROOM_ATTRIBUTE_CARDINALITIES, generate_mushroom_like
+from repro.data.quest import QuestParameters, generate_quest
+from repro.eval.experiments import experiment_table8
+
+from .conftest import SCALE, run_once
+
+
+def test_characteristics_table(benchmark):
+    report = run_once(benchmark, lambda: experiment_table8(SCALE))
+    rows = {row[0]: row[1:] for row in report.rows}
+    benchmark.extra_info["mushroom"] = rows["mushroom"]
+    benchmark.extra_info["quest"] = rows["quest"]
+
+    num_txns, num_items, avg_length, max_length = rows["mushroom"]
+    assert num_txns == SCALE.mushroom_rows
+    assert avg_length == max_length == 23          # fixed-length categorical rows
+    assert num_items <= sum(MUSHROOM_ATTRIBUTE_CARDINALITIES)
+
+    num_txns, num_items, avg_length, max_length = rows["quest"]
+    assert num_txns == SCALE.quest_transactions
+    assert num_items <= 40
+    assert 14 <= avg_length <= 26                  # T=20 target
+
+
+def test_mushroom_generation(benchmark):
+    rows = run_once(benchmark, lambda: generate_mushroom_like(num_rows=500, seed=1))
+    assert len(rows) == 500
+
+
+def test_quest_generation(benchmark):
+    params = QuestParameters(num_transactions=500, seed=1)
+    rows = run_once(benchmark, lambda: generate_quest(params))
+    assert len(rows) == 500

@@ -1,0 +1,37 @@
+"""Shared benchmark plumbing.
+
+Every ``bench_fig*.py`` module regenerates the timing comparison of one
+figure of Section V at CI scale (see ``repro.eval.datasets``): pytest-
+benchmark provides the per-algorithm wall-clock rows, and each module
+asserts the figure's qualitative *shape* (who wins, what degrades) so a
+regression in any pruning rule fails the suite loudly rather than just
+shifting numbers.
+
+Run with:  pytest benchmarks/ --benchmark-only
+
+For the full sweeps (all the rows the paper plots, not just the timed
+points), run ``python -m repro.eval.experiments --scale ci`` — its output is
+recorded in EXPERIMENTS.md.
+"""
+
+import pytest
+
+from repro.eval.datasets import ExperimentScale, mushroom_database, quest_database
+
+SCALE = ExperimentScale.CI
+
+
+@pytest.fixture(scope="session")
+def mushroom_db():
+    return mushroom_database(SCALE)
+
+
+@pytest.fixture(scope="session")
+def quest_db():
+    return quest_database(SCALE)
+
+
+def run_once(benchmark, func):
+    """Time ``func`` with a small fixed round count (miners are seconds-slow,
+    so pytest-benchmark's auto-calibration would multiply runtimes 100x)."""
+    return benchmark.pedantic(func, rounds=2, iterations=1, warmup_rounds=0)

@@ -1,0 +1,273 @@
+"""Command-line interface: ``repro-mine`` (or ``python -m repro.cli``).
+
+Subcommands:
+
+* ``mine``        — mine probabilistic frequent closed itemsets from a
+  ``.utd`` file with any of the paper's algorithms;
+* ``generate``    — synthesize a workload (Quest or Mushroom-like) with
+  Gaussian uncertainty and write it as ``.utd``;
+* ``inspect``     — print the characteristics of a ``.utd`` file
+  (Table VIII-style);
+* ``experiments`` — regenerate the paper's tables and figures (delegates to
+  :mod:`repro.eval.experiments`).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from .core.bfs import MPFCIBreadthFirstMiner
+from .core.config import MinerConfig
+from .core.miner import MPFCIMiner
+from .core.naive import NaiveMiner
+from .data.gaussian import attach_gaussian_probabilities
+from .data.io import load_uncertain_database, save_uncertain_database
+from .data.mushroom import generate_mushroom_like
+from .data.quest import QuestParameters, generate_quest
+from .eval.reporting import format_table
+
+__all__ = ["main"]
+
+
+def _add_mine_parser(subparsers) -> None:
+    parser = subparsers.add_parser("mine", help="mine PFCIs from a .utd file")
+    parser.add_argument("input", help="path to the .utd database")
+    group = parser.add_mutually_exclusive_group(required=True)
+    group.add_argument("--min-sup", type=int, help="absolute minimum support")
+    group.add_argument(
+        "--min-sup-ratio", type=float, help="minimum support as a fraction of |UTD|"
+    )
+    parser.add_argument("--pfct", type=float, default=0.8)
+    parser.add_argument("--epsilon", type=float, default=0.1)
+    parser.add_argument("--delta", type=float, default=0.1)
+    parser.add_argument("--seed", type=int, default=20120401)
+    parser.add_argument(
+        "--framework",
+        choices=["dfs", "bfs", "naive"],
+        default="dfs",
+        help="mining framework (dfs = MPFCI)",
+    )
+    parser.add_argument(
+        "--disable",
+        nargs="*",
+        choices=["ch", "super", "sub", "bound"],
+        default=[],
+        help="pruning rules to disable (Table VII variants)",
+    )
+    parser.add_argument(
+        "--stats", action="store_true", help="print work counters after mining"
+    )
+    parser.add_argument(
+        "--json", action="store_true", help="emit results as JSON instead of a table"
+    )
+    parser.add_argument(
+        "--max-size", type=int, default=None, help="cap on result itemset length"
+    )
+    parser.add_argument(
+        "--verify",
+        action="store_true",
+        help="re-check every result against the exact probability after mining",
+    )
+
+
+def _add_generate_parser(subparsers) -> None:
+    parser = subparsers.add_parser("generate", help="synthesize a .utd workload")
+    parser.add_argument("output", help="path of the .utd file to write")
+    parser.add_argument(
+        "--kind", choices=["quest", "mushroom"], default="quest"
+    )
+    parser.add_argument("--transactions", type=int, default=1000)
+    parser.add_argument("--items", type=int, default=40, help="quest: distinct items")
+    parser.add_argument(
+        "--avg-length", type=float, default=20.0, help="quest: average transaction length"
+    )
+    parser.add_argument(
+        "--avg-pattern", type=float, default=10.0, help="quest: average pattern length"
+    )
+    parser.add_argument("--mean", type=float, default=0.8, help="Gaussian mean")
+    parser.add_argument("--variance", type=float, default=0.1, help="Gaussian variance")
+    parser.add_argument("--seed", type=int, default=0)
+
+
+def _add_inspect_parser(subparsers) -> None:
+    parser = subparsers.add_parser("inspect", help="describe a .utd file")
+    parser.add_argument("input", help="path to the .utd database")
+
+
+def _add_experiments_parser(subparsers) -> None:
+    parser = subparsers.add_parser(
+        "experiments", help="regenerate the paper's tables and figures"
+    )
+    parser.add_argument("--scale", choices=["ci", "standard", "paper"], default="ci")
+    parser.add_argument("--only", nargs="*", default=None)
+    parser.add_argument(
+        "--export", default=None, metavar="DIR",
+        help="also write machine-readable reports into DIR",
+    )
+    parser.add_argument(
+        "--export-format", choices=["json", "csv"], default="json"
+    )
+
+
+def _command_mine(args: argparse.Namespace) -> int:
+    database = load_uncertain_database(args.input)
+    if args.min_sup is not None:
+        config = MinerConfig(
+            min_sup=args.min_sup,
+            pfct=args.pfct,
+            epsilon=args.epsilon,
+            delta=args.delta,
+            seed=args.seed,
+        )
+    else:
+        config = MinerConfig.with_relative_min_sup(
+            len(database),
+            args.min_sup_ratio,
+            pfct=args.pfct,
+            epsilon=args.epsilon,
+            delta=args.delta,
+            seed=args.seed,
+        )
+    config = config.variant(
+        use_chernoff_pruning="ch" not in args.disable,
+        use_superset_pruning="super" not in args.disable,
+        use_subset_pruning="sub" not in args.disable,
+        use_probability_bounds="bound" not in args.disable,
+        max_itemset_size=args.max_size,
+    )
+    if args.framework == "dfs":
+        miner = MPFCIMiner(database, config)
+    elif args.framework == "bfs":
+        miner = MPFCIBreadthFirstMiner(database, config)
+    else:
+        miner = NaiveMiner(database, config)
+    results = miner.mine()
+    if args.json:
+        import json
+
+        payload = {
+            "config": config.describe(),
+            "results": [result.to_dict() for result in results],
+        }
+        if args.stats:
+            payload["stats"] = miner.stats.as_dict()
+        print(json.dumps(payload, indent=2))
+        return 0
+    rows = [
+        [
+            " ".join(str(item) for item in result.itemset),
+            result.probability,
+            result.lower,
+            result.upper,
+            result.method,
+        ]
+        for result in results
+    ]
+    print(
+        format_table(
+            ["itemset", "Pr_FC", "lower", "upper", "method"],
+            rows,
+            title=f"{len(results)} probabilistic frequent closed itemsets "
+            f"({config.describe()})",
+        )
+    )
+    if args.stats:
+        print(miner.stats.summary())
+    if args.verify:
+        from .core.verify import verify_results
+
+        report = verify_results(
+            database, results, config.min_sup, pfct=config.pfct
+        )
+        print(f"verification: {report.summary()}")
+        if not report.all_sound:
+            return 1
+    return 0
+
+
+def _command_generate(args: argparse.Namespace) -> int:
+    if args.kind == "quest":
+        transactions = generate_quest(
+            QuestParameters(
+                num_transactions=args.transactions,
+                avg_transaction_length=args.avg_length,
+                avg_pattern_length=args.avg_pattern,
+                num_items=args.items,
+                seed=args.seed,
+            )
+        )
+    else:
+        transactions = generate_mushroom_like(
+            num_rows=args.transactions, seed=args.seed
+        )
+    database = attach_gaussian_probabilities(
+        transactions, mean=args.mean, variance=args.variance, seed=args.seed
+    )
+    save_uncertain_database(database, args.output)
+    print(
+        f"wrote {len(database)} transactions over {len(database.items)} items "
+        f"to {args.output}"
+    )
+    return 0
+
+
+def _command_inspect(args: argparse.Namespace) -> int:
+    database = load_uncertain_database(args.input)
+    lengths = [len(txn.items) for txn in database]
+    probabilities = database.probabilities
+    rows = [
+        ["transactions", len(database)],
+        ["distinct items", len(database.items)],
+        ["avg length", sum(lengths) / len(lengths) if lengths else 0.0],
+        ["max length", max(lengths) if lengths else 0],
+        [
+            "avg probability",
+            sum(probabilities) / len(probabilities) if probabilities else 0.0,
+        ],
+        ["min probability", min(probabilities) if probabilities else 0.0],
+    ]
+    print(format_table(["property", "value"], rows, title=args.input))
+    return 0
+
+
+def _command_experiments(args: argparse.Namespace) -> int:
+    from .eval.experiments import ExperimentScale, iter_reports
+
+    scale = ExperimentScale(args.scale)
+    reports = []
+    for report in iter_reports(scale, args.only):
+        print(report.render(), flush=True)
+        print(flush=True)
+        reports.append(report)
+    if args.export:
+        from .eval.export import export_reports
+
+        written = export_reports(reports, args.export, fmt=args.export_format)
+        print(f"exported {len(written)} report(s) to {args.export}")
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-mine",
+        description="Probabilistic frequent closed itemset mining (MPFCI).",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+    _add_mine_parser(subparsers)
+    _add_generate_parser(subparsers)
+    _add_inspect_parser(subparsers)
+    _add_experiments_parser(subparsers)
+    args = parser.parse_args(argv)
+    handlers = {
+        "mine": _command_mine,
+        "generate": _command_generate,
+        "inspect": _command_inspect,
+        "experiments": _command_experiments,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,40 @@
+"""Core of the reproduction: the MPFCI miner and its probabilistic machinery.
+
+Layout (bottom-up):
+
+* :mod:`~repro.core.itemsets`, :mod:`~repro.core.database` — data model;
+* :mod:`~repro.core.support` — Poisson-binomial support distributions
+  (``Pr_F``, conditional sampling);
+* :mod:`~repro.core.possible_worlds` — exponential ground-truth oracle;
+* :mod:`~repro.core.events` — the extension events ``C_i`` of Section IV.B;
+* :mod:`~repro.core.bounds` — Lemma 4.1 (Chernoff–Hoeffding) and Lemma 4.4
+  (de Caen / Kwerel) bounds;
+* :mod:`~repro.core.closedness` — exact ``Pr_C`` / ``Pr_FC`` via
+  inclusion–exclusion;
+* :mod:`~repro.core.approx` — the ApproxFCP FPRAS (Fig. 2);
+* :mod:`~repro.core.miner` — the MPFCI depth-first algorithm (Fig. 3);
+* :mod:`~repro.core.bfs`, :mod:`~repro.core.naive` — the comparison
+  algorithms of Table VII and Fig. 5.
+"""
+
+from .config import MinerConfig
+from .database import (
+    UncertainDatabase,
+    UncertainTransaction,
+    paper_table2_database,
+    paper_table4_database,
+)
+from .miner import MPFCIMiner, ProbabilisticFrequentClosedItemset, mine_pfci
+from .stats import MinerStatistics
+
+__all__ = [
+    "MinerConfig",
+    "MinerStatistics",
+    "MPFCIMiner",
+    "ProbabilisticFrequentClosedItemset",
+    "UncertainDatabase",
+    "UncertainTransaction",
+    "mine_pfci",
+    "paper_table2_database",
+    "paper_table4_database",
+]

@@ -1,0 +1,275 @@
+"""ApproxFCP — the FPRAS of Section IV.B.4 (Fig. 2).
+
+Computing ``Pr_FC(X)`` exactly is #P-hard, so the paper estimates the
+frequent *non-closed* probability — the probability of the DNF
+``C_1 ∨ ... ∨ C_m`` — with the Karp–Luby coverage algorithm [14] and
+subtracts it from the exact ``Pr_F(X)``.
+
+Coverage estimator.  Let ``Z = Σ Pr(C_i)``.  Repeat ``N`` times: draw an
+event index ``i`` with probability ``Pr(C_i)/Z``, then draw a world ``w``
+from the distribution *conditioned on* ``C_i``; count a success iff ``i`` is
+the canonical (first) event covering ``w``.  Then
+
+    Pr(∪ C_i)  =  Z · E[success],
+
+and ``N = ceil(4 m ln(2/δ) / ε²)`` samples make the estimate a relative
+``(ε, δ)``-approximation of the union probability (``m`` is the number of
+events), matching the sample complexity the paper quotes:
+``O(4k ln(2/δ)/ε² · |UTD|)`` total time.
+
+Two implementation notes, both recorded in DESIGN.md:
+
+* The paper's Fig. 2 pseudo-code is an image absent from the available text,
+  and the prose sketch (accumulators ``U``, ``V``, estimate ``U·Z/V``) does
+  not reduce to the Karp–Luby estimator — its expectation is
+  ``Σ_w Pr(w)² [...] / Σ_w cover(w) Pr(w)²``, not the union probability.  We
+  implement the standard (provably unbiased) coverage estimator the paper
+  cites.
+* Sampling ``w | C_i`` needs the presence bits of the transactions
+  containing ``X+e_i`` conditioned on their sum reaching ``min_sup``; that
+  is the exact conditional Poisson-binomial sampler of
+  :func:`repro.core.support.sample_conditional_presence`.  Transactions that
+  do not contain ``X`` are irrelevant to every event and are never sampled.
+"""
+
+from __future__ import annotations
+
+import bisect
+import math
+import random
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from .database import UncertainDatabase
+from .events import ExtensionEventSystem
+from .itemsets import Item
+from .support import (
+    SupportDistributionCache,
+    sample_conditional_presence,
+    tail_probability_table,
+)
+
+__all__ = [
+    "ApproxFCPResult",
+    "approx_union_probability",
+    "approx_frequent_closed_probability",
+    "paper_ratio_union_estimator",
+    "sample_count",
+]
+
+
+@dataclass(frozen=True)
+class ApproxFCPResult:
+    """Outcome of one ApproxFCP run."""
+
+    estimate: float
+    samples: int
+    union_estimate: float
+    frequent_probability: float
+
+
+def sample_count(num_events: int, epsilon: float, delta: float) -> int:
+    """The paper's sample complexity: ``ceil(4 m ln(2/δ) / ε²)``."""
+    if num_events <= 0:
+        return 0
+    return math.ceil(4.0 * num_events * math.log(2.0 / delta) / (epsilon * epsilon))
+
+
+def approx_union_probability(
+    events: ExtensionEventSystem,
+    epsilon: float,
+    delta: float,
+    rng: random.Random,
+    max_samples: Optional[int] = None,
+) -> tuple[float, int]:
+    """Karp–Luby estimate of ``Pr(C_1 ∨ ... ∨ C_m)``.
+
+    Returns ``(estimate, samples_used)``.  Zero-probability unions short-
+    circuit without sampling.
+    """
+    singleton = events.singleton_probabilities
+    z = sum(singleton)
+    if z <= 0.0 or not events.events:
+        return 0.0, 0
+
+    n_samples = sample_count(len(events.events), epsilon, delta)
+    if max_samples is not None:
+        n_samples = min(n_samples, max_samples)
+
+    # Cumulative weights for drawing the event index proportionally to Pr(C_i).
+    cumulative: List[float] = []
+    running = 0.0
+    for probability in singleton:
+        running += probability
+        cumulative.append(running)
+
+    database = events.database
+    # Per-event precomputation: conditional-sampler inputs and membership
+    # sets for the first-cover check.
+    event_probabilities = [
+        database.tidset_probabilities(event.tidset) for event in events.events
+    ]
+    tail_tables = [None] * len(events.events)
+    item_of_event = [event.item for event in events.events]
+    transaction_items = [set(txn.items) for txn in database.transactions]
+
+    successes = 0
+    for _ in range(n_samples):
+        pick = rng.random() * z
+        index = bisect.bisect_left(cumulative, pick)
+        if index >= len(events.events):
+            index = len(events.events) - 1
+        if tail_tables[index] is None:
+            tail_tables[index] = tail_probability_table(
+                event_probabilities[index], events.min_sup
+            )
+        bits = sample_conditional_presence(
+            event_probabilities[index],
+            events.min_sup,
+            rng,
+            tail_table=tail_tables[index],
+        )
+        present = [
+            position
+            for position, bit in zip(events.events[index].tidset, bits)
+            if bit
+        ]
+        # First-cover test: is some earlier event also satisfied?  Event j is
+        # satisfied iff e_j appears in every present transaction (support is
+        # already >= min_sup by the conditioning).  Intersect the present
+        # transactions' item sets once, then test membership.
+        if index == 0:
+            covered_earlier = False
+        else:
+            common_items = set(transaction_items[present[0]])
+            for position in present[1:]:
+                common_items &= transaction_items[position]
+                if not common_items:
+                    break
+            covered_earlier = any(
+                item_of_event[j] in common_items for j in range(index)
+            )
+        if not covered_earlier:
+            successes += 1
+
+    estimate = z * successes / n_samples
+    return min(estimate, 1.0), n_samples
+
+
+def paper_ratio_union_estimator(
+    events: ExtensionEventSystem,
+    epsilon: float,
+    delta: float,
+    rng: random.Random,
+    max_samples: Optional[int] = None,
+) -> tuple[float, int]:
+    """The paper's prose estimator ``U·Z/V`` — kept for comparison only.
+
+    The prose of Section IV.B.4 describes accumulating the sampled world's
+    probability into ``V`` on every draw and into ``U`` on first-cover
+    draws, then estimating ``Pr(∪C) ≈ U·Z/V``.  Under the Karp–Luby sampling
+    distribution (``Pr(i, w) = Pr(w)/Z`` for ``w ∈ C_i``) the expectations
+    are ``E[V/N] = Σ_w cover(w)·Pr(w)²/Z`` and ``E[U/N] = Σ_w Pr(w)²/Z``, so
+    the ratio converges to a *Pr(w)²-weighted* uncover-fraction — not the
+    union probability — whenever world probabilities are non-uniform.
+
+    ``tests/test_approx.py`` demonstrates the bias empirically against the
+    exact union; :func:`approx_union_probability` (the standard estimator
+    from the cited Karp–Luby source [14]) is what the miner uses.  On
+    *uniform* world probabilities the two estimators agree, which is likely
+    why the discrepancy is invisible in the paper's own setting.
+    """
+    singleton = events.singleton_probabilities
+    z = sum(singleton)
+    if z <= 0.0 or not events.events:
+        return 0.0, 0
+    n_samples = sample_count(len(events.events), epsilon, delta)
+    if max_samples is not None:
+        n_samples = min(n_samples, max_samples)
+
+    cumulative: List[float] = []
+    running = 0.0
+    for probability in singleton:
+        running += probability
+        cumulative.append(running)
+
+    database = events.database
+    event_probabilities = [
+        database.tidset_probabilities(event.tidset) for event in events.events
+    ]
+    tail_tables = [None] * len(events.events)
+    item_of_event = [event.item for event in events.events]
+    transaction_items = [set(txn.items) for txn in database.transactions]
+
+    u_total = v_total = 0.0
+    for _ in range(n_samples):
+        pick = rng.random() * z
+        index = min(bisect.bisect_left(cumulative, pick), len(events.events) - 1)
+        if tail_tables[index] is None:
+            tail_tables[index] = tail_probability_table(
+                event_probabilities[index], events.min_sup
+            )
+        bits = sample_conditional_presence(
+            event_probabilities[index],
+            events.min_sup,
+            rng,
+            tail_table=tail_tables[index],
+        )
+        present = [
+            position
+            for position, bit in zip(events.events[index].tidset, bits)
+            if bit
+        ]
+        # The sampled world over T(X): `present` kept, the rest absent.
+        world_probability = 1.0
+        present_set = set(present)
+        for position in events.base_tidset:
+            p = database.probability_of(position)
+            world_probability *= p if position in present_set else 1.0 - p
+        v_total += world_probability
+        if index == 0:
+            first_cover = True
+        else:
+            common_items = set(transaction_items[present[0]])
+            for position in present[1:]:
+                common_items &= transaction_items[position]
+                if not common_items:
+                    break
+            first_cover = not any(
+                item_of_event[j] in common_items for j in range(index)
+            )
+        if first_cover:
+            u_total += world_probability
+
+    if v_total <= 0.0:
+        return 0.0, n_samples
+    return min(u_total * z / v_total, 1.0), n_samples
+
+
+def approx_frequent_closed_probability(
+    database: UncertainDatabase,
+    itemset: Sequence[Item],
+    min_sup: int,
+    epsilon: float,
+    delta: float,
+    rng: random.Random,
+    support_cache: Optional[SupportDistributionCache] = None,
+) -> ApproxFCPResult:
+    """ApproxFCP (Fig. 2): ``Pr_FC(X) ≈ Pr_F(X) − KL-estimate(Pr_FNC(X))``."""
+    cache = support_cache or SupportDistributionCache(database, min_sup)
+    frequent = cache.frequent_probability_of_itemset(itemset)
+    if frequent <= 0.0:
+        return ApproxFCPResult(0.0, 0, 0.0, 0.0)
+    events = ExtensionEventSystem(
+        database, itemset, min_sup, support_cache=cache
+    )
+    union_estimate, samples = approx_union_probability(events, epsilon, delta, rng)
+    estimate = min(max(frequent - union_estimate, 0.0), frequent)
+    return ApproxFCPResult(
+        estimate=estimate,
+        samples=samples,
+        union_estimate=union_estimate,
+        frequent_probability=frequent,
+    )

@@ -1,0 +1,178 @@
+"""MPFCI-BFS — the breadth-first comparison framework (Table VII, Fig. 12).
+
+Level-wise enumeration in the style of Apriori: level ``k+1`` candidates are
+prefix-joins of surviving level-``k`` itemsets.  Per the paper, the superset
+and subset prunings "won't show up in BFS's enumeration, which nullifies
+checking on ensuing pruning conditions", so this variant only uses the
+Chernoff–Hoeffding / exact frequency filters and the Lemma 4.4 probability
+bounds.  Every surviving itemset is checked the same way the DFS miner
+checks nodes, so both frameworks return identical result sets (a fact the
+tests assert); only the traversal — and therefore the pruning opportunity —
+differs.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from typing import Dict, List, Tuple
+
+from .approx import approx_union_probability
+from .bounds import (
+    chernoff_hoeffding_frequency_bound,
+    frequent_closed_probability_bounds,
+)
+from .config import MinerConfig
+from .database import Tidset, UncertainDatabase, intersect_tidsets
+from .events import ExtensionEventSystem
+from .itemsets import Item, Itemset
+from .miner import ProbabilisticFrequentClosedItemset
+from .stats import MinerStatistics
+from .support import SupportDistributionCache
+
+__all__ = ["MPFCIBreadthFirstMiner"]
+
+
+class MPFCIBreadthFirstMiner:
+    """Breadth-first mining of probabilistic frequent closed itemsets."""
+
+    def __init__(self, database: UncertainDatabase, config: MinerConfig):
+        self.database = database
+        # Superset/subset pruning are structurally unavailable here.
+        self.config = config.variant(
+            use_superset_pruning=False, use_subset_pruning=False
+        )
+        self.stats = MinerStatistics()
+        self._rng = random.Random(config.seed)
+        self._cache = SupportDistributionCache(database, config.min_sup)
+
+    def mine(self) -> List[ProbabilisticFrequentClosedItemset]:
+        started = time.perf_counter()
+        self.stats = MinerStatistics()
+        self._rng = random.Random(self.config.seed)
+        self._cache = SupportDistributionCache(self.database, self.config.min_sup)
+        results: List[ProbabilisticFrequentClosedItemset] = []
+
+        level: Dict[Itemset, Tidset] = {}
+        for item in self.database.items:
+            tidset = self.database.tidset_of_item(item)
+            self.stats.candidates_generated += 1
+            if self._passes_frequency_pruning(tidset):
+                level[(item,)] = tidset
+
+        while level:
+            for itemset, tidset in level.items():
+                self.stats.nodes_visited += 1
+                self._check(itemset, tidset, results)
+            level = self._next_level(level)
+
+        results.sort(key=lambda result: (len(result.itemset), result.itemset))
+        self.stats.results_emitted = len(results)
+        self.stats.elapsed_seconds = time.perf_counter() - started
+        return results
+
+    def _next_level(self, level: Dict[Itemset, Tidset]) -> Dict[Itemset, Tidset]:
+        ordered = sorted(level)
+        next_level: Dict[Itemset, Tidset] = {}
+        for index, first in enumerate(ordered):
+            for second in ordered[index + 1 :]:
+                if first[:-1] != second[:-1]:
+                    break
+                joined = first + (second[-1],)
+                self.stats.candidates_generated += 1
+                tidset = intersect_tidsets(level[first], level[second])
+                if self._passes_frequency_pruning(tidset):
+                    next_level[joined] = tidset
+        return next_level
+
+    def _passes_frequency_pruning(self, tidset: Tidset) -> bool:
+        config = self.config
+        if len(tidset) < config.min_sup:
+            self.stats.pruned_by_count += 1
+            return False
+        if config.use_chernoff_pruning:
+            expected = sum(self.database.tidset_probabilities(tidset))
+            bound = chernoff_hoeffding_frequency_bound(
+                expected, len(self.database), config.min_sup
+            )
+            if bound <= config.pfct:
+                self.stats.pruned_by_chernoff += 1
+                return False
+        self.stats.frequent_probability_evaluations += 1
+        if self._cache.frequent_probability_of_tidset(tidset) <= config.pfct:
+            self.stats.pruned_by_frequency += 1
+            return False
+        return True
+
+    def _check(
+        self,
+        itemset: Itemset,
+        tidset: Tidset,
+        results: List[ProbabilisticFrequentClosedItemset],
+    ) -> None:
+        config = self.config
+        frequent = self._cache.frequent_probability_of_tidset(tidset)
+        events = ExtensionEventSystem(
+            self.database,
+            itemset,
+            config.min_sup,
+            base_tidset=tidset,
+            support_cache=self._cache,
+        )
+        if events.has_certain_cooccurrence():
+            return
+        if not events.events:
+            results.append(
+                ProbabilisticFrequentClosedItemset(
+                    itemset, frequent, frequent, frequent, "trivial", frequent
+                )
+            )
+            return
+        if config.use_probability_bounds:
+            self.stats.bound_evaluations += 1
+            bounds = frequent_closed_probability_bounds(
+                frequent, events, config.lower_bound, config.upper_bound
+            )
+            if bounds.upper <= config.pfct:
+                self.stats.rejected_by_upper_bound += 1
+                return
+            if bounds.is_tight or bounds.lower > config.pfct:
+                if bounds.is_tight:
+                    self.stats.fcp_exact_evaluations += 1
+                else:
+                    self.stats.accepted_by_lower_bound += 1
+                results.append(
+                    ProbabilisticFrequentClosedItemset(
+                        itemset, bounds.midpoint, bounds.lower, bounds.upper,
+                        "exact" if bounds.is_tight else "bound", frequent,
+                    )
+                )
+                return
+        if len(events.events) <= config.exact_event_limit:
+            self.stats.fcp_exact_evaluations += 1
+            probability = min(
+                max(frequent - events.union_probability_exact(), 0.0), frequent
+            )
+            if probability > config.pfct:
+                results.append(
+                    ProbabilisticFrequentClosedItemset(
+                        itemset, probability, probability, probability,
+                        "exact", frequent,
+                    )
+                )
+            return
+        union_estimate, samples = approx_union_probability(
+            events, config.epsilon, config.delta, self._rng
+        )
+        self.stats.fcp_sampled_evaluations += 1
+        self.stats.monte_carlo_samples += samples
+        probability = min(max(frequent - union_estimate, 0.0), frequent)
+        if probability > config.pfct:
+            results.append(
+                ProbabilisticFrequentClosedItemset(
+                    itemset, probability,
+                    max(probability - config.epsilon, 0.0),
+                    min(probability + config.epsilon, 1.0),
+                    "sampled", frequent,
+                )
+            )

@@ -1,0 +1,152 @@
+"""Probability bounds: Lemma 4.1 (Chernoff–Hoeffding) and Lemma 4.4 (Pr_FC).
+
+Two families:
+
+* **Frequency bounds** (Lemma 4.1).  ``support(X)`` is a sum of ``n``
+  independent ``[0, 1]`` variables with mean ``μ`` (the expected support), so
+  Hoeffding gives ``Pr[support ≥ min_sup] ≤ exp(−2 (min_sup − μ)² / n)``
+  whenever ``min_sup > μ``, and the multiplicative Chernoff bound gives
+  ``≤ exp(min_sup − μ) · (μ / min_sup)^{min_sup}``.  Either is an upper bound
+  on ``Pr_F`` and therefore on ``Pr_FC``; we take the smaller.  (The lemma's
+  displayed formula is garbled in the available text; both bounds above are
+  the standard inequalities it cites, and soundness — never pruning a true
+  result — is what the miner relies on and what the tests verify.)
+
+* **Union bounds for Lemma 4.4.**  With ``S1 = Σ Pr(C_i)`` and
+  ``S2 = Σ_{i<j} Pr(C_i ∧ C_j)``:
+
+  - de Caen's lower bound      ``Pr(∪C) ≥ Σ_i Pr(C_i)² / Σ_j Pr(C_i ∧ C_j)``
+    (the inner sum includes ``j = i``);
+  - Dawson–Sankoff lower bound ``Pr(∪C) ≥ 2 S1/(k+1) − 2 S2/(k(k+1))`` with
+    ``k = 1 + floor(2 S2 / S1)`` (ablation alternative);
+  - Kwerel's upper bound       ``Pr(∪C) ≤ S1 − 2 S2 / m``;
+  - Boole's upper bound        ``Pr(∪C) ≤ min(S1, 1)`` (always applied on
+    top of Kwerel).
+
+  Sandwiching ``Pr_FC = Pr_F − Pr(∪C)`` yields Lemma 4.4's interval.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from .events import ExtensionEventSystem
+
+__all__ = [
+    "chernoff_hoeffding_frequency_bound",
+    "union_lower_bound",
+    "union_upper_bound",
+    "FrequentClosedProbabilityBounds",
+    "frequent_closed_probability_bounds",
+]
+
+
+def chernoff_hoeffding_frequency_bound(
+    expected_support: float, database_size: int, min_sup: int
+) -> float:
+    """Upper bound on ``Pr[support ≥ min_sup]`` from the expectation alone.
+
+    Returns 1.0 when the bounds are uninformative (``min_sup ≤ μ``).  The
+    miner prunes an itemset when this value is ≤ ``pfct`` (Lemma 4.1): since
+    ``Pr_FC ≤ Pr_F ≤ bound ≤ pfct``, the itemset and (by anti-monotonicity of
+    expected support under extension... of Pr_F itself) all its supersets are
+    out.
+    """
+    if database_size <= 0:
+        return 0.0 if min_sup > 0 else 1.0
+    mu = expected_support
+    if min_sup <= mu:
+        return 1.0
+    hoeffding = math.exp(-2.0 * (min_sup - mu) ** 2 / database_size)
+    if mu <= 0.0:
+        return 0.0
+    # Multiplicative Chernoff in log space: exp(min_sup - mu) * (mu/min_sup)^min_sup.
+    ratio = mu / min_sup
+    if ratio <= 0.0:
+        # mu is subnormal; the bound underflows to 0 anyway.
+        return 0.0
+    log_chernoff = (min_sup - mu) + min_sup * math.log(ratio)
+    chernoff = math.exp(log_chernoff)
+    return min(hoeffding, chernoff, 1.0)
+
+
+def union_lower_bound(
+    singletons: Sequence[float],
+    events: ExtensionEventSystem,
+    method: str = "de_caen",
+) -> float:
+    """Lower bound on ``Pr(∪ C_i)`` using singleton and pairwise probabilities."""
+    positive = [(index, p) for index, p in enumerate(singletons) if p > 0.0]
+    if not positive:
+        return 0.0
+    if method == "de_caen":
+        bound = 0.0
+        for index, p in positive:
+            denominator = p
+            for other, q in positive:
+                if other != index:
+                    denominator += events.pairwise_probability(index, other)
+            bound += p * p / denominator
+        return min(bound, 1.0)
+    if method == "dawson_sankoff":
+        s1 = sum(p for _index, p in positive)
+        s2 = events.pairwise_sum()
+        k = 1 + int(2.0 * s2 / s1)
+        bound = 2.0 * s1 / (k + 1) - 2.0 * s2 / (k * (k + 1))
+        return min(max(bound, 0.0), 1.0)
+    raise ValueError(f"unknown union lower bound method {method!r}")
+
+
+def union_upper_bound(
+    singletons: Sequence[float],
+    events: ExtensionEventSystem,
+    method: str = "kwerel",
+) -> float:
+    """Upper bound on ``Pr(∪ C_i)``; Boole's bound is always applied on top."""
+    s1 = sum(singletons)
+    boole = min(s1, 1.0)
+    if method == "boole" or not singletons:
+        return boole
+    if method == "kwerel":
+        s2 = events.pairwise_sum()
+        kwerel = s1 - 2.0 * s2 / len(singletons)
+        return min(kwerel, boole)
+    raise ValueError(f"unknown union upper bound method {method!r}")
+
+
+@dataclass(frozen=True)
+class FrequentClosedProbabilityBounds:
+    """Lemma 4.4 interval: ``lower ≤ Pr_FC(X) ≤ upper``."""
+
+    lower: float
+    upper: float
+
+    @property
+    def midpoint(self) -> float:
+        return 0.5 * (self.lower + self.upper)
+
+    @property
+    def is_tight(self) -> bool:
+        return self.upper <= self.lower
+
+
+def frequent_closed_probability_bounds(
+    frequent_probability: float,
+    events: ExtensionEventSystem,
+    lower_method: str = "de_caen",
+    upper_method: str = "kwerel",
+) -> FrequentClosedProbabilityBounds:
+    """Sandwich ``Pr_FC = Pr_F − Pr(∪C)`` between Lemma 4.4's bounds."""
+    singletons = events.singleton_probabilities
+    if not singletons:
+        # No extension events: X is closed whenever frequent.
+        return FrequentClosedProbabilityBounds(
+            lower=frequent_probability, upper=frequent_probability
+        )
+    union_low = union_lower_bound(singletons, events, lower_method)
+    union_high = union_upper_bound(singletons, events, upper_method)
+    upper = min(max(frequent_probability - union_low, 0.0), 1.0)
+    lower = min(max(frequent_probability - union_high, 0.0), upper)
+    return FrequentClosedProbabilityBounds(lower=lower, upper=upper)

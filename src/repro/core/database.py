@@ -1,0 +1,272 @@
+"""Uncertain transaction database under the tuple-uncertainty model.
+
+An :class:`UncertainDatabase` is an ordered collection of
+:class:`UncertainTransaction` rows.  Each row carries a set of items and an
+independent existence probability in ``(0, 1]`` — exactly the model of
+Table II in the paper: a possible world keeps or drops every row
+independently, and the probability of a world is the product of the kept
+rows' probabilities times the complement of the dropped rows'.
+
+The class maintains a *vertical* index (item -> sorted tuple of transaction
+positions) because every quantity the miner needs — counts, support
+distributions, extension events — is a function of the *tidset* of an
+itemset, i.e. the positions of the transactions that contain it.  Tidsets are
+represented as sorted tuples of integer positions so they hash cheaply and
+intersect in linear time.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from .itemsets import Item, Itemset, canonical
+
+Tidset = Tuple[int, ...]
+
+
+@dataclass(frozen=True)
+class UncertainTransaction:
+    """One row of an uncertain database.
+
+    Attributes:
+        tid: caller-facing transaction identifier (any string).
+        items: canonical tuple of the items the transaction contains.
+        probability: independent existence probability in ``(0, 1]``.
+    """
+
+    tid: str
+    items: Itemset
+    probability: float
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.probability <= 1.0:
+            raise ValueError(
+                f"transaction {self.tid!r}: probability must be in (0, 1], "
+                f"got {self.probability}"
+            )
+        object.__setattr__(self, "items", canonical(self.items))
+        if not self.items:
+            raise ValueError(f"transaction {self.tid!r}: item set is empty")
+
+    def contains(self, itemset: Iterable[Item]) -> bool:
+        """Return True when this transaction contains every item of ``itemset``."""
+        return set(itemset) <= set(self.items)
+
+
+class UncertainDatabase:
+    """Tuple-uncertainty transaction database with a vertical index.
+
+    Construction accepts ``(tid, items, probability)`` triples in any of the
+    forms produced by :mod:`repro.data.io` or built by hand::
+
+        db = UncertainDatabase.from_rows([
+            ("T1", "abcd", 0.9),
+            ("T2", "abc", 0.6),
+        ])
+
+    Positions (0-based row indices) are the internal transaction identity;
+    the caller-facing ``tid`` strings are preserved for reporting.
+    """
+
+    def __init__(self, transactions: Sequence[UncertainTransaction]):
+        self._transactions: Tuple[UncertainTransaction, ...] = tuple(transactions)
+        seen_tids = set()
+        for txn in self._transactions:
+            if txn.tid in seen_tids:
+                raise ValueError(f"duplicate transaction id {txn.tid!r}")
+            seen_tids.add(txn.tid)
+        self._vertical: Dict[Item, Tidset] = self._build_vertical_index()
+        self._probabilities: Tuple[float, ...] = tuple(
+            txn.probability for txn in self._transactions
+        )
+
+    # ------------------------------------------------------------------
+    # construction helpers
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_rows(
+        cls, rows: Iterable[Tuple[str, Iterable[Item], float]]
+    ) -> "UncertainDatabase":
+        """Build a database from ``(tid, items, probability)`` triples."""
+        return cls(
+            [UncertainTransaction(tid, canonical(items), prob) for tid, items, prob in rows]
+        )
+
+    @classmethod
+    def from_itemsets(
+        cls, itemsets: Iterable[Iterable[Item]], probabilities: Iterable[float]
+    ) -> "UncertainDatabase":
+        """Build a database from parallel item/probability sequences.
+
+        Transaction ids are generated as ``T1, T2, ...`` in input order.
+        """
+        rows = [
+            (f"T{position + 1}", items, probability)
+            for position, (items, probability) in enumerate(
+                zip(itemsets, probabilities)
+            )
+        ]
+        return cls.from_rows(rows)
+
+    def _build_vertical_index(self) -> Dict[Item, Tidset]:
+        index: Dict[Item, List[int]] = {}
+        for position, txn in enumerate(self._transactions):
+            for item in txn.items:
+                index.setdefault(item, []).append(position)
+        return {item: tuple(positions) for item, positions in index.items()}
+
+    # ------------------------------------------------------------------
+    # basic accessors
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._transactions)
+
+    def __iter__(self) -> Iterator[UncertainTransaction]:
+        return iter(self._transactions)
+
+    def __getitem__(self, position: int) -> UncertainTransaction:
+        return self._transactions[position]
+
+    @property
+    def transactions(self) -> Tuple[UncertainTransaction, ...]:
+        return self._transactions
+
+    @property
+    def items(self) -> Itemset:
+        """All distinct items, in canonical order."""
+        return canonical(self._vertical.keys())
+
+    @property
+    def probabilities(self) -> Tuple[float, ...]:
+        """Existence probability of each transaction, by position."""
+        return self._probabilities
+
+    def probability_of(self, position: int) -> float:
+        return self._probabilities[position]
+
+    # ------------------------------------------------------------------
+    # tidset algebra — the quantities every pruning rule is built on
+    # ------------------------------------------------------------------
+    def tidset_of_item(self, item: Item) -> Tidset:
+        """Positions of the transactions that contain ``item`` (possibly empty)."""
+        return self._vertical.get(item, ())
+
+    def tidset(self, itemset: Iterable[Item]) -> Tidset:
+        """Positions of the transactions containing every item of ``itemset``.
+
+        The empty itemset's tidset is the whole database, matching the
+        convention ``support({}) = |UTD|``.
+        """
+        items = canonical(itemset)
+        if not items:
+            return tuple(range(len(self._transactions)))
+        tidsets = sorted(
+            (self.tidset_of_item(item) for item in items), key=len
+        )
+        result = tidsets[0]
+        for other in tidsets[1:]:
+            result = intersect_tidsets(result, other)
+            if not result:
+                return ()
+        return result
+
+    def count(self, itemset: Iterable[Item]) -> int:
+        """The paper's Definition 4.2: number of transactions containing ``itemset``."""
+        return len(self.tidset(itemset))
+
+    def tidset_probabilities(self, tidset: Tidset) -> Tuple[float, ...]:
+        """Existence probabilities of the transactions at the given positions."""
+        return tuple(self._probabilities[position] for position in tidset)
+
+    def expected_support(self, itemset: Iterable[Item]) -> float:
+        """Expected support of ``itemset`` (the expected-support model of [9])."""
+        return sum(self.tidset_probabilities(self.tidset(itemset)))
+
+    # ------------------------------------------------------------------
+    # projections
+    # ------------------------------------------------------------------
+    def certain_projection(self) -> List[Itemset]:
+        """The underlying exact database (probabilities ignored).
+
+        Used by the compression experiment (Fig. 10), which compares the
+        probabilistic result counts against FP-growth / closed mining on the
+        certain version of the same data.
+        """
+        return [txn.items for txn in self._transactions]
+
+    def restrict(self, positions: Sequence[int]) -> "UncertainDatabase":
+        """Sub-database containing only the transactions at ``positions``."""
+        return UncertainDatabase([self._transactions[position] for position in positions])
+
+    def world(self, present: Iterable[int]) -> List[Itemset]:
+        """Materialize the possible world where exactly ``present`` rows exist."""
+        present_set = set(present)
+        return [
+            txn.items
+            for position, txn in enumerate(self._transactions)
+            if position in present_set
+        ]
+
+    def world_probability(self, present: Iterable[int]) -> float:
+        """Probability of the possible world where exactly ``present`` rows exist."""
+        present_set = set(present)
+        probability = 1.0
+        for position, row_probability in enumerate(self._probabilities):
+            if position in present_set:
+                probability *= row_probability
+            else:
+                probability *= 1.0 - row_probability
+        return probability
+
+    def __repr__(self) -> str:
+        return (
+            f"UncertainDatabase(transactions={len(self)}, "
+            f"items={len(self._vertical)})"
+        )
+
+
+def intersect_tidsets(first: Tidset, second: Tidset) -> Tidset:
+    """Intersect two sorted position tuples.
+
+    Set intersection runs in C and beats a hand-written merge by ~3x at the
+    tidset sizes the miner handles; this is the hottest function in the
+    whole system (every extension, event and pairwise bound goes through
+    it), so the constant factor matters.
+    """
+    if len(second) < len(first):
+        first, second = second, first
+    return tuple(sorted(set(first).intersection(second)))
+
+
+def difference_tidsets(first: Tidset, second: Tidset) -> Tidset:
+    """Positions in ``first`` but not in ``second`` (both sorted)."""
+    second_set = set(second)
+    return tuple(position for position in first if position not in second_set)
+
+
+def paper_table2_database() -> UncertainDatabase:
+    """The running-example database of Table II (traffic monitoring)."""
+    return UncertainDatabase.from_rows(
+        [
+            ("T1", "abcd", 0.9),
+            ("T2", "abc", 0.6),
+            ("T3", "abc", 0.7),
+            ("T4", "abcd", 0.9),
+        ]
+    )
+
+
+def paper_table4_database() -> UncertainDatabase:
+    """The extended database of Table IV (semantics comparison with [34])."""
+    return UncertainDatabase.from_rows(
+        [
+            ("T1", "abcd", 0.9),
+            ("T2", "abc", 0.6),
+            ("T3", "abc", 0.7),
+            ("T4", "abcd", 0.9),
+            ("T5", "ab", 0.4),
+            ("T6", "a", 0.4),
+        ]
+    )

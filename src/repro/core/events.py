@@ -1,0 +1,215 @@
+"""Extension events ``C_i`` — the DNF view of frequent non-closedness.
+
+Section IV.B of the paper rewrites the *frequent non-closed probability* of
+an itemset ``X`` as the probability of a DNF over events: for every item
+``e_i`` outside ``X``,
+
+    C_i  =  "X + e_i always appears together with X, at least min_sup times"
+         =  { world w : support_w(X + e_i) = support_w(X) >= min_sup }.
+
+``X`` is frequent-but-not-closed exactly in the worlds of ``C_1 ∨ ... ∨ C_m``
+and ``Pr_FC(X) = Pr_F(X) − Pr(C_1 ∨ ... ∨ C_m)``.
+
+Because the transactions are independent, the probability of any conjunction
+factors (the paper derives the singleton case):
+
+    Pr(∧_{i∈S} C_i) = Π_{t ⊇ X, t ⊉ X∪S} (1 − p_t)  ·  Pr[ support(X∪S) ≥ min_sup ]
+
+— the transactions containing ``X`` but missing some item of ``S`` must all
+be absent, and independently the transactions containing ``X∪S`` must reach
+``min_sup``.  This module materializes the events, their singleton and
+pairwise probabilities (inputs of the Lemma 4.4 bounds) and arbitrary
+conjunctions (inputs of exact inclusion–exclusion).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from .database import Tidset, UncertainDatabase, intersect_tidsets
+from .itemsets import Item, Itemset, canonical
+from .support import SupportDistributionCache, frequent_probability
+
+__all__ = ["ExtensionEvent", "ExtensionEventSystem"]
+
+
+@dataclass(frozen=True)
+class ExtensionEvent:
+    """One event ``C_i`` for extension item ``item``.
+
+    Attributes:
+        item: the extension item ``e_i``.
+        tidset: positions of transactions containing ``X + e_i``.
+        absent_factor: ``Π (1 − p_t)`` over transactions containing ``X`` but
+            not ``e_i`` (the first factor of ``Pr(C_i)``).
+        frequent_probability: ``Pr_F(X + e_i)`` (the second factor).
+    """
+
+    item: Item
+    tidset: Tidset
+    absent_factor: float
+    frequent_probability: float
+
+    @property
+    def probability(self) -> float:
+        """``Pr(C_i)`` = absent factor × frequent probability."""
+        return self.absent_factor * self.frequent_probability
+
+
+class ExtensionEventSystem:
+    """All extension events of one itemset, with conjunction probabilities.
+
+    Only events that can have positive probability are retained: an item
+    whose co-occurrence count with ``X`` is below ``min_sup`` yields
+    ``Pr_F(X + e_i) = 0`` and contributes nothing to the union, so it is
+    dropped up front (this also keeps the FPRAS sample count proportional to
+    the *effective* number of events).
+    """
+
+    def __init__(
+        self,
+        database: UncertainDatabase,
+        itemset: Sequence[Item],
+        min_sup: int,
+        base_tidset: Optional[Tidset] = None,
+        support_cache: Optional[SupportDistributionCache] = None,
+    ):
+        self.database = database
+        self.itemset = canonical(itemset)
+        self.min_sup = min_sup
+        self.base_tidset: Tidset = (
+            database.tidset(self.itemset) if base_tidset is None else base_tidset
+        )
+        self._cache = support_cache or SupportDistributionCache(database, min_sup)
+        self.events: List[ExtensionEvent] = self._build_events()
+        self._pairwise: Dict[Tuple[int, int], float] = {}
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    def _build_events(self) -> List[ExtensionEvent]:
+        item_set = set(self.itemset)
+        base = self.base_tidset
+        base_probabilities = self.database.tidset_probabilities(base)
+        events: List[ExtensionEvent] = []
+        for item in self.database.items:
+            if item in item_set:
+                continue
+            with_item = intersect_tidsets(base, self.database.tidset_of_item(item))
+            if len(with_item) < self.min_sup:
+                continue
+            absent_factor = self._absent_factor(base, base_probabilities, with_item)
+            freq = self._cache.frequent_probability_of_tidset(with_item)
+            if freq <= 0.0:
+                continue
+            events.append(
+                ExtensionEvent(
+                    item=item,
+                    tidset=with_item,
+                    absent_factor=absent_factor,
+                    frequent_probability=freq,
+                )
+            )
+        return events
+
+    @staticmethod
+    def _absent_factor(
+        base: Tidset, base_probabilities: Sequence[float], with_item: Tidset
+    ) -> float:
+        with_set = set(with_item)
+        factor = 1.0
+        for position, probability in zip(base, base_probabilities):
+            if position not in with_set:
+                factor *= 1.0 - probability
+        return factor
+
+    # ------------------------------------------------------------------
+    # basic properties
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.events)
+
+    @property
+    def singleton_probabilities(self) -> List[float]:
+        return [event.probability for event in self.events]
+
+    def has_certain_cooccurrence(self) -> bool:
+        """True when some event's tidset equals the base tidset.
+
+        Then ``X + e_i`` co-occurs with ``X`` in *every* world, so ``X`` is
+        non-closed whenever it appears at all: ``Pr(C_i) = Pr_F(X)`` and
+        ``Pr_FC(X) = 0``.  This is the structural fact behind the superset
+        and subset pruning lemmas.
+        """
+        base_size = len(self.base_tidset)
+        return any(len(event.tidset) == base_size for event in self.events)
+
+    # ------------------------------------------------------------------
+    # conjunctions
+    # ------------------------------------------------------------------
+    def conjunction_probability(self, indices: Sequence[int]) -> float:
+        """``Pr(∧_{i in indices} C_i)`` by the factored formula."""
+        if not indices:
+            raise ValueError("conjunction over no events is undefined")
+        tidset = self.events[indices[0]].tidset
+        for index in indices[1:]:
+            tidset = intersect_tidsets(tidset, self.events[index].tidset)
+            if len(tidset) < self.min_sup:
+                return 0.0
+        return self._conjunction_from_tidset(tidset)
+
+    def _conjunction_from_tidset(self, tidset: Tidset) -> float:
+        if len(tidset) < self.min_sup:
+            return 0.0
+        base_probabilities = self.database.tidset_probabilities(self.base_tidset)
+        absent = self._absent_factor(self.base_tidset, base_probabilities, tidset)
+        return absent * self._cache.frequent_probability_of_tidset(tidset)
+
+    def pairwise_probability(self, first: int, second: int) -> float:
+        """``Pr(C_i ∧ C_j)`` with memoization (Lemma 4.4 needs all pairs)."""
+        if first == second:
+            return self.events[first].probability
+        key = (first, second) if first < second else (second, first)
+        cached = self._pairwise.get(key)
+        if cached is None:
+            cached = self.conjunction_probability([first, second])
+            self._pairwise[key] = cached
+        return cached
+
+    def pairwise_sum(self) -> float:
+        """``S2 = Σ_{i<j} Pr(C_i ∧ C_j)`` (input of Kwerel / Dawson–Sankoff)."""
+        total = 0.0
+        for first in range(len(self.events)):
+            for second in range(first + 1, len(self.events)):
+                total += self.pairwise_probability(first, second)
+        return total
+
+    # ------------------------------------------------------------------
+    # exact union probability (inclusion–exclusion)
+    # ------------------------------------------------------------------
+    def union_probability_exact(self) -> float:
+        """``Pr(C_1 ∨ ... ∨ C_m)`` by inclusion–exclusion.
+
+        Exponential in the number of events in the worst case, but the
+        recursion prunes any branch whose running tidset intersection drops
+        below ``min_sup`` (every further conjunction there is 0), which makes
+        it practical for the small event counts the miner feeds it.
+        """
+        total = 0.0
+        events = self.events
+
+        def recurse(start: int, tidset: Tidset, depth: int) -> None:
+            nonlocal total
+            for index in range(start, len(events)):
+                intersection = intersect_tidsets(tidset, events[index].tidset)
+                if len(intersection) < self.min_sup:
+                    continue
+                term = self._conjunction_from_tidset(intersection)
+                if term > 0.0:
+                    total += term if depth % 2 == 0 else -term
+                    recurse(index + 1, intersection, depth + 1)
+
+        recurse(0, self.base_tidset, 0)
+        return min(max(total, 0.0), 1.0)

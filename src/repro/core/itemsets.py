@@ -1,0 +1,88 @@
+"""Canonical itemset representation and ordering helpers.
+
+Throughout the library an *item* is any hashable, totally ordered value
+(strings and integers are the common cases) and an *itemset* is an immutable
+collection of distinct items.  The miners enumerate itemsets over a fixed
+total order of items (the paper uses "the alphabetic order"), so the central
+invariant maintained here is the canonical sorted tuple form produced by
+:func:`canonical`.
+
+The public mining APIs accept any iterable of items and return
+:class:`Itemset` values, which are plain sorted tuples.  Sorted tuples (rather
+than frozensets) are used in results because they render deterministically,
+sort naturally, and make prefix relationships explicit.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterable, Sequence, Tuple
+
+Item = Hashable
+Itemset = Tuple[Item, ...]
+
+
+def canonical(items: Iterable[Item]) -> Itemset:
+    """Return the canonical (sorted, duplicate-free) tuple form of ``items``.
+
+    >>> canonical("cab")
+    ('a', 'b', 'c')
+    >>> canonical([3, 1, 3])
+    (1, 3)
+    """
+    return tuple(sorted(set(items)))
+
+
+def is_sorted_itemset(items: Sequence[Item]) -> bool:
+    """Return True when ``items`` is strictly increasing (canonical form)."""
+    return all(a < b for a, b in zip(items, items[1:]))
+
+
+def is_subset(smaller: Iterable[Item], larger: Iterable[Item]) -> bool:
+    """Return True when every item of ``smaller`` appears in ``larger``."""
+    return set(smaller) <= set(larger)
+
+
+def is_proper_superset(candidate: Iterable[Item], base: Iterable[Item]) -> bool:
+    """Return True when ``candidate`` strictly contains ``base``."""
+    return set(candidate) > set(base)
+
+
+def extend(itemset: Itemset, item: Item) -> Itemset:
+    """Extend a canonical itemset with a strictly larger item.
+
+    The depth-first miner only ever grows an itemset with items greater than
+    its last item (prefix-based enumeration), so appending preserves canonical
+    form.  A :class:`ValueError` is raised if the invariant would break; this
+    guards the miner's enumeration logic.
+    """
+    if itemset and item <= itemset[-1]:
+        raise ValueError(
+            f"extension item {item!r} must be greater than the last item "
+            f"{itemset[-1]!r} of {itemset!r}"
+        )
+    return itemset + (item,)
+
+
+def union(a: Iterable[Item], b: Iterable[Item]) -> Itemset:
+    """Canonical union of two item collections."""
+    return canonical(set(a) | set(b))
+
+
+def has_prefix(itemset: Sequence[Item], prefix: Sequence[Item]) -> bool:
+    """Return True when the canonical ``itemset`` starts with ``prefix``.
+
+    Prefix here is positional with respect to the item order, matching the
+    paper's "supersets with X as prefix based on the alphabetic order".
+
+    >>> has_prefix(("a", "b", "c"), ("a", "b"))
+    True
+    >>> has_prefix(("a", "c"), ("b",))
+    False
+    """
+    return tuple(itemset[: len(prefix)]) == tuple(prefix)
+
+
+def format_itemset(itemset: Iterable[Item]) -> str:
+    """Human-readable ``{a, b, c}`` rendering used by the CLI and examples."""
+    inner = ", ".join(str(item) for item in sorted(set(itemset)))
+    return "{" + inner + "}"

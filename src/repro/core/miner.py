@@ -1,0 +1,372 @@
+"""MPFCI — the depth-first probabilistic frequent closed itemset miner.
+
+This is the paper's ProbFC algorithm (Fig. 3) inside the
+Bounding–Pruning–Checking framework (Fig. 1):
+
+1. **Candidate items** — items whose co-occurrence count reaches ``min_sup``
+   and that survive the Chernoff–Hoeffding filter (Lemma 4.1) and the exact
+   frequency check ``Pr_F > pfct`` (both sound because
+   ``Pr_FC ≤ Pr_F`` and ``Pr_F`` is anti-monotone under extension).
+2. **Depth-first enumeration** over the prefix tree in item order, with
+
+   * *superset pruning* (Lemma 4.2): if some item ``e`` outside ``X`` and
+     smaller than ``X``'s last item satisfies ``count(X+e) = count(X)``,
+     then ``X`` and every prefix-extension of ``X`` are non-closed in all
+     worlds — the subtree is abandoned;
+   * *count and frequency pruning* on each extension;
+   * *subset pruning* (Lemma 4.3): if ``count(X+e_j) = count(X)``, ``X`` is
+     non-closed everywhere; the miner recurses into ``X+e_j`` and skips the
+     remaining same-level extensions (their closures all contain ``e_j``).
+
+3. **Checking** each surviving node, children first: the Lemma 4.4 interval
+   rejects (upper ≤ pfct) or accepts (lower > pfct) without computing
+   ``Pr_FC``; otherwise ``Pr_FC`` is computed exactly (inclusion–exclusion)
+   when few events remain, or estimated by ApproxFCP.
+
+Every pruning rule is toggleable through :class:`~repro.core.config.MinerConfig`,
+which is how the Table VII variants (MPFCI-NoCH/NoSuper/NoSub/NoBound) are
+expressed.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from .approx import approx_union_probability
+from .bounds import (
+    chernoff_hoeffding_frequency_bound,
+    frequent_closed_probability_bounds,
+)
+from .config import MinerConfig
+from .database import Tidset, UncertainDatabase, intersect_tidsets
+from .events import ExtensionEventSystem
+from .itemsets import Item, Itemset
+from .stats import MinerStatistics
+from .support import SupportDistributionCache
+
+__all__ = ["ProbabilisticFrequentClosedItemset", "MPFCIMiner", "mine_pfci"]
+
+
+@dataclass(frozen=True)
+class ProbabilisticFrequentClosedItemset:
+    """One mining result.
+
+    Attributes:
+        itemset: the canonical itemset.
+        probability: point value (or estimate) of ``Pr_FC``.
+        lower / upper: certified interval when the bound pruning decided the
+            itemset (equal to ``probability`` when computed exactly).
+        method: how the probability was obtained — ``"exact"``
+            (inclusion–exclusion), ``"sampled"`` (ApproxFCP), ``"bound"``
+            (accepted by Lemma 4.4's lower bound alone) or ``"trivial"``
+            (no extension events, so ``Pr_FC = Pr_F``).
+        frequent_probability: ``Pr_F`` of the itemset (always exact).
+    """
+
+    itemset: Itemset
+    probability: float
+    lower: float
+    upper: float
+    method: str
+    frequent_probability: float
+
+    def __str__(self) -> str:
+        return f"{{{', '.join(map(str, self.itemset))}}}: {self.probability:.4f}"
+
+    def to_dict(self) -> dict:
+        """JSON-friendly form (items stringified), used by the CLI and harness."""
+        return {
+            "itemset": [str(item) for item in self.itemset],
+            "probability": self.probability,
+            "lower": self.lower,
+            "upper": self.upper,
+            "method": self.method,
+            "frequent_probability": self.frequent_probability,
+        }
+
+
+class MPFCIMiner:
+    """Depth-first MPFCI miner over an uncertain database.
+
+    Typical use::
+
+        miner = MPFCIMiner(database, MinerConfig(min_sup=2, pfct=0.8))
+        results = miner.mine()
+
+    The miner is single-use per call but stateless between calls: ``mine()``
+    may be invoked repeatedly and resets its statistics each time.
+    """
+
+    def __init__(self, database: UncertainDatabase, config: MinerConfig):
+        self.database = database
+        self.config = config
+        self.stats = MinerStatistics()
+        self._rng = random.Random(config.seed)
+        self._cache: SupportDistributionCache = SupportDistributionCache(
+            database, config.min_sup
+        )
+        self._item_tidsets: Dict[Item, Tidset] = {
+            item: database.tidset_of_item(item) for item in database.items
+        }
+
+    # ------------------------------------------------------------------
+    # public API
+    # ------------------------------------------------------------------
+    def mine(self) -> List[ProbabilisticFrequentClosedItemset]:
+        """Run the full algorithm and return results sorted by itemset."""
+        started = time.perf_counter()
+        self.stats = MinerStatistics()
+        self._rng = random.Random(self.config.seed)
+        self._cache = SupportDistributionCache(self.database, self.config.min_sup)
+        results: List[ProbabilisticFrequentClosedItemset] = []
+
+        candidates = self._candidate_items()
+        for position, item in enumerate(candidates):
+            self._dfs(
+                itemset=(item,),
+                tidset=self._item_tidsets[item],
+                extensions=candidates[position + 1 :],
+                results=results,
+            )
+
+        results.sort(key=lambda result: (len(result.itemset), result.itemset))
+        self.stats.results_emitted = len(results)
+        self.stats.elapsed_seconds = time.perf_counter() - started
+        return results
+
+    # ------------------------------------------------------------------
+    # phase 1: single-item candidates
+    # ------------------------------------------------------------------
+    def _candidate_items(self) -> List[Item]:
+        candidates: List[Item] = []
+        for item in self.database.items:
+            tidset = self._item_tidsets[item]
+            if not self._passes_frequency_pruning(tidset):
+                continue
+            candidates.append(item)
+        return candidates
+
+    def _passes_frequency_pruning(self, tidset: Tidset) -> bool:
+        """Count, Chernoff–Hoeffding, and exact ``Pr_F`` filters, in cost order.
+
+        Sound for subtree pruning because each filter upper-bounds ``Pr_F``
+        and ``Pr_F`` only decreases for supersets.
+        """
+        config = self.config
+        if len(tidset) < config.min_sup:
+            self.stats.pruned_by_count += 1
+            return False
+        if config.use_chernoff_pruning:
+            expected = sum(self.database.tidset_probabilities(tidset))
+            bound = chernoff_hoeffding_frequency_bound(
+                expected, len(self.database), config.min_sup
+            )
+            if bound <= config.pfct:
+                self.stats.pruned_by_chernoff += 1
+                return False
+        self.stats.frequent_probability_evaluations += 1
+        if self._cache.frequent_probability_of_tidset(tidset) <= config.pfct:
+            self.stats.pruned_by_frequency += 1
+            return False
+        return True
+
+    # ------------------------------------------------------------------
+    # phase 2: depth-first enumeration
+    # ------------------------------------------------------------------
+    def _dfs(
+        self,
+        itemset: Itemset,
+        tidset: Tidset,
+        extensions: Sequence[Item],
+        results: List[ProbabilisticFrequentClosedItemset],
+    ) -> None:
+        self.stats.nodes_visited += 1
+
+        if self.config.use_superset_pruning and self._superset_pruned(itemset, tidset):
+            self.stats.pruned_by_superset += 1
+            return
+
+        itemset_marked_non_closed = False
+        max_size = self.config.max_itemset_size
+        remaining = (
+            [] if max_size is not None and len(itemset) >= max_size
+            else list(extensions)
+        )
+        position = 0
+        while position < len(remaining):
+            item = remaining[position]
+            position += 1
+            self.stats.candidates_generated += 1
+            extended_tidset = intersect_tidsets(tidset, self._item_tidsets[item])
+            if not self._passes_frequency_pruning(extended_tidset):
+                continue
+            subset_prune_fires = (
+                self.config.use_subset_pruning
+                and len(extended_tidset) == len(tidset)
+            )
+            self._dfs(
+                itemset=itemset + (item,),
+                tidset=extended_tidset,
+                extensions=remaining[position:],
+                results=results,
+            )
+            if subset_prune_fires:
+                # Lemma 4.3: X is non-closed in every world, and every
+                # remaining same-level extension's closure contains `item`,
+                # so those branches are redundant.
+                itemset_marked_non_closed = True
+                self.stats.pruned_by_subset += len(remaining) - position
+                break
+
+        if not itemset_marked_non_closed:
+            self._check(itemset, tidset, results)
+
+    def _superset_pruned(self, itemset: Itemset, tidset: Tidset) -> bool:
+        """Lemma 4.2: an item before the branch item co-occurs in every world."""
+        last_item = itemset[-1]
+        item_set = set(itemset)
+        tid_count = len(tidset)
+        tid_set = set(tidset)
+        for item in self.database.items:
+            if item >= last_item:
+                break
+            if item in item_set:
+                continue
+            other = self._item_tidsets[item]
+            if len(other) >= tid_count and tid_set.issubset(other):
+                return True
+        return False
+
+    # ------------------------------------------------------------------
+    # phase 3: checking (bounds, exact inclusion–exclusion, ApproxFCP)
+    # ------------------------------------------------------------------
+    def _check(
+        self,
+        itemset: Itemset,
+        tidset: Tidset,
+        results: List[ProbabilisticFrequentClosedItemset],
+    ) -> None:
+        config = self.config
+        frequent = self._cache.frequent_probability_of_tidset(tidset)
+        if frequent <= config.pfct:
+            return
+
+        events = ExtensionEventSystem(
+            self.database,
+            itemset,
+            config.min_sup,
+            base_tidset=tidset,
+            support_cache=self._cache,
+        )
+        if events.has_certain_cooccurrence():
+            # Some superset co-occurs in every world: Pr_FC(X) = 0.
+            return
+        if not events.events:
+            # No superset can ever tie the support: Pr_FC(X) = Pr_F(X).
+            self._emit(
+                results, itemset, frequent, frequent, frequent, "trivial", frequent
+            )
+            return
+
+        if config.use_probability_bounds:
+            self.stats.bound_evaluations += 1
+            bounds = frequent_closed_probability_bounds(
+                frequent,
+                events,
+                lower_method=config.lower_bound,
+                upper_method=config.upper_bound,
+            )
+            if bounds.upper <= config.pfct:
+                self.stats.rejected_by_upper_bound += 1
+                return
+            if bounds.is_tight:
+                method = "exact" if bounds.upper == bounds.lower else "bound"
+                self.stats.fcp_exact_evaluations += 1
+                self._emit(
+                    results,
+                    itemset,
+                    bounds.midpoint,
+                    bounds.lower,
+                    bounds.upper,
+                    method,
+                    frequent,
+                )
+                return
+            if bounds.lower > config.pfct:
+                self.stats.accepted_by_lower_bound += 1
+                self._emit(
+                    results,
+                    itemset,
+                    bounds.midpoint,
+                    bounds.lower,
+                    bounds.upper,
+                    "bound",
+                    frequent,
+                )
+                return
+
+        if len(events.events) <= config.exact_event_limit:
+            self.stats.fcp_exact_evaluations += 1
+            probability = min(
+                max(frequent - events.union_probability_exact(), 0.0), frequent
+            )
+            if probability > config.pfct:
+                self._emit(
+                    results, itemset, probability, probability, probability,
+                    "exact", frequent,
+                )
+            return
+
+        union_estimate, samples = approx_union_probability(
+            events, config.epsilon, config.delta, self._rng
+        )
+        self.stats.fcp_sampled_evaluations += 1
+        self.stats.monte_carlo_samples += samples
+        probability = min(max(frequent - union_estimate, 0.0), frequent)
+        if probability > config.pfct:
+            self._emit(
+                results, itemset, probability,
+                max(probability - config.epsilon, 0.0),
+                min(probability + config.epsilon, 1.0),
+                "sampled", frequent,
+            )
+
+    def _emit(
+        self,
+        results: List[ProbabilisticFrequentClosedItemset],
+        itemset: Itemset,
+        probability: float,
+        lower: float,
+        upper: float,
+        method: str,
+        frequent: float,
+    ) -> None:
+        results.append(
+            ProbabilisticFrequentClosedItemset(
+                itemset=itemset,
+                probability=probability,
+                lower=lower,
+                upper=upper,
+                method=method,
+                frequent_probability=frequent,
+            )
+        )
+
+
+def mine_pfci(
+    database: UncertainDatabase,
+    min_sup: int,
+    pfct: float = 0.8,
+    **config_kwargs,
+) -> List[ProbabilisticFrequentClosedItemset]:
+    """Convenience wrapper: mine with a freshly built configuration.
+
+    >>> from repro.core import paper_table2_database, mine_pfci
+    >>> [str(result) for result in mine_pfci(paper_table2_database(), min_sup=2)]
+    ['{a, b, c}: 0.8754', '{a, b, c, d}: 0.8100']
+    """
+    miner = MPFCIMiner(database, MinerConfig(min_sup=min_sup, pfct=pfct, **config_kwargs))
+    return miner.mine()

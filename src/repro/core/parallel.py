@@ -1,0 +1,89 @@
+"""Parallel MPFCI mining across prefix-tree branches.
+
+The depth-first enumeration partitions cleanly at the root: candidate item
+``i``'s subtree (prefix ``(i,)`` with extension items ``> i``) is mined
+independently of every other branch — all pruning rules (Lemmas 4.1–4.4)
+only read the branch's own itemsets plus global tidsets.  This module
+ships each root branch to a worker process and merges the results.
+
+Determinism note: each branch gets the derived seed ``config.seed + rank``
+so parallel runs are reproducible, but the Monte-Carlo draws differ from a
+serial run's single shared stream — results can differ on itemsets whose
+``Pr_FC`` lies within sampling noise of ``pfct``.  With the exact checking
+path (large ``exact_event_limit``) or when bounds decide everything, the
+output is identical to the serial miner's (the tests assert it).
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor
+from typing import List, Optional, Sequence, Tuple
+
+from .config import MinerConfig
+from .database import UncertainDatabase
+from .itemsets import Item
+from .miner import MPFCIMiner, ProbabilisticFrequentClosedItemset
+
+__all__ = ["mine_pfci_parallel"]
+
+
+def _mine_branch(
+    database: UncertainDatabase,
+    config: MinerConfig,
+    item: Item,
+    extensions: Tuple[Item, ...],
+    rank: int,
+) -> List[ProbabilisticFrequentClosedItemset]:
+    """Worker entry point: mine one root branch (module-level for pickling)."""
+    branch_config = config.variant(
+        seed=None if config.seed is None else config.seed + rank
+    )
+    miner = MPFCIMiner(database, branch_config)
+    results: List[ProbabilisticFrequentClosedItemset] = []
+    miner._dfs(
+        itemset=(item,),
+        tidset=database.tidset_of_item(item),
+        extensions=list(extensions),
+        results=results,
+    )
+    return results
+
+
+def mine_pfci_parallel(
+    database: UncertainDatabase,
+    config: MinerConfig,
+    processes: Optional[int] = None,
+) -> List[ProbabilisticFrequentClosedItemset]:
+    """Mine probabilistic frequent closed itemsets using worker processes.
+
+    Args:
+        database: the uncertain transaction database.
+        config: miner configuration (same object the serial miner takes).
+        processes: worker count (``None`` = ``os.cpu_count()``).
+
+    Returns:
+        The same result list as :meth:`MPFCIMiner.mine` (sorted by length,
+        then itemset); see the module docstring for the sampling-seed
+        caveat.
+    """
+    # The candidate filter is cheap and must run once, up front, exactly as
+    # the serial miner does (phase 1 of the framework).
+    planner = MPFCIMiner(database, config)
+    candidates = planner._candidate_items()
+    if not candidates:
+        return []
+
+    tasks = [
+        (item, tuple(candidates[position + 1 :]), position)
+        for position, item in enumerate(candidates)
+    ]
+    results: List[ProbabilisticFrequentClosedItemset] = []
+    with ProcessPoolExecutor(max_workers=processes) as executor:
+        futures = [
+            executor.submit(_mine_branch, database, config, item, extensions, rank)
+            for item, extensions, rank in tasks
+        ]
+        for future in futures:
+            results.extend(future.result())
+    results.sort(key=lambda result: (len(result.itemset), result.itemset))
+    return results

@@ -1,0 +1,158 @@
+"""Possible-world semantics: exact enumeration and sampling.
+
+An uncertain database over ``n`` transactions induces ``2^n`` possible
+worlds; the probability of a world is the product of the kept rows'
+probabilities and the dropped rows' complements (Table III of the paper).
+Enumeration is exponential and exists purely as the *ground-truth oracle*
+for tests, the tiny running examples, and the Naive-vs-MPFCI sanity checks;
+the mining algorithms never touch it.
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+from typing import Dict, Iterator, List, Sequence, Tuple
+
+from .database import UncertainDatabase
+from .itemsets import Item, Itemset, canonical
+
+World = Tuple[int, ...]
+
+# Guard: 2^20 worlds is ~1M iterations with per-world mining on top; anything
+# beyond that is a programming error, not a use case.
+MAX_ENUMERABLE_TRANSACTIONS = 20
+
+
+def enumerate_worlds(
+    database: UncertainDatabase,
+) -> Iterator[Tuple[World, float]]:
+    """Yield every possible world as ``(present positions, probability)``.
+
+    Worlds with zero probability (a row with probability 1.0 dropped) are
+    skipped, matching the convention that such worlds do not exist.
+    """
+    n = len(database)
+    if n > MAX_ENUMERABLE_TRANSACTIONS:
+        raise ValueError(
+            f"refusing to enumerate 2^{n} possible worlds; "
+            f"limit is 2^{MAX_ENUMERABLE_TRANSACTIONS}"
+        )
+    probabilities = database.probabilities
+    for mask in range(1 << n):
+        probability = 1.0
+        present: List[int] = []
+        for position in range(n):
+            if mask >> position & 1:
+                probability *= probabilities[position]
+                present.append(position)
+            else:
+                probability *= 1.0 - probabilities[position]
+            if probability == 0.0:
+                break
+        if probability > 0.0:
+            yield tuple(present), probability
+
+
+def sample_world(database: UncertainDatabase, rng: random.Random) -> World:
+    """Sample one possible world from the product distribution."""
+    return tuple(
+        position
+        for position, probability in enumerate(database.probabilities)
+        if rng.random() < probability
+    )
+
+
+def world_support(
+    database: UncertainDatabase, world: World, itemset: Sequence[Item]
+) -> int:
+    """Support of ``itemset`` inside one world."""
+    target = set(itemset)
+    return sum(
+        1
+        for position in world
+        if target <= set(database[position].items)
+    )
+
+
+def world_is_frequent(
+    database: UncertainDatabase, world: World, itemset: Sequence[Item], min_sup: int
+) -> bool:
+    return world_support(database, world, itemset) >= min_sup
+
+
+def world_is_closed(
+    database: UncertainDatabase, world: World, itemset: Sequence[Item]
+) -> bool:
+    """Is ``itemset`` closed in the world?
+
+    Follows the paper's convention from the #P-hardness proof: an itemset
+    with support 0 in the world ("does not appear in the instance") is *not*
+    closed.  Otherwise it is closed iff no proper superset has the same
+    support, which holds iff some present transaction contains the itemset
+    exactly at its closure — equivalently, the intersection of the present
+    transactions containing the itemset equals the itemset's closure; the
+    itemset is closed iff that intersection equals the itemset itself.
+    """
+    target = set(itemset)
+    closure: set | None = None
+    for position in world:
+        transaction_items = set(database[position].items)
+        if target <= transaction_items:
+            if closure is None:
+                closure = set(transaction_items)
+            else:
+                closure &= transaction_items
+    if closure is None:
+        return False
+    return closure == target
+
+
+def exact_probabilities(
+    database: UncertainDatabase, itemset: Sequence[Item], min_sup: int
+) -> Dict[str, float]:
+    """Ground-truth ``Pr_F``, ``Pr_C`` and ``Pr_FC`` by full enumeration.
+
+    Returns a dict with keys ``frequent``, ``closed`` and ``frequent_closed``.
+    Exponential — oracle use only.
+    """
+    itemset = canonical(itemset)
+    frequent = closed = frequent_closed = 0.0
+    for world, probability in enumerate_worlds(database):
+        is_frequent = world_is_frequent(database, world, itemset, min_sup)
+        is_closed = world_is_closed(database, world, itemset)
+        if is_frequent:
+            frequent += probability
+        if is_closed:
+            closed += probability
+        if is_frequent and is_closed:
+            frequent_closed += probability
+    return {
+        "frequent": frequent,
+        "closed": closed,
+        "frequent_closed": frequent_closed,
+    }
+
+
+def exact_frequent_closed_itemsets(
+    database: UncertainDatabase, min_sup: int, pfct: float
+) -> Dict[Itemset, float]:
+    """All probabilistic frequent closed itemsets by full enumeration.
+
+    Mines the frequent closed itemsets of every world with the exact-data
+    substrate (:mod:`repro.exact.charm`) and accumulates world probabilities,
+    exactly as the naive method of Section I describes.  Returns
+    ``{itemset: Pr_FC}`` filtered by ``Pr_FC > pfct``.
+    """
+    from ..exact.charm import mine_closed_itemsets
+
+    accumulated: Dict[Itemset, float] = {}
+    for world, probability in enumerate_worlds(database):
+        transactions = [database[position].items for position in world]
+        for itemset, _support in mine_closed_itemsets(transactions, min_sup):
+            accumulated[itemset] = accumulated.get(itemset, 0.0) + probability
+    return {
+        itemset: probability
+        for itemset, probability in accumulated.items()
+        if probability > pfct
+    }

@@ -1,0 +1,216 @@
+"""Probabilistic association rules — the downstream consumer of PFCIs.
+
+Closed itemsets exist to power association-rule generation without
+redundancy; this module closes that loop for probabilistic data.  For a
+rule ``X -> Y`` (``X``, ``Y`` disjoint, both non-empty), its confidence in
+a possible world ``w`` is ``sup_w(X∪Y) / sup_w(X)``, and the natural
+probabilistic analogue of "confidence ≥ c" is
+
+    Pr[ sup(X∪Y) >= min_sup  and  sup(X∪Y) >= c · sup(X) ].
+
+This probability is computable *exactly* in polynomial time, despite the
+ratio of dependent counts: split the transactions containing ``X`` into
+
+* ``A`` — those also containing ``Y`` (so ``sup(X∪Y) = |present ∩ A|``), and
+* ``B`` — those missing some item of ``Y``;
+
+``A`` and ``B`` are disjoint, hence their present-counts ``a`` and ``b``
+are independent Poisson-binomial variables, ``sup(X) = a + b``, and
+
+    Pr[rule holds] = Σ_{a >= min_sup} Pr_A(a) · Σ_b [ a >= c·(a+b) ] Pr_B(b)
+                   = Σ_{a >= min_sup} Pr_A(a) · CDF_B( floor(a(1-c)/c) ).
+
+Both PMFs come from :func:`repro.core.support.support_pmf`, giving an
+``O(|A|² + |B|²)`` exact computation per rule.
+
+Rule enumeration starts from the probabilistic frequent closed itemsets:
+every rule whose itemset ``X∪Y`` is *not* closed is confidence-equivalent
+(world by world) to a rule over its closure, so the closed sets are exactly
+the non-redundant rule sources — the same argument as in exact data [18].
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from itertools import combinations
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from .database import Tidset, UncertainDatabase, difference_tidsets
+from .itemsets import Item, Itemset, canonical
+from .support import support_pmf
+
+__all__ = [
+    "ProbabilisticAssociationRule",
+    "rule_confidence_probability",
+    "expected_confidence",
+    "generate_probabilistic_rules",
+]
+
+
+@dataclass(frozen=True)
+class ProbabilisticAssociationRule:
+    """One rule ``antecedent -> consequent`` with its probabilistic measures.
+
+    Attributes:
+        antecedent / consequent: disjoint, non-empty canonical itemsets.
+        confidence_probability: ``Pr[sup(X∪Y) >= min_sup and conf >= min_conf]``.
+        expected_confidence: ``E[sup(X∪Y)] / E[sup(X)]`` (the cheap point
+            summary the expected-support model would report).
+    """
+
+    antecedent: Itemset
+    consequent: Itemset
+    confidence_probability: float
+    expected_confidence: float
+
+    def __str__(self) -> str:
+        left = ", ".join(map(str, self.antecedent))
+        right = ", ".join(map(str, self.consequent))
+        return (
+            f"{{{left}}} -> {{{right}}}"
+            f"  Pr[conf] = {self.confidence_probability:.4f}"
+            f"  E[conf] = {self.expected_confidence:.4f}"
+        )
+
+
+def _split_tidsets(
+    database: UncertainDatabase, antecedent: Sequence[Item], consequent: Sequence[Item]
+) -> tuple[Tidset, Tidset]:
+    """Tidsets of A (contains X and Y) and B (contains X, misses Y)."""
+    both = database.tidset(canonical(tuple(antecedent) + tuple(consequent)))
+    antecedent_only = difference_tidsets(database.tidset(antecedent), both)
+    return both, antecedent_only
+
+
+def rule_confidence_probability(
+    database: UncertainDatabase,
+    antecedent: Sequence[Item],
+    consequent: Sequence[Item],
+    min_sup: int,
+    min_conf: float,
+) -> float:
+    """Exact ``Pr[sup(X∪Y) >= min_sup and sup(X∪Y) >= min_conf · sup(X)]``."""
+    if not antecedent or not consequent:
+        raise ValueError("antecedent and consequent must be non-empty")
+    if set(antecedent) & set(consequent):
+        raise ValueError("antecedent and consequent must be disjoint")
+    if min_sup < 1:
+        raise ValueError("min_sup must be at least 1")
+    if not 0.0 < min_conf <= 1.0:
+        raise ValueError("min_conf must be in (0, 1]")
+
+    both, antecedent_only = _split_tidsets(database, antecedent, consequent)
+    if len(both) < min_sup:
+        return 0.0
+    pmf_both = support_pmf(database.tidset_probabilities(both))
+    pmf_only = support_pmf(database.tidset_probabilities(antecedent_only))
+    cdf_only = np.cumsum(pmf_only)
+
+    total = 0.0
+    for count_both in range(min_sup, len(pmf_both)):
+        weight = pmf_both[count_both]
+        if weight == 0.0:
+            continue
+        # a >= c (a + b)  <=>  b <= a (1 - c) / c.
+        limit = math.floor(count_both * (1.0 - min_conf) / min_conf + 1e-12)
+        limit = min(limit, len(pmf_only) - 1)
+        if limit < 0:
+            continue
+        total += weight * cdf_only[limit]
+    return min(total, 1.0)
+
+
+def expected_confidence(
+    database: UncertainDatabase,
+    antecedent: Sequence[Item],
+    consequent: Sequence[Item],
+) -> float:
+    """``E[sup(X∪Y)] / E[sup(X)]`` — the expected-support point summary."""
+    both, antecedent_only = _split_tidsets(database, antecedent, consequent)
+    expected_both = sum(database.tidset_probabilities(both))
+    expected_only = sum(database.tidset_probabilities(antecedent_only))
+    denominator = expected_both + expected_only
+    return expected_both / denominator if denominator else 0.0
+
+
+def generate_probabilistic_rules(
+    database: UncertainDatabase,
+    min_sup: int,
+    min_conf: float,
+    rule_threshold: float,
+    pfct: Optional[float] = None,
+    max_itemset_size: Optional[int] = None,
+) -> List[ProbabilisticAssociationRule]:
+    """Mine rules whose confidence probability exceeds ``rule_threshold``.
+
+    Pipeline: mine the probabilistic frequent closed itemsets (sources of
+    non-redundant rules), then for every closed itemset ``Z`` and every
+    non-trivial bipartition ``X -> Z \\ X`` compute the exact confidence
+    probability and keep the qualifying rules.
+
+    Args:
+        database: the uncertain transaction database.
+        min_sup: absolute support threshold for the rule itemset.
+        min_conf: required world-level confidence in (0, 1].
+        rule_threshold: keep rules with confidence probability strictly
+            above this.
+        pfct: threshold for the underlying PFCI mining (defaults to
+            ``rule_threshold``; rules cannot beat their itemset's
+            frequentness, so this is the natural source filter).
+        max_itemset_size: optional cap forwarded to the miner.
+
+    Returns:
+        Rules sorted by descending confidence probability, then rule text.
+    """
+    from .config import MinerConfig
+    from .miner import MPFCIMiner
+
+    if not 0.0 <= rule_threshold < 1.0:
+        raise ValueError("rule_threshold must be in [0, 1)")
+    config = MinerConfig(
+        min_sup=min_sup,
+        pfct=rule_threshold if pfct is None else pfct,
+        max_itemset_size=max_itemset_size,
+    )
+    closed = MPFCIMiner(database, config).mine()
+
+    rules: List[ProbabilisticAssociationRule] = []
+    seen = set()
+    for result in closed:
+        itemset = result.itemset
+        if len(itemset) < 2:
+            continue
+        for size in range(1, len(itemset)):
+            for antecedent in combinations(itemset, size):
+                consequent = tuple(
+                    item for item in itemset if item not in antecedent
+                )
+                key = (antecedent, consequent)
+                if key in seen:
+                    continue
+                seen.add(key)
+                probability = rule_confidence_probability(
+                    database, antecedent, consequent, min_sup, min_conf
+                )
+                if probability > rule_threshold:
+                    rules.append(
+                        ProbabilisticAssociationRule(
+                            antecedent=antecedent,
+                            consequent=consequent,
+                            confidence_probability=probability,
+                            expected_confidence=expected_confidence(
+                                database, antecedent, consequent
+                            ),
+                        )
+                    )
+    rules.sort(
+        key=lambda rule: (
+            -rule.confidence_probability,
+            rule.antecedent,
+            rule.consequent,
+        )
+    )
+    return rules

@@ -1,0 +1,225 @@
+"""Support distributions over possible worlds (Poisson binomial machinery).
+
+Under tuple uncertainty, ``support(X)`` is the number of *present*
+transactions among those that contain ``X``.  With independent existence
+probabilities ``p_1 .. p_k`` this is a Poisson-binomial random variable, and
+everything the paper computes in polynomial time reduces to its tail:
+
+* the **frequent probability** ``Pr_F(X) = Pr[support(X) >= min_sup]``
+  (Definition 3.4), computed by the dynamic programming of [4]/[22];
+* the per-event factors ``Pr(C_i)`` of Section IV.B;
+* conditional world sampling for the ApproxFCP estimator, which must draw the
+  presence pattern of the transactions containing ``X + e_i`` *conditioned on*
+  at least ``min_sup`` of them being present.
+
+Two DP implementations are provided: a NumPy-vectorized one (default) and a
+pure-Python one (used as a cross-check and for the ablation benchmark).  Both
+cap the count dimension at ``min_sup``; states at the cap absorb, so the
+table stays ``O(k * min_sup)``.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+__all__ = [
+    "frequent_probability",
+    "frequent_probability_python",
+    "support_pmf",
+    "expected_support",
+    "support_variance",
+    "tail_probability_table",
+    "sample_conditional_presence",
+    "SupportDistributionCache",
+]
+
+
+def _validate_probabilities(probabilities: Sequence[float]) -> None:
+    for probability in probabilities:
+        if not 0.0 <= probability <= 1.0:
+            raise ValueError(f"probability out of range [0, 1]: {probability}")
+
+
+def expected_support(probabilities: Sequence[float]) -> float:
+    """Expected support: the sum of the containing transactions' probabilities."""
+    return float(sum(probabilities))
+
+
+def support_variance(probabilities: Sequence[float]) -> float:
+    """Variance of the support (sum of independent Bernoulli variances)."""
+    return float(sum(p * (1.0 - p) for p in probabilities))
+
+
+def support_pmf(probabilities: Sequence[float]) -> np.ndarray:
+    """Full probability mass function of the support.
+
+    Returns an array ``pmf`` of length ``k + 1`` where ``pmf[s]`` is
+    ``Pr[support = s]``.  Quadratic in ``k``; used by oracles, the TODIS
+    substrate, and tests rather than the hot mining path.
+    """
+    _validate_probabilities(probabilities)
+    pmf = np.zeros(len(probabilities) + 1)
+    pmf[0] = 1.0
+    for count, probability in enumerate(probabilities, start=1):
+        # New mass at s comes from "was s and absent" or "was s-1 and present".
+        pmf[1 : count + 1] = (
+            pmf[1 : count + 1] * (1.0 - probability) + pmf[:count] * probability
+        )
+        pmf[0] *= 1.0 - probability
+    return pmf
+
+
+def frequent_probability(probabilities: Sequence[float], min_sup: int) -> float:
+    """``Pr[support >= min_sup]`` by the capped DP (NumPy path).
+
+    The state vector ``state[s]`` holds ``Pr[min(support so far, min_sup) = s]``;
+    the last cell absorbs, so after processing all transactions it equals the
+    tail probability directly.  Complexity ``O(k * min_sup)``.
+    """
+    if min_sup <= 0:
+        return 1.0
+    if min_sup > len(probabilities):
+        return 0.0
+    _validate_probabilities(probabilities)
+    state = np.zeros(min_sup + 1)
+    state[0] = 1.0
+    for probability in probabilities:
+        shifted = np.empty_like(state)
+        shifted[0] = 0.0
+        shifted[1:] = state[:-1]
+        next_state = state * (1.0 - probability) + shifted * probability
+        # Absorbing cap: mass at min_sup stays there even when a transaction
+        # is present, so add back the part the generic transition dropped.
+        next_state[min_sup] += state[min_sup] * probability
+        state = next_state
+    return float(state[min_sup])
+
+
+def frequent_probability_python(probabilities: Sequence[float], min_sup: int) -> float:
+    """Pure-Python reference implementation of :func:`frequent_probability`."""
+    if min_sup <= 0:
+        return 1.0
+    if min_sup > len(probabilities):
+        return 0.0
+    _validate_probabilities(probabilities)
+    state = [0.0] * (min_sup + 1)
+    state[0] = 1.0
+    for probability in probabilities:
+        absent = 1.0 - probability
+        next_state = [0.0] * (min_sup + 1)
+        for count, mass in enumerate(state):
+            if not mass:
+                continue
+            if count == min_sup:
+                next_state[min_sup] += mass
+            else:
+                next_state[count] += mass * absent
+                next_state[count + 1] += mass * probability
+        state = next_state
+    return state[min_sup]
+
+
+def tail_probability_table(probabilities: Sequence[float], min_sup: int) -> np.ndarray:
+    """Suffix tail table for conditional sampling.
+
+    Returns ``table`` of shape ``(k + 1, min_sup + 1)`` where ``table[j][r]``
+    is the probability that at least ``r`` of the transactions ``j, j+1, ..,
+    k-1`` are present.  ``table[k][0] = 1`` and ``table[k][r > 0] = 0``.
+
+    This is the backward analogue of the frequent-probability DP; it lets
+    :func:`sample_conditional_presence` walk the transactions forward and draw
+    each presence bit from its exact conditional distribution.
+    """
+    if min_sup < 0:
+        raise ValueError("min_sup must be non-negative")
+    _validate_probabilities(probabilities)
+    k = len(probabilities)
+    table = np.zeros((k + 1, min_sup + 1))
+    table[k][0] = 1.0
+    for j in range(k - 1, -1, -1):
+        probability = probabilities[j]
+        table[j][0] = 1.0
+        for remaining in range(1, min_sup + 1):
+            table[j][remaining] = (
+                probability * table[j + 1][remaining - 1]
+                + (1.0 - probability) * table[j + 1][remaining]
+            )
+    return table
+
+
+def sample_conditional_presence(
+    probabilities: Sequence[float],
+    min_sup: int,
+    rng: random.Random,
+    tail_table: Optional[np.ndarray] = None,
+) -> List[bool]:
+    """Sample presence bits conditioned on ``sum(bits) >= min_sup``.
+
+    This is the exact conditional sampler used inside ApproxFCP: given the
+    probabilities of the transactions containing ``X + e_i``, draw one
+    possible world restricted to them, distributed as the unconditioned world
+    distribution *given* that the support reaches ``min_sup``.
+
+    Raises :class:`ValueError` when the conditioning event has zero
+    probability (fewer than ``min_sup`` transactions, or the tail is 0).
+    """
+    k = len(probabilities)
+    if min_sup > k:
+        raise ValueError("cannot condition on support >= min_sup with too few rows")
+    if tail_table is None:
+        tail_table = tail_probability_table(probabilities, min_sup)
+    if tail_table[0][min_sup] <= 0.0:
+        raise ValueError("conditioning event has zero probability")
+    bits: List[bool] = []
+    remaining = min_sup
+    for j, probability in enumerate(probabilities):
+        if remaining == 0:
+            # Condition already satisfied; the rest are plain Bernoulli draws.
+            bits.append(rng.random() < probability)
+            continue
+        joint_present = probability * tail_table[j + 1][remaining - 1]
+        conditional_present = joint_present / tail_table[j][remaining]
+        present = rng.random() < conditional_present
+        bits.append(present)
+        if present:
+            remaining -= 1
+    return bits
+
+
+class SupportDistributionCache:
+    """Memoizes ``Pr_F`` by tidset.
+
+    The miner repeatedly needs the frequent probability of itemsets that share
+    tidsets (e.g. ``Pr(C_i)`` factors reuse ``Pr_F(X + e_i)``), and the value
+    depends only on the tidset and ``min_sup``.  Keys are the sorted position
+    tuples produced by :meth:`repro.core.database.UncertainDatabase.tidset`.
+    """
+
+    def __init__(self, database, min_sup: int):
+        self._database = database
+        self._min_sup = min_sup
+        self._cache: dict = {}
+        self.hits = 0
+        self.misses = 0
+
+    @property
+    def min_sup(self) -> int:
+        return self._min_sup
+
+    def frequent_probability_of_tidset(self, tidset: Tuple[int, ...]) -> float:
+        cached = self._cache.get(tidset)
+        if cached is not None:
+            self.hits += 1
+            return cached
+        self.misses += 1
+        probabilities = self._database.tidset_probabilities(tidset)
+        value = frequent_probability(probabilities, self._min_sup)
+        self._cache[tidset] = value
+        return value
+
+    def frequent_probability_of_itemset(self, itemset) -> float:
+        return self.frequent_probability_of_tidset(self._database.tidset(itemset))

@@ -1,0 +1,115 @@
+"""Top-k probabilistic frequent closed itemset mining (library extension).
+
+The paper's problem statement takes a fixed threshold ``pfct``, but
+threshold-free "give me the k strongest patterns" queries are the common
+interactive use.  This module answers them with *progressive threshold
+relaxation*: mine at a high ``pfct`` first (where every pruning rule bites
+hardest), and lower the threshold geometrically until k results survive —
+each round is a complete, sound MPFCI run, so the final answer set is exact
+with respect to the last threshold.
+
+Because ``Pr_FC`` is not anti-monotone, a dedicated branch-and-bound with a
+rising threshold would have to re-derive all four pruning rules; the
+relaxation loop reuses them unchanged and in practice runs 1–3 rounds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from .config import MinerConfig
+from .database import UncertainDatabase
+from .miner import MPFCIMiner, ProbabilisticFrequentClosedItemset
+from .stats import MinerStatistics
+
+__all__ = ["TopKResult", "mine_top_k_pfci"]
+
+
+@dataclass(frozen=True)
+class TopKResult:
+    """Outcome of a top-k query.
+
+    Attributes:
+        results: at most ``k`` itemsets, strongest (highest ``Pr_FC``) first.
+        threshold: the final ``pfct`` the reported set is exact for.
+        rounds: how many MPFCI runs the relaxation loop needed.
+        exhausted: True when even the floor threshold yielded fewer than
+            ``k`` itemsets (the database simply has no more).
+        stats: merged work counters over all rounds.
+    """
+
+    results: List[ProbabilisticFrequentClosedItemset]
+    threshold: float
+    rounds: int
+    exhausted: bool
+    stats: MinerStatistics
+
+
+def mine_top_k_pfci(
+    database: UncertainDatabase,
+    min_sup: int,
+    k: int,
+    floor_pfct: float = 0.0,
+    start_pfct: float = 0.9,
+    relaxation: float = 0.5,
+    config: Optional[MinerConfig] = None,
+) -> TopKResult:
+    """The ``k`` itemsets with the highest frequent closed probability.
+
+    Args:
+        database: the uncertain transaction database.
+        min_sup: absolute minimum support (>= 1).
+        k: how many itemsets to return (>= 1).
+        floor_pfct: never relax the threshold below this (0 = keep going
+            until every positive-probability itemset is considered).
+        start_pfct: first-round threshold.
+        relaxation: multiplier applied to the threshold between rounds
+            (in (0, 1); smaller = fewer, coarser rounds).
+        config: optional template configuration; its ``pfct`` is overridden
+            per round, everything else (prunings, epsilon, delta, seed) is
+            preserved.
+
+    Returns:
+        A :class:`TopKResult`; ``results`` are sorted by descending
+        probability with ties broken by (length, itemset) for determinism.
+    """
+    if k < 1:
+        raise ValueError("k must be at least 1")
+    if not 0.0 <= floor_pfct < 1.0:
+        raise ValueError("floor_pfct must be in [0, 1)")
+    if not floor_pfct <= start_pfct < 1.0:
+        raise ValueError("need floor_pfct <= start_pfct < 1")
+    if not 0.0 < relaxation < 1.0:
+        raise ValueError("relaxation must be in (0, 1)")
+
+    template = config or MinerConfig(min_sup=min_sup, pfct=start_pfct)
+    if template.min_sup != min_sup:
+        template = template.variant(min_sup=min_sup)
+
+    merged_stats = MinerStatistics()
+    threshold = start_pfct
+    rounds = 0
+    results: List[ProbabilisticFrequentClosedItemset] = []
+    exhausted = False
+    while True:
+        rounds += 1
+        miner = MPFCIMiner(database, template.variant(pfct=threshold))
+        results = miner.mine()
+        merged_stats.merge(miner.stats)
+        if len(results) >= k:
+            break
+        if threshold <= floor_pfct:
+            exhausted = True
+            break
+        # Geometric relaxation, clamped to the floor on the last step.
+        threshold = max(floor_pfct, threshold * relaxation)
+
+    results.sort(key=lambda r: (-r.probability, len(r.itemset), r.itemset))
+    return TopKResult(
+        results=results[:k],
+        threshold=threshold,
+        rounds=rounds,
+        exhausted=exhausted,
+        stats=merged_stats,
+    )

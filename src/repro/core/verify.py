@@ -1,0 +1,120 @@
+"""Post-hoc verification of mining results.
+
+Because most production runs use the Monte-Carlo checking path, users need a
+way to *audit* a result set after the fact: recompute each reported
+itemset's frequent closed probability exactly (inclusion–exclusion) or by
+possible-world enumeration, and check the reported intervals.  This is the
+library-facing version of what the test-suite does against the oracle.
+
+Typical use::
+
+    results = MPFCIMiner(db, config).mine()
+    report = verify_results(db, results, config.min_sup, config.pfct)
+    assert report.all_sound, report.summary()
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+from .closedness import frequent_closed_probability_exact
+from .database import UncertainDatabase
+from .miner import ProbabilisticFrequentClosedItemset
+from .possible_worlds import MAX_ENUMERABLE_TRANSACTIONS, exact_probabilities
+from .support import SupportDistributionCache
+
+__all__ = ["VerifiedResult", "VerificationReport", "verify_results"]
+
+
+@dataclass(frozen=True)
+class VerifiedResult:
+    """One result re-checked against the exact probability."""
+
+    result: ProbabilisticFrequentClosedItemset
+    exact_probability: float
+    interval_sound: bool
+    qualifies: bool
+    point_error: float
+
+
+@dataclass
+class VerificationReport:
+    """Outcome of verifying a whole result set."""
+
+    entries: List[VerifiedResult] = field(default_factory=list)
+
+    @property
+    def all_sound(self) -> bool:
+        """Every certified interval contains the exact value AND every
+        reported itemset truly exceeds the threshold."""
+        return all(entry.interval_sound and entry.qualifies for entry in self.entries)
+
+    @property
+    def max_point_error(self) -> float:
+        return max((entry.point_error for entry in self.entries), default=0.0)
+
+    def summary(self) -> str:
+        bad = [
+            entry.result.itemset
+            for entry in self.entries
+            if not (entry.interval_sound and entry.qualifies)
+        ]
+        return (
+            f"{len(self.entries)} results verified, "
+            f"max |point - exact| = {self.max_point_error:.6f}, "
+            f"violations: {bad if bad else 'none'}"
+        )
+
+
+def verify_results(
+    database: UncertainDatabase,
+    results: Sequence[ProbabilisticFrequentClosedItemset],
+    min_sup: int,
+    pfct: Optional[float] = None,
+    method: str = "exact",
+) -> VerificationReport:
+    """Re-check every reported result against an exact computation.
+
+    Args:
+        database: the database the results were mined from.
+        results: the miner's output.
+        min_sup: the absolute support threshold used for mining.
+        pfct: when given, also check ``exact > pfct`` for every result.
+        method: ``"exact"`` (inclusion–exclusion; works at any database
+            size but is exponential in extension events) or ``"oracle"``
+            (possible-world enumeration; only for tiny databases).
+
+    Returns:
+        A :class:`VerificationReport`; ``report.all_sound`` is the verdict.
+    """
+    if method not in ("exact", "oracle"):
+        raise ValueError(f"method must be 'exact' or 'oracle', got {method!r}")
+    if method == "oracle" and len(database) > MAX_ENUMERABLE_TRANSACTIONS:
+        raise ValueError(
+            "oracle verification enumerates all possible worlds; database "
+            f"has {len(database)} > {MAX_ENUMERABLE_TRANSACTIONS} transactions"
+        )
+    cache = SupportDistributionCache(database, min_sup)
+    report = VerificationReport()
+    for result in results:
+        if method == "exact":
+            exact = frequent_closed_probability_exact(
+                database, result.itemset, min_sup, support_cache=cache
+            )
+        else:
+            exact = exact_probabilities(database, result.itemset, min_sup)[
+                "frequent_closed"
+            ]
+        interval_sound = result.lower - 1e-9 <= exact <= result.upper + 1e-9
+        qualifies = True if pfct is None else exact > pfct
+        report.entries.append(
+            VerifiedResult(
+                result=result,
+                exact_probability=exact,
+                interval_sound=interval_sound,
+                qualifies=qualifies,
+                point_error=abs(result.probability - exact),
+            )
+        )
+    return report

@@ -1,0 +1,27 @@
+"""Dataset substrate: the paper's two workloads plus uncertainty injection.
+
+* :mod:`repro.data.quest` — a re-implementation of the IBM Quest synthetic
+  transaction generator [25] (the paper's ``T20I10D30KP40``);
+* :mod:`repro.data.mushroom` — a synthesizer of Mushroom-like categorical
+  data (the real UCI file is unavailable offline; see DESIGN.md §2.3);
+* :mod:`repro.data.gaussian` — per-transaction existence probabilities drawn
+  from a clipped Gaussian, the uncertainty-injection procedure of [22] that
+  the experiments follow;
+* :mod:`repro.data.io` — plain-text reading/writing of uncertain databases.
+"""
+
+from .clickstream import generate_clickstream
+from .gaussian import attach_gaussian_probabilities
+from .mushroom import generate_mushroom_like
+from .quest import QuestParameters, generate_quest
+from .io import load_uncertain_database, save_uncertain_database
+
+__all__ = [
+    "QuestParameters",
+    "attach_gaussian_probabilities",
+    "generate_clickstream",
+    "generate_mushroom_like",
+    "generate_quest",
+    "load_uncertain_database",
+    "save_uncertain_database",
+]

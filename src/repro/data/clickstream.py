@@ -1,0 +1,99 @@
+"""Power-law clickstream-style workload (sparse complement to the defaults).
+
+Mushroom-like data is dense (fixed length, heavy correlation) and Quest is
+mid-density market-basket data; neither covers the *sparse, heavy-tailed*
+regime of web clickstreams (kosarak-style), where a handful of hub pages
+dominate and the item-popularity distribution follows a power law.  This
+generator fills that gap for examples and stress tests:
+
+* item popularity ~ Zipf(``zipf_exponent``) over ``num_items`` pages;
+* session length ~ geometric with mean ``avg_session_length``;
+* within a session, consecutive clicks are correlated: with probability
+  ``locality`` the next page is drawn from a small neighbourhood of the
+  previous one (modelling site structure), otherwise from the global Zipf.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List
+
+from ..core.itemsets import Itemset, canonical
+
+__all__ = ["generate_clickstream"]
+
+
+def _zipf_cumulative(num_items: int, exponent: float) -> List[float]:
+    weights = [1.0 / (rank + 1) ** exponent for rank in range(num_items)]
+    total = sum(weights)
+    cumulative: List[float] = []
+    running = 0.0
+    for weight in weights:
+        running += weight / total
+        cumulative.append(running)
+    return cumulative
+
+
+def generate_clickstream(
+    num_sessions: int = 1000,
+    num_items: int = 200,
+    avg_session_length: float = 8.0,
+    zipf_exponent: float = 1.2,
+    locality: float = 0.3,
+    neighbourhood: int = 5,
+    seed: int = 41,
+) -> List[Itemset]:
+    """Generate sparse power-law transaction data.
+
+    Args:
+        num_sessions: number of transactions (user sessions).
+        num_items: size of the page universe.
+        avg_session_length: mean clicks per session (geometric, >= 1).
+        zipf_exponent: popularity skew (> 0; larger = heavier head).
+        locality: probability that a click stays near the previous page.
+        neighbourhood: radius of the "nearby pages" window.
+        seed: RNG seed.
+
+    Returns:
+        A list of canonical itemsets (distinct pages per session).
+    """
+    if num_sessions < 0:
+        raise ValueError("num_sessions must be non-negative")
+    if num_items < 1:
+        raise ValueError("num_items must be positive")
+    if avg_session_length < 1.0:
+        raise ValueError("avg_session_length must be at least 1")
+    if not 0.0 <= locality <= 1.0:
+        raise ValueError("locality must be in [0, 1]")
+    if zipf_exponent <= 0.0:
+        raise ValueError("zipf_exponent must be positive")
+
+    rng = random.Random(seed)
+    cumulative = _zipf_cumulative(num_items, zipf_exponent)
+    stop_probability = 1.0 / avg_session_length
+
+    def draw_global() -> int:
+        target = rng.random()
+        low, high = 0, num_items - 1
+        while low < high:
+            middle = (low + high) // 2
+            if cumulative[middle] < target:
+                low = middle + 1
+            else:
+                high = middle
+        return low
+
+    sessions: List[Itemset] = []
+    for _ in range(num_sessions):
+        pages = set()
+        current = draw_global()
+        pages.add(current)
+        while rng.random() > stop_probability:
+            if rng.random() < locality:
+                offset = rng.randint(-neighbourhood, neighbourhood)
+                current = min(max(current + offset, 0), num_items - 1)
+            else:
+                current = draw_global()
+            pages.add(current)
+        sessions.append(canonical(f"p{page:04d}" for page in pages))
+    return sessions

@@ -1,0 +1,105 @@
+"""Plain-text serialization of uncertain transaction databases.
+
+Format (``.utd``): one transaction per line, ``#`` comments allowed::
+
+    # tid <TAB> probability <TAB> space-separated items
+    T1	0.9	a b c d
+    T2	0.6	a b c
+
+A loader for *certain* data (one space-separated transaction per line, the
+common FIMI format) is included so external exact datasets can be combined
+with :func:`repro.data.gaussian.attach_gaussian_probabilities`.
+"""
+
+from __future__ import annotations
+
+import gzip
+from pathlib import Path
+from typing import Iterable, List, Union
+
+from ..core.database import UncertainDatabase
+from ..core.itemsets import Itemset, canonical
+
+__all__ = [
+    "save_uncertain_database",
+    "load_uncertain_database",
+    "load_exact_transactions",
+    "save_exact_transactions",
+]
+
+PathLike = Union[str, Path]
+
+
+def _write_text(path: Path, content: str) -> None:
+    """Write text, gzip-compressed when the suffix is ``.gz``."""
+    if path.suffix == ".gz":
+        with gzip.open(path, "wt", encoding="utf-8") as handle:
+            handle.write(content)
+    else:
+        path.write_text(content, encoding="utf-8")
+
+
+def _read_text(path: Path) -> str:
+    """Read text, transparently decompressing ``.gz`` files."""
+    if path.suffix == ".gz":
+        with gzip.open(path, "rt", encoding="utf-8") as handle:
+            return handle.read()
+    return path.read_text(encoding="utf-8")
+
+
+def save_uncertain_database(database: UncertainDatabase, path: PathLike) -> None:
+    """Write ``database`` in the ``.utd`` text format (``.gz`` = compressed)."""
+    path = Path(path)
+    lines = ["# tid\tprobability\titems"]
+    for txn in database:
+        items = " ".join(str(item) for item in txn.items)
+        lines.append(f"{txn.tid}\t{txn.probability:.10g}\t{items}")
+    _write_text(path, "\n".join(lines) + "\n")
+
+
+def load_uncertain_database(path: PathLike) -> UncertainDatabase:
+    """Read a ``.utd`` file written by :func:`save_uncertain_database`."""
+    path = Path(path)
+    rows = []
+    for line_number, raw in enumerate(_read_text(path).splitlines(), 1):
+        line = raw.strip()
+        if not line or line.startswith("#"):
+            continue
+        parts = line.split("\t")
+        if len(parts) != 3:
+            raise ValueError(
+                f"{path}:{line_number}: expected 'tid<TAB>prob<TAB>items', got {raw!r}"
+            )
+        tid, probability_text, items_text = parts
+        try:
+            probability = float(probability_text)
+        except ValueError as error:
+            raise ValueError(
+                f"{path}:{line_number}: bad probability {probability_text!r}"
+            ) from error
+        items = items_text.split()
+        if not items:
+            raise ValueError(f"{path}:{line_number}: transaction has no items")
+        rows.append((tid, items, probability))
+    return UncertainDatabase.from_rows(rows)
+
+
+def save_exact_transactions(
+    transactions: Iterable[Iterable], path: PathLike
+) -> None:
+    """Write certain transactions, one space-separated line each (FIMI style)."""
+    path = Path(path)
+    lines = [" ".join(str(item) for item in canonical(txn)) for txn in transactions]
+    _write_text(path, "\n".join(lines) + "\n")
+
+
+def load_exact_transactions(path: PathLike) -> List[Itemset]:
+    """Read certain transactions in the FIMI one-line-per-transaction format."""
+    path = Path(path)
+    transactions: List[Itemset] = []
+    for raw in _read_text(path).splitlines():
+        line = raw.strip()
+        if not line or line.startswith("#"):
+            continue
+        transactions.append(canonical(line.split()))
+    return transactions

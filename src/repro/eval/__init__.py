@@ -1,0 +1,22 @@
+"""Experiment harness: regenerates every table and figure of Section V.
+
+* :mod:`repro.eval.metrics` — precision/recall and compression ratios;
+* :mod:`repro.eval.reporting` — plain-text table rendering;
+* :mod:`repro.eval.datasets` — the two experimental workloads (Mushroom-like
+  and Quest) at paper scale or CI scale;
+* :mod:`repro.eval.experiments` — one driver per table/figure, plus
+  ``python -m repro.eval.experiments`` to run the full suite.
+"""
+
+from .datasets import ExperimentScale, mushroom_database, quest_database
+from .metrics import compression_ratio, precision_recall
+from .reporting import format_table
+
+__all__ = [
+    "ExperimentScale",
+    "compression_ratio",
+    "format_table",
+    "mushroom_database",
+    "precision_recall",
+    "quest_database",
+]

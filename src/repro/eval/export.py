@@ -1,0 +1,79 @@
+"""Export experiment reports as CSV or JSON (for external plotting).
+
+The text tables of :mod:`repro.eval.experiments` are the human-readable
+deliverable; this module writes the same rows in machine-readable form so
+the figures can be re-plotted outside this repository::
+
+    from repro.eval.experiments import run_all
+    from repro.eval.export import export_reports
+
+    export_reports(run_all(scale), "results/", fmt="csv")
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+import re
+from pathlib import Path
+from typing import Iterable, List, Union
+
+from .experiments import ExperimentReport
+
+__all__ = ["report_to_dict", "export_reports", "slugify"]
+
+PathLike = Union[str, Path]
+
+
+def slugify(text: str) -> str:
+    """File-name-safe slug of an experiment id, e.g. ``fig-5-mushroom``."""
+    slug = re.sub(r"[^0-9a-zA-Z]+", "-", text.lower()).strip("-")
+    return slug or "report"
+
+
+def report_to_dict(report: ExperimentReport) -> dict:
+    """JSON-friendly form of one report."""
+    return {
+        "experiment_id": report.experiment_id,
+        "title": report.title,
+        "headers": list(report.headers),
+        "rows": [list(row) for row in report.rows],
+        "notes": list(report.notes),
+    }
+
+
+def export_reports(
+    reports: Iterable[ExperimentReport],
+    directory: PathLike,
+    fmt: str = "json",
+) -> List[Path]:
+    """Write one file per report into ``directory``; returns written paths.
+
+    Args:
+        reports: reports from ``run_all`` / ``iter_reports``.
+        directory: output directory (created if missing).
+        fmt: ``"json"`` (one object per file) or ``"csv"`` (header row +
+            data rows; title/notes as ``#`` comment lines).
+    """
+    if fmt not in ("json", "csv"):
+        raise ValueError(f"fmt must be 'json' or 'csv', got {fmt!r}")
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    written: List[Path] = []
+    for report in reports:
+        path = directory / f"{slugify(report.experiment_id)}.{fmt}"
+        if fmt == "json":
+            path.write_text(
+                json.dumps(report_to_dict(report), indent=2, default=str) + "\n",
+                encoding="utf-8",
+            )
+        else:
+            with path.open("w", encoding="utf-8", newline="") as handle:
+                handle.write(f"# {report.experiment_id}: {report.title}\n")
+                for note in report.notes:
+                    handle.write(f"# note: {note}\n")
+                writer = csv.writer(handle)
+                writer.writerow(report.headers)
+                writer.writerows(report.rows)
+        written.append(path)
+    return written

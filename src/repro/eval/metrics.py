@@ -1,0 +1,42 @@
+"""Result-quality metrics used by Figs. 10 and 11.
+
+* Fig. 11 measures the Monte-Carlo miner against a high-precision run with
+  ``precision = |FR ∩ TI| / |FR|`` and ``recall = |FR ∩ TI| / |TI|`` where
+  ``FR`` is the final result set and ``TI`` the (reference) true set.
+* Fig. 10 compares result-set sizes; the *compression ratio* is
+  ``#closed / #all`` (smaller is better compression).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Set, Tuple
+
+from ..core.itemsets import Itemset
+
+__all__ = ["precision_recall", "compression_ratio"]
+
+
+def precision_recall(
+    found: Iterable[Itemset], truth: Iterable[Itemset]
+) -> Tuple[float, float]:
+    """``(precision, recall)`` of ``found`` against ``truth``.
+
+    Degenerate cases follow the usual convention: an empty ``found`` has
+    precision 1.0 (nothing asserted, nothing wrong); an empty ``truth`` has
+    recall 1.0.
+    """
+    found_set: Set[Itemset] = set(found)
+    truth_set: Set[Itemset] = set(truth)
+    overlap = len(found_set & truth_set)
+    precision = overlap / len(found_set) if found_set else 1.0
+    recall = overlap / len(truth_set) if truth_set else 1.0
+    return precision, recall
+
+
+def compression_ratio(num_closed: int, num_all: int) -> float:
+    """``#closed / #all``; 1.0 when there is nothing to compress."""
+    if num_all < 0 or num_closed < 0:
+        raise ValueError("counts must be non-negative")
+    if num_closed > num_all:
+        raise ValueError("closed result set cannot exceed the full result set")
+    return num_closed / num_all if num_all else 1.0

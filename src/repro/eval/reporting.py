@@ -1,0 +1,55 @@
+"""Minimal plain-text table rendering for the experiment drivers.
+
+The harness prints the same rows/series the paper plots; this module keeps
+that output aligned and diff-friendly (fixed column widths, deterministic
+formatting of floats).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+__all__ = ["format_cell", "format_table"]
+
+
+def format_cell(value) -> str:
+    """Render one table cell: floats get 4 significant decimals."""
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        if value != value:  # NaN
+            return "-"
+        return f"{value:.4g}"
+    return str(value)
+
+
+def format_table(
+    headers: Sequence[str], rows: Iterable[Sequence], title: str | None = None
+) -> str:
+    """Fixed-width table with a header rule, e.g.::
+
+        min_sup  MPFCI  Naive
+        -------  -----  -----
+        0.2      1.23   45.6
+    """
+    text_rows: List[List[str]] = [[format_cell(cell) for cell in row] for row in rows]
+    widths = [len(header) for header in headers]
+    for row in text_rows:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells but table has {len(headers)} headers"
+            )
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+
+    def render_row(cells: Sequence[str]) -> str:
+        return "  ".join(cell.ljust(widths[index]) for index, cell in enumerate(cells)).rstrip()
+
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+        lines.append("=" * len(title))
+    lines.append(render_row(list(headers)))
+    lines.append(render_row(["-" * width for width in widths]))
+    lines.extend(render_row(row) for row in text_rows)
+    return "\n".join(lines)

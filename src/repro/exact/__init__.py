@@ -1,0 +1,36 @@
+"""Exact-data frequent pattern mining substrate.
+
+These are from-scratch implementations of the classical algorithms the paper
+builds on and compares against in the compression experiment (Fig. 10):
+
+* :mod:`repro.exact.apriori` — Agrawal & Srikant's level-wise algorithm [3];
+* :mod:`repro.exact.eclat` — Zaki's vertical tidset DFS [28];
+* :mod:`repro.exact.fpgrowth` — Han et al.'s FP-tree based miner [13];
+* :mod:`repro.exact.hmine` — Pei et al.'s H-mine [20] (the basis of UH-mine);
+* :mod:`repro.exact.maximal` — maximal frequent itemsets (TODIS seeding);
+* :mod:`repro.exact.charm` — closed frequent itemset mining in the spirit of
+  CHARM [29] / CLOSET+ [24], implemented with LCM-style prefix-preserving
+  closure extension (each closed set is produced exactly once, no duplicate
+  checks needed).
+
+All miners share one calling convention: ``(transactions, min_sup)`` where
+``transactions`` is a sequence of item collections and ``min_sup`` is an
+absolute support count; they return ``[(itemset, support), ...]`` with
+canonical itemsets.
+"""
+
+from .apriori import mine_frequent_itemsets_apriori
+from .eclat import mine_frequent_itemsets_eclat
+from .fpgrowth import mine_frequent_itemsets_fpgrowth
+from .charm import mine_closed_itemsets
+from .hmine import mine_frequent_itemsets_hmine
+from .maximal import mine_maximal_itemsets
+
+__all__ = [
+    "mine_frequent_itemsets_apriori",
+    "mine_frequent_itemsets_eclat",
+    "mine_frequent_itemsets_fpgrowth",
+    "mine_closed_itemsets",
+    "mine_frequent_itemsets_hmine",
+    "mine_maximal_itemsets",
+]

@@ -1,0 +1,60 @@
+"""Eclat frequent itemset mining over exact data (Zaki [28]).
+
+Depth-first search over the prefix tree using vertical tidsets: the support
+of ``P + {i}`` is the size of ``tidset(P) ∩ tidset(i)``, so no database
+re-scans are needed after the initial vertical transformation.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+from ..core.itemsets import Item, Itemset
+
+__all__ = ["mine_frequent_itemsets_eclat", "vertical_index"]
+
+
+def vertical_index(
+    transactions: Sequence[Iterable[Item]],
+) -> Dict[Item, frozenset]:
+    """Item -> frozenset of transaction positions containing it."""
+    index: Dict[Item, set] = {}
+    for position, transaction in enumerate(transactions):
+        for item in set(transaction):
+            index.setdefault(item, set()).add(position)
+    return {item: frozenset(positions) for item, positions in index.items()}
+
+
+def mine_frequent_itemsets_eclat(
+    transactions: Sequence[Iterable[Item]], min_sup: int
+) -> List[Tuple[Itemset, int]]:
+    """All frequent itemsets of the exact database with their supports.
+
+    Args:
+        transactions: the exact transaction database.
+        min_sup: absolute minimum support (>= 1).
+
+    Returns:
+        ``[(itemset, support), ...]`` sorted by (length, itemset).
+    """
+    if min_sup < 1:
+        raise ValueError("min_sup must be at least 1")
+    index = vertical_index(transactions)
+    frequent_items = sorted(
+        item for item, tidset in index.items() if len(tidset) >= min_sup
+    )
+    results: List[Tuple[Itemset, int]] = []
+
+    def dfs(prefix: Itemset, prefix_tidset: frozenset, extensions: List[Item]) -> None:
+        for position, item in enumerate(extensions):
+            tidset = prefix_tidset & index[item]
+            if len(tidset) < min_sup:
+                continue
+            itemset = prefix + (item,)
+            results.append((itemset, len(tidset)))
+            dfs(itemset, tidset, extensions[position + 1 :])
+
+    all_positions = frozenset(range(len(transactions)))
+    dfs((), all_positions, frequent_items)
+    results.sort(key=lambda pair: (len(pair[0]), pair[0]))
+    return results

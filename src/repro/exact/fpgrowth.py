@@ -1,0 +1,68 @@
+"""FP-growth frequent itemset mining over exact data (Han et al. [13]).
+
+Recursively projects the FP-tree: for each item (least frequent first) emit
+the pattern ``suffix + {item}``, build the conditional tree from the item's
+prefix paths, and recurse.  Single-path conditional trees are expanded
+combinatorially without further recursion.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from typing import Iterable, List, Sequence, Tuple
+
+from ..core.itemsets import Item, Itemset, canonical
+from .fptree import FPTree
+
+__all__ = ["mine_frequent_itemsets_fpgrowth"]
+
+
+def _mine_tree(
+    tree: FPTree, suffix: Itemset, results: List[Tuple[Itemset, int]]
+) -> None:
+    single_path = tree.single_path()
+    if single_path is not None:
+        # Every non-empty combination of path items, with the minimum count
+        # along the chosen nodes, joined with the suffix.
+        for size in range(1, len(single_path) + 1):
+            for combo in combinations(single_path, size):
+                support = min(count for _item, count in combo)
+                if support >= tree.min_sup:
+                    itemset = canonical(
+                        suffix + tuple(item for item, _count in combo)
+                    )
+                    results.append((itemset, support))
+        return
+
+    for item in tree.items_bottom_up():
+        support = tree.item_counts[item]
+        pattern = canonical(suffix + (item,))
+        results.append((pattern, support))
+        base = tree.conditional_pattern_base(item)
+        if not base:
+            continue
+        conditional = FPTree.from_weighted_transactions(base, tree.min_sup)
+        if not conditional.is_empty():
+            _mine_tree(conditional, pattern, results)
+
+
+def mine_frequent_itemsets_fpgrowth(
+    transactions: Sequence[Iterable[Item]], min_sup: int
+) -> List[Tuple[Itemset, int]]:
+    """All frequent itemsets of the exact database with their supports.
+
+    Args:
+        transactions: the exact transaction database.
+        min_sup: absolute minimum support (>= 1).
+
+    Returns:
+        ``[(itemset, support), ...]`` sorted by (length, itemset).
+    """
+    if min_sup < 1:
+        raise ValueError("min_sup must be at least 1")
+    tree = FPTree.from_transactions(transactions, min_sup)
+    results: List[Tuple[Itemset, int]] = []
+    if not tree.is_empty():
+        _mine_tree(tree, (), results)
+    results.sort(key=lambda pair: (len(pair[0]), pair[0]))
+    return results

@@ -1,0 +1,156 @@
+"""FP-tree: the prefix-tree structure underlying FP-growth [13].
+
+Transactions are inserted with their items sorted by descending global
+frequency (ties broken by item order) so that common prefixes share nodes.
+A header table links all nodes carrying the same item, which is what the
+mining phase walks to build conditional pattern bases.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..core.itemsets import Item
+
+__all__ = ["FPNode", "FPTree"]
+
+
+class FPNode:
+    """One node of an FP-tree: an item, a count, and tree/header links."""
+
+    __slots__ = ("item", "count", "parent", "children", "next_same_item")
+
+    def __init__(self, item: Optional[Item], parent: Optional["FPNode"]):
+        self.item = item
+        self.count = 0
+        self.parent = parent
+        self.children: Dict[Item, "FPNode"] = {}
+        self.next_same_item: Optional["FPNode"] = None
+
+    def prefix_path(self) -> List[Item]:
+        """Items on the path from this node's parent up to (excluding) the root."""
+        path: List[Item] = []
+        node = self.parent
+        while node is not None and node.item is not None:
+            path.append(node.item)
+            node = node.parent
+        path.reverse()
+        return path
+
+
+class FPTree:
+    """FP-tree with a header table, built from weighted transactions.
+
+    Weighted insertion (a transaction carrying an integer count) is what makes
+    conditional trees cheap: a conditional pattern base is re-inserted with
+    the count of the node it came from.
+    """
+
+    def __init__(self, min_sup: float):
+        # Integer >= 1 for exact counts; UF-growth reuses the structure with
+        # fractional expected-support weights, so any positive value is legal.
+        if min_sup <= 0:
+            raise ValueError("min_sup must be positive")
+        self.min_sup = min_sup
+        self.root = FPNode(None, None)
+        self.header: Dict[Item, FPNode] = {}
+        self.item_counts: Dict[Item, int] = {}
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_transactions(
+        cls, transactions: Sequence[Iterable[Item]], min_sup: int
+    ) -> "FPTree":
+        weighted = [(tuple(transaction), 1) for transaction in transactions]
+        return cls.from_weighted_transactions(weighted, min_sup)
+
+    @classmethod
+    def from_weighted_transactions(
+        cls, weighted: Sequence[Tuple[Sequence[Item], int]], min_sup: int
+    ) -> "FPTree":
+        tree = cls(min_sup)
+        counts: Dict[Item, int] = {}
+        for items, weight in weighted:
+            for item in set(items):
+                counts[item] = counts.get(item, 0) + weight
+        tree.item_counts = {
+            item: count for item, count in counts.items() if count >= min_sup
+        }
+        # Descending frequency, ascending item as the tie-break, gives the
+        # deterministic insertion order FP-growth relies on.
+        order = {
+            item: rank
+            for rank, item in enumerate(
+                sorted(tree.item_counts, key=lambda it: (-tree.item_counts[it], it))
+            )
+        }
+        tree._insertion_order = order
+        for items, weight in weighted:
+            filtered = sorted(
+                (item for item in set(items) if item in order),
+                key=order.__getitem__,
+            )
+            if filtered:
+                tree._insert(filtered, weight)
+        return tree
+
+    def _insert(self, items: Sequence[Item], weight: int) -> None:
+        node = self.root
+        for item in items:
+            child = node.children.get(item)
+            if child is None:
+                child = FPNode(item, node)
+                node.children[item] = child
+                # Push onto the header chain for this item.
+                child.next_same_item = self.header.get(item)
+                self.header[item] = child
+            child.count += weight
+            node = child
+
+    # ------------------------------------------------------------------
+    # mining support
+    # ------------------------------------------------------------------
+    def items_bottom_up(self) -> List[Item]:
+        """Header items from least to most frequent (FP-growth's visit order)."""
+        return sorted(
+            self.item_counts, key=lambda it: (-self.item_counts[it], it), reverse=True
+        )
+
+    def node_chain(self, item: Item) -> List[FPNode]:
+        """Every node carrying ``item``, via the header links."""
+        chain: List[FPNode] = []
+        node = self.header.get(item)
+        while node is not None:
+            chain.append(node)
+            node = node.next_same_item
+        return chain
+
+    def conditional_pattern_base(self, item: Item) -> List[Tuple[List[Item], int]]:
+        """Prefix paths (with counts) ending at ``item`` — FP-growth's input
+        for the conditional tree of ``item``."""
+        return [
+            (node.prefix_path(), node.count)
+            for node in self.node_chain(item)
+            if node.prefix_path()
+        ]
+
+    def is_empty(self) -> bool:
+        return not self.root.children
+
+    def single_path(self) -> Optional[List[Tuple[Item, int]]]:
+        """The unique root-to-leaf path if the tree is a chain, else ``None``.
+
+        FP-growth short-circuits single-path trees: every combination of path
+        items is frequent with the minimum count along the combination.
+        """
+        path: List[Tuple[Item, int]] = []
+        node = self.root
+        while node.children:
+            if len(node.children) > 1:
+                return None
+            (child,) = node.children.values()
+            path.append((child.item, child.count))
+            node = child
+        return path

@@ -1,0 +1,86 @@
+"""Maximal frequent itemset mining.
+
+A frequent itemset is *maximal* when no proper superset is frequent.  The
+maximal sets are the upper frontier of the frequent lattice: the TODIS-style
+top-down PFI miner seeds from the maximal *count*-frequent itemsets, and
+compression studies use #maximal as the tightest (lossy) summary alongside
+closed (lossless) and all (raw).
+
+Two routes are provided:
+
+* :func:`mine_maximal_itemsets` — filter the closed sets for maximality
+  (every maximal set is closed, so this is exact); the subset checks use a
+  size-bucketed index rather than the quadratic all-pairs scan.
+* :func:`is_maximal_in` — direct predicate used by tests.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, List, Sequence, Tuple
+
+from ..core.itemsets import Item, Itemset, canonical
+from .charm import mine_closed_itemsets
+
+__all__ = ["mine_maximal_itemsets", "is_maximal_in"]
+
+
+def is_maximal_in(
+    transactions: Sequence[Iterable[Item]], itemset: Iterable[Item], min_sup: int
+) -> bool:
+    """Is ``itemset`` frequent with no frequent proper one-item extension?
+
+    Checking one-item extensions suffices: frequency is anti-monotone, so a
+    frequent superset implies a frequent superset of size ``|X|+1``.
+    """
+    target = frozenset(itemset)
+    transaction_sets = [frozenset(transaction) for transaction in transactions]
+    support = sum(1 for transaction in transaction_sets if target <= transaction)
+    if support < min_sup:
+        return False
+    universe = {item for transaction in transaction_sets for item in transaction}
+    for extra in universe - target:
+        extended = target | {extra}
+        extended_support = sum(
+            1 for transaction in transaction_sets if extended <= transaction
+        )
+        if extended_support >= min_sup:
+            return False
+    return True
+
+
+def mine_maximal_itemsets(
+    transactions: Sequence[Iterable[Item]], min_sup: int
+) -> List[Tuple[Itemset, int]]:
+    """All maximal frequent itemsets with their supports.
+
+    Args:
+        transactions: the exact transaction database.
+        min_sup: absolute minimum support (>= 1).
+
+    Returns:
+        ``[(itemset, support), ...]`` sorted by (length, itemset).
+    """
+    closed = mine_closed_itemsets(transactions, min_sup)
+    if not closed:
+        return []
+    # Bucket the closed sets by size; a closed set is maximal iff no strictly
+    # larger closed set contains it (supersets of equal support cannot exist
+    # among closed sets, and any frequent superset has a closed superset).
+    by_size: Dict[int, List[FrozenSet[Item]]] = {}
+    for itemset, _support in closed:
+        by_size.setdefault(len(itemset), []).append(frozenset(itemset))
+    sizes = sorted(by_size, reverse=True)
+
+    maximal: List[Tuple[Itemset, int]] = []
+    for itemset, support in closed:
+        candidate = frozenset(itemset)
+        dominated = any(
+            candidate < other
+            for size in sizes
+            if size > len(candidate)
+            for other in by_size[size]
+        )
+        if not dominated:
+            maximal.append((itemset, support))
+    maximal.sort(key=lambda pair: (len(pair[0]), pair[0]))
+    return maximal

@@ -1,0 +1,34 @@
+"""Uncertain frequent itemset mining substrate (the prior art of Section II.B).
+
+* :mod:`repro.uncertain.pfim` — bottom-up probabilistic frequent itemset
+  mining with the dynamic-programming frequentness computation of [4]/[22];
+* :mod:`repro.uncertain.todis` — a TODIS-style top-down miner (the algorithm
+  the paper's Naive baseline feeds from);
+* :mod:`repro.uncertain.expected_support` — the expected-support model of
+  Chui et al. [9] (U-Apriori), adapted to the tuple-uncertainty model used
+  throughout the paper.
+"""
+
+from .expected_support import mine_expected_support_itemsets
+from .pfim import mine_probabilistic_frequent_itemsets
+from .ufgrowth import mine_expected_support_itemsets_ufgrowth
+from .todis import mine_probabilistic_frequent_itemsets_topdown
+from .stream import ProbabilisticItemStream
+from .item_model import (
+    ItemUncertainDatabase,
+    ItemUncertainTransaction,
+    mine_expected_support_item_model,
+    mine_probabilistic_frequent_item_model,
+)
+
+__all__ = [
+    "ItemUncertainDatabase",
+    "ProbabilisticItemStream",
+    "ItemUncertainTransaction",
+    "mine_expected_support_item_model",
+    "mine_probabilistic_frequent_item_model",
+    "mine_expected_support_itemsets",
+    "mine_expected_support_itemsets_ufgrowth",
+    "mine_probabilistic_frequent_itemsets",
+    "mine_probabilistic_frequent_itemsets_topdown",
+]

@@ -1,0 +1,69 @@
+"""Expected-support frequent itemset mining (U-Apriori, Chui et al. [9]).
+
+The expected-support model declares ``X`` frequent when
+``E[support(X)] ≥ min_esup``.  Chui et al. formulated it for attribute-level
+uncertainty; under the paper's tuple-uncertainty model the expected support
+is simply the sum of the containing transactions' existence probabilities
+(linearity of expectation), which is what this adaptation computes.
+
+Expected support is anti-monotone, so the level-wise U-Apriori search
+applies unchanged.  The module exists as the representative of the *other*
+uncertainty semantics the related-work section contrasts with the
+probabilistic frequent model — the examples use it to show how the two
+models disagree on borderline itemsets.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from ..core.database import Tidset, UncertainDatabase, intersect_tidsets
+from ..core.itemsets import Item, Itemset
+
+__all__ = ["mine_expected_support_itemsets"]
+
+
+def mine_expected_support_itemsets(
+    database: UncertainDatabase, min_esup: float
+) -> List[Tuple[Itemset, float]]:
+    """All itemsets whose expected support reaches ``min_esup``.
+
+    Args:
+        database: the uncertain transaction database.
+        min_esup: minimum expected support (> 0; may be fractional).
+
+    Returns:
+        ``[(itemset, expected_support), ...]`` sorted by (length, itemset).
+    """
+    if min_esup <= 0.0:
+        raise ValueError("min_esup must be positive")
+
+    def expected(tidset: Tidset) -> float:
+        return sum(database.tidset_probabilities(tidset))
+
+    level: Dict[Itemset, Tidset] = {}
+    results: List[Tuple[Itemset, float]] = []
+    for item in database.items:
+        tidset = database.tidset_of_item(item)
+        value = expected(tidset)
+        if value >= min_esup:
+            level[(item,)] = tidset
+            results.append(((item,), value))
+
+    while level:
+        ordered = sorted(level)
+        next_level: Dict[Itemset, Tidset] = {}
+        for index, first in enumerate(ordered):
+            for second in ordered[index + 1 :]:
+                if first[:-1] != second[:-1]:
+                    break
+                joined = first + (second[-1],)
+                tidset = intersect_tidsets(level[first], level[second])
+                value = expected(tidset)
+                if value >= min_esup:
+                    next_level[joined] = tidset
+                    results.append((joined, value))
+        level = next_level
+
+    results.sort(key=lambda pair: (len(pair[0]), pair[0]))
+    return results

@@ -1,0 +1,238 @@
+"""Attribute-level (item) uncertainty — the related work's other data model.
+
+The paper adopts *tuple* uncertainty (a transaction exists or not as a
+whole).  The expected-support line of work it contrasts with — Chui et al.'s
+U-Apriori [9] and Leung et al.'s UF-growth [15] — was formulated for
+*attribute-level* uncertainty: every item of every transaction carries its
+own independent existence probability.  This module implements that model
+as a substrate so the two semantics can be compared side by side:
+
+* the probability that transaction ``t`` contains itemset ``X`` is
+  ``q_t(X) = Π_{i in X} p_{t,i}`` (independent items);
+* transactions are independent, so ``support(X)`` is again Poisson-binomial
+  — with success probabilities ``q_t(X)`` — and the entire frequency
+  machinery of :mod:`repro.core.support` (exact DP, expectations,
+  Chernoff–Hoeffding bounds) applies verbatim;
+* the expected support is ``Σ_t q_t(X)``, which is what U-Apriori thresholds.
+
+Note the semantic subtlety this model adds: unlike tuple uncertainty, the
+supports of ``X`` and ``X + e`` within one transaction are *positively
+correlated but not identical* random variables, which is why the paper's
+closedness machinery (extension events with factored conjunctions) does not
+transfer — and why this module only provides frequency-based mining.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from dataclasses import dataclass
+from typing import Dict, Iterable, Iterator, List, Mapping, Sequence, Tuple
+
+from ..core.itemsets import Item, Itemset, canonical
+from ..core.support import expected_support, frequent_probability
+
+__all__ = [
+    "ItemUncertainTransaction",
+    "ItemUncertainDatabase",
+    "mine_expected_support_item_model",
+    "mine_probabilistic_frequent_item_model",
+]
+
+
+@dataclass(frozen=True)
+class ItemUncertainTransaction:
+    """One transaction whose items each exist independently.
+
+    Attributes:
+        tid: transaction identifier.
+        items: mapping item -> existence probability in (0, 1].
+    """
+
+    tid: str
+    items: Mapping[Item, float]
+
+    def __post_init__(self) -> None:
+        if not self.items:
+            raise ValueError(f"transaction {self.tid!r}: no items")
+        for item, probability in self.items.items():
+            if not 0.0 < probability <= 1.0:
+                raise ValueError(
+                    f"transaction {self.tid!r}: item {item!r} probability "
+                    f"must be in (0, 1], got {probability}"
+                )
+        object.__setattr__(self, "items", dict(self.items))
+
+    def containment_probability(self, itemset: Iterable[Item]) -> float:
+        """``Π p_{t,i}`` over ``itemset``; 0 when an item is absent."""
+        probability = 1.0
+        for item in set(itemset):
+            item_probability = self.items.get(item)
+            if item_probability is None:
+                return 0.0
+            probability *= item_probability
+        return probability
+
+
+class ItemUncertainDatabase:
+    """A database of item-uncertain transactions."""
+
+    def __init__(self, transactions: Sequence[ItemUncertainTransaction]):
+        self._transactions = tuple(transactions)
+        seen = set()
+        for txn in self._transactions:
+            if txn.tid in seen:
+                raise ValueError(f"duplicate transaction id {txn.tid!r}")
+            seen.add(txn.tid)
+
+    @classmethod
+    def from_rows(
+        cls, rows: Iterable[Tuple[str, Mapping[Item, float]]]
+    ) -> "ItemUncertainDatabase":
+        return cls([ItemUncertainTransaction(tid, items) for tid, items in rows])
+
+    def __len__(self) -> int:
+        return len(self._transactions)
+
+    def __iter__(self) -> Iterator[ItemUncertainTransaction]:
+        return iter(self._transactions)
+
+    def __getitem__(self, position: int) -> ItemUncertainTransaction:
+        return self._transactions[position]
+
+    @property
+    def items(self) -> Itemset:
+        return canonical(
+            item for txn in self._transactions for item in txn.items
+        )
+
+    # ------------------------------------------------------------------
+    # support machinery (reduces to the Poisson-binomial core)
+    # ------------------------------------------------------------------
+    def containment_probabilities(self, itemset: Iterable[Item]) -> List[float]:
+        """Per-transaction probability of containing ``itemset`` (non-zero only)."""
+        target = canonical(itemset)
+        return [
+            probability
+            for txn in self._transactions
+            if (probability := txn.containment_probability(target)) > 0.0
+        ]
+
+    def expected_support(self, itemset: Iterable[Item]) -> float:
+        return expected_support(self.containment_probabilities(itemset))
+
+    def frequent_probability(self, itemset: Iterable[Item], min_sup: int) -> float:
+        return frequent_probability(
+            self.containment_probabilities(itemset), min_sup
+        )
+
+    # ------------------------------------------------------------------
+    # oracle (exponential in the number of uncertain item occurrences)
+    # ------------------------------------------------------------------
+    def enumerate_worlds(self) -> Iterator[Tuple[List[Itemset], float]]:
+        """Every possible world as ``(materialized transactions, probability)``.
+
+        A world keeps or drops every *item occurrence* independently; the
+        count of uncertain occurrences is capped to keep this a test oracle.
+        """
+        occurrences = [
+            (position, item, probability)
+            for position, txn in enumerate(self._transactions)
+            for item, probability in sorted(txn.items.items(), key=lambda kv: str(kv[0]))
+            if probability < 1.0
+        ]
+        if len(occurrences) > 18:
+            raise ValueError(
+                f"refusing to enumerate 2^{len(occurrences)} item-level worlds"
+            )
+        certain: Dict[int, List[Item]] = {}
+        for position, txn in enumerate(self._transactions):
+            certain[position] = [
+                item for item, probability in txn.items.items() if probability >= 1.0
+            ]
+        for mask in range(1 << len(occurrences)):
+            probability = 1.0
+            present: Dict[int, List[Item]] = {
+                position: list(items) for position, items in certain.items()
+            }
+            for bit, (position, item, item_probability) in enumerate(occurrences):
+                if mask >> bit & 1:
+                    probability *= item_probability
+                    present[position].append(item)
+                else:
+                    probability *= 1.0 - item_probability
+            if probability > 0.0:
+                world = [
+                    canonical(items)
+                    for position, items in sorted(present.items())
+                    if items
+                ]
+                yield world, probability
+
+    def __repr__(self) -> str:
+        return (
+            f"ItemUncertainDatabase(transactions={len(self)}, "
+            f"items={len(self.items)})"
+        )
+
+
+def mine_expected_support_item_model(
+    database: ItemUncertainDatabase, min_esup: float
+) -> List[Tuple[Itemset, float]]:
+    """U-Apriori in its native attribute-uncertainty model [9].
+
+    Level-wise search thresholding ``E[support(X)] = Σ_t Π_{i in X} p_{t,i}``,
+    which is anti-monotone because each factor is at most 1.
+    """
+    if min_esup <= 0.0:
+        raise ValueError("min_esup must be positive")
+    return _level_wise(
+        database,
+        lambda itemset: database.expected_support(itemset),
+        lambda value: value >= min_esup,
+    )
+
+
+def mine_probabilistic_frequent_item_model(
+    database: ItemUncertainDatabase, min_sup: int, pft: float
+) -> List[Tuple[Itemset, float]]:
+    """Probabilistic frequent itemsets under attribute-level uncertainty.
+
+    ``support(X)`` is Poisson-binomial with per-transaction success
+    probabilities ``q_t(X)``, so ``Pr_F`` is exactly computable by the core
+    DP; anti-monotonicity holds because ``q_t`` only shrinks as ``X`` grows.
+    """
+    if min_sup < 1:
+        raise ValueError("min_sup must be at least 1")
+    if not 0.0 <= pft < 1.0:
+        raise ValueError("pft must be in [0, 1)")
+    return _level_wise(
+        database,
+        lambda itemset: database.frequent_probability(itemset, min_sup),
+        lambda value: value > pft,
+    )
+
+
+def _level_wise(database, measure, qualifies) -> List[Tuple[Itemset, float]]:
+    level: List[Itemset] = []
+    results: List[Tuple[Itemset, float]] = []
+    for item in database.items:
+        value = measure((item,))
+        if qualifies(value):
+            level.append((item,))
+            results.append(((item,), value))
+    level.sort()
+    while level:
+        next_level: List[Itemset] = []
+        for index, first in enumerate(level):
+            for second in level[index + 1 :]:
+                if first[:-1] != second[:-1]:
+                    break
+                joined = first + (second[-1],)
+                value = measure(joined)
+                if qualifies(value):
+                    next_level.append(joined)
+                    results.append((joined, value))
+        level = sorted(next_level)
+    results.sort(key=lambda pair: (len(pair[0]), pair[0]))
+    return results

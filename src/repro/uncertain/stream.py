@@ -1,0 +1,176 @@
+"""Likely frequent items over a probabilistic data stream ([30]).
+
+The related work cites an exact and a sampling-based algorithm for
+discovering *likely frequent items* in probabilistic streams; this module
+provides both over the tuple-style model used throughout the library: the
+stream is a sequence of ``(item, probability)`` arrivals, each existing
+independently with its probability, observed through either a landmark
+window (everything so far) or a sliding window of the last ``W`` arrivals.
+
+An item is *likely frequent* when ``Pr[count(item) >= min_sup] > pft``
+— the per-item count is Poisson-binomial over the item's arrivals inside
+the window, so the exact path reuses the core DP, and the cheap maintenance
+path keeps per-item expected counts incrementally for Chernoff–Hoeffding
+screening (sound: the bound over-approximates the tail).
+
+The sampling-based alternative estimates each tail by direct Monte-Carlo
+over the item's arrival probabilities with the additive Hoeffding sample
+bound ``N = ceil(ln(2/delta) / (2 eps^2))``.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from collections import deque
+from typing import Deque, Dict, Hashable, List, Optional, Tuple
+
+from ..core.bounds import chernoff_hoeffding_frequency_bound
+from ..core.support import frequent_probability
+
+__all__ = ["ProbabilisticItemStream"]
+
+Item = Hashable
+
+
+class ProbabilisticItemStream:
+    """Streaming maintenance of likely frequent items.
+
+    Args:
+        window: sliding-window length in arrivals; ``None`` = landmark
+            (unbounded) window.
+
+    Usage::
+
+        stream = ProbabilisticItemStream(window=1000)
+        for item, probability in feed:
+            stream.append(item, probability)
+        hot = stream.likely_frequent_items(min_sup=50, pft=0.9)
+    """
+
+    def __init__(self, window: Optional[int] = None):
+        if window is not None and window < 1:
+            raise ValueError("window must be >= 1 when set")
+        self.window = window
+        self._arrivals: Deque[Tuple[Item, float]] = deque()
+        self._probabilities: Dict[Item, Deque[float]] = {}
+        self._expected: Dict[Item, float] = {}
+        self._total_arrivals = 0
+
+    # ------------------------------------------------------------------
+    # maintenance
+    # ------------------------------------------------------------------
+    def append(self, item: Item, probability: float) -> None:
+        """Observe one arrival; evicts the oldest when the window overflows."""
+        if not 0.0 < probability <= 1.0:
+            raise ValueError(f"probability must be in (0, 1], got {probability}")
+        self._arrivals.append((item, probability))
+        self._probabilities.setdefault(item, deque()).append(probability)
+        self._expected[item] = self._expected.get(item, 0.0) + probability
+        self._total_arrivals += 1
+        if self.window is not None and len(self._arrivals) > self.window:
+            old_item, old_probability = self._arrivals.popleft()
+            bucket = self._probabilities[old_item]
+            # Arrivals are appended in order, so the oldest is leftmost.
+            bucket.popleft()
+            if bucket:
+                self._expected[old_item] -= old_probability
+            else:
+                del self._probabilities[old_item]
+                del self._expected[old_item]
+
+    def extend(self, arrivals) -> None:
+        for item, probability in arrivals:
+            self.append(item, probability)
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        """Number of arrivals currently inside the window."""
+        return len(self._arrivals)
+
+    @property
+    def total_arrivals(self) -> int:
+        """Arrivals ever observed (ignores eviction)."""
+        return self._total_arrivals
+
+    def items(self) -> List[Item]:
+        return sorted(self._probabilities, key=str)
+
+    def expected_count(self, item: Item) -> float:
+        """Incrementally maintained ``E[count(item)]`` inside the window."""
+        return self._expected.get(item, 0.0)
+
+    def frequent_probability(self, item: Item, min_sup: int) -> float:
+        """Exact ``Pr[count(item) >= min_sup]`` (Poisson-binomial DP)."""
+        return frequent_probability(
+            self._probabilities.get(item, ()), min_sup
+        )
+
+    def likely_frequent_items(
+        self, min_sup: int, pft: float
+    ) -> List[Tuple[Item, float]]:
+        """The exact algorithm: CH screening, then the DP on survivors.
+
+        Returns ``[(item, Pr_F), ...]`` with ``Pr_F > pft``, sorted by
+        descending probability then item.
+        """
+        if min_sup < 1:
+            raise ValueError("min_sup must be at least 1")
+        if not 0.0 <= pft < 1.0:
+            raise ValueError("pft must be in [0, 1)")
+        horizon = len(self._arrivals)
+        results: List[Tuple[Item, float]] = []
+        for item, probabilities in self._probabilities.items():
+            if len(probabilities) < min_sup:
+                continue
+            bound = chernoff_hoeffding_frequency_bound(
+                self._expected[item], horizon, min_sup
+            )
+            if bound <= pft:
+                continue
+            probability = frequent_probability(probabilities, min_sup)
+            if probability > pft:
+                results.append((item, probability))
+        results.sort(key=lambda pair: (-pair[1], str(pair[0])))
+        return results
+
+    def likely_frequent_items_sampled(
+        self,
+        min_sup: int,
+        pft: float,
+        epsilon: float = 0.05,
+        delta: float = 0.05,
+        rng: Optional[random.Random] = None,
+    ) -> List[Tuple[Item, float]]:
+        """The sampling-based algorithm: Monte-Carlo tails per item.
+
+        Each estimate is within ``epsilon`` of the true tail with
+        probability ``1 - delta`` (additive Hoeffding bound), so borderline
+        items — those within ``epsilon`` of ``pft`` — may flip.
+        """
+        if min_sup < 1:
+            raise ValueError("min_sup must be at least 1")
+        if not 0.0 <= pft < 1.0:
+            raise ValueError("pft must be in [0, 1)")
+        if not 0.0 < epsilon < 1.0 or not 0.0 < delta < 1.0:
+            raise ValueError("epsilon and delta must be in (0, 1)")
+        rng = rng or random.Random(0)
+        n_samples = math.ceil(math.log(2.0 / delta) / (2.0 * epsilon * epsilon))
+        results: List[Tuple[Item, float]] = []
+        for item, probabilities in self._probabilities.items():
+            if len(probabilities) < min_sup:
+                continue
+            successes = 0
+            for _ in range(n_samples):
+                count = sum(
+                    1 for probability in probabilities if rng.random() < probability
+                )
+                if count >= min_sup:
+                    successes += 1
+            estimate = successes / n_samples
+            if estimate > pft:
+                results.append((item, estimate))
+        results.sort(key=lambda pair: (-pair[1], str(pair[0])))
+        return results

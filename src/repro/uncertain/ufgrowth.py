@@ -1,0 +1,77 @@
+"""UF-growth: expected-support frequent itemset mining on an FP-tree ([15]).
+
+Leung et al.'s UF-growth brings the FP-growth strategy to uncertain data.
+Under the paper's tuple-uncertainty model the expected support of an
+itemset is the *sum of the containing transactions' probabilities*, so the
+classical FP-tree works verbatim with real-valued weights: each transaction
+is inserted with weight ``p_t``, node counts become expected supports, and
+the conditional-tree recursion is unchanged.  (The original operates on
+attribute-level uncertainty, where nodes must additionally separate by item
+probability; the tuple model collapses that refinement — see DESIGN.md.)
+
+Result-equivalent to :func:`repro.uncertain.expected_support.
+mine_expected_support_itemsets` (U-Apriori); the tests assert it, and the
+pair gives the same cross-check the exact substrate has between Apriori and
+FP-growth.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from typing import List, Tuple
+
+from ..core.database import UncertainDatabase
+from ..core.itemsets import Itemset, canonical
+from ..exact.fptree import FPTree
+
+__all__ = ["mine_expected_support_itemsets_ufgrowth"]
+
+
+def _mine_tree(
+    tree: FPTree, suffix: Itemset, results: List[Tuple[Itemset, float]]
+) -> None:
+    single_path = tree.single_path()
+    if single_path is not None:
+        for size in range(1, len(single_path) + 1):
+            for combo in combinations(single_path, size):
+                weight = min(count for _item, count in combo)
+                if weight >= tree.min_sup:
+                    itemset = canonical(suffix + tuple(item for item, _w in combo))
+                    results.append((itemset, weight))
+        return
+
+    for item in tree.items_bottom_up():
+        weight = tree.item_counts[item]
+        pattern = canonical(suffix + (item,))
+        results.append((pattern, weight))
+        base = tree.conditional_pattern_base(item)
+        if not base:
+            continue
+        conditional = FPTree.from_weighted_transactions(base, tree.min_sup)
+        if not conditional.is_empty():
+            _mine_tree(conditional, pattern, results)
+
+
+def mine_expected_support_itemsets_ufgrowth(
+    database: UncertainDatabase, min_esup: float
+) -> List[Tuple[Itemset, float]]:
+    """All itemsets whose expected support reaches ``min_esup``, via UF-growth.
+
+    Args:
+        database: the uncertain transaction database.
+        min_esup: minimum expected support (> 0, may be fractional).
+
+    Returns:
+        ``[(itemset, expected_support), ...]`` sorted by (length, itemset).
+    """
+    if min_esup <= 0.0:
+        raise ValueError("min_esup must be positive")
+    weighted = [
+        (txn.items, txn.probability) for txn in database.transactions
+    ]
+    tree = FPTree.from_weighted_transactions(weighted, min_esup)
+    results: List[Tuple[Itemset, float]] = []
+    if not tree.is_empty():
+        _mine_tree(tree, (), results)
+    results.sort(key=lambda pair: (len(pair[0]), pair[0]))
+    return results

@@ -1,0 +1,161 @@
+"""Shared fixtures, hypothesis strategies and brute-force oracles.
+
+The oracles here are deliberately naive (exponential enumeration,
+quadratic scans) — independent implementations the optimized library code is
+checked against.
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+from typing import Dict, List, Sequence, Tuple
+
+import pytest
+from hypothesis import strategies as st
+
+from repro.core.database import UncertainDatabase
+from repro.core.itemsets import Itemset, canonical
+
+ITEM_POOL = "abcdef"
+
+
+# ----------------------------------------------------------------------
+# hypothesis strategies
+# ----------------------------------------------------------------------
+@st.composite
+def exact_transactions(draw, max_transactions: int = 8, max_items: int = 5):
+    """A small exact transaction database (list of item tuples)."""
+    num_items = draw(st.integers(min_value=1, max_value=max_items))
+    items = ITEM_POOL[:num_items]
+    num_transactions = draw(st.integers(min_value=0, max_value=max_transactions))
+    transactions = []
+    for _ in range(num_transactions):
+        size = draw(st.integers(min_value=1, max_value=num_items))
+        chosen = draw(
+            st.lists(
+                st.sampled_from(items), min_size=size, max_size=size, unique=True
+            )
+        )
+        transactions.append(canonical(chosen))
+    return transactions
+
+
+@st.composite
+def uncertain_databases(
+    draw,
+    min_transactions: int = 1,
+    max_transactions: int = 8,
+    max_items: int = 5,
+    allow_certain: bool = True,
+):
+    """A small uncertain database suitable for possible-world oracles."""
+    num_items = draw(st.integers(min_value=1, max_value=max_items))
+    items = ITEM_POOL[:num_items]
+    num_transactions = draw(
+        st.integers(min_value=min_transactions, max_value=max_transactions)
+    )
+    rows = []
+    upper = 1.0 if allow_certain else 0.95
+    for index in range(num_transactions):
+        size = draw(st.integers(min_value=1, max_value=num_items))
+        chosen = draw(
+            st.lists(
+                st.sampled_from(items), min_size=size, max_size=size, unique=True
+            )
+        )
+        probability = draw(
+            st.floats(min_value=0.05, max_value=upper, allow_nan=False)
+        )
+        rows.append((f"T{index}", canonical(chosen), round(probability, 3)))
+    return UncertainDatabase.from_rows(rows)
+
+
+@st.composite
+def probability_lists(draw, max_size: int = 10):
+    return draw(
+        st.lists(
+            st.floats(min_value=0.0, max_value=1.0, allow_nan=False),
+            min_size=0,
+            max_size=max_size,
+        )
+    )
+
+
+# ----------------------------------------------------------------------
+# brute-force oracles
+# ----------------------------------------------------------------------
+def brute_force_frequent(
+    transactions: Sequence[Sequence], min_sup: int
+) -> List[Tuple[Itemset, int]]:
+    """Every frequent itemset by direct enumeration over the item universe."""
+    items = sorted({item for transaction in transactions for item in transaction})
+    results = []
+    for size in range(1, len(items) + 1):
+        for combo in itertools.combinations(items, size):
+            support = sum(
+                1 for transaction in transactions if set(combo) <= set(transaction)
+            )
+            if support >= min_sup:
+                results.append((combo, support))
+    return sorted(results, key=lambda pair: (len(pair[0]), pair[0]))
+
+
+def brute_force_closed(
+    transactions: Sequence[Sequence], min_sup: int
+) -> List[Tuple[Itemset, int]]:
+    """Frequent closed itemsets: frequent, and no superset ties the support."""
+    frequent = brute_force_frequent(transactions, min_sup)
+    supports: Dict[Itemset, int] = dict(frequent)
+    closed = []
+    items = sorted({item for transaction in transactions for item in transaction})
+    for itemset, support in frequent:
+        is_closed = True
+        for extra in items:
+            if extra in itemset:
+                continue
+            superset = canonical(itemset + (extra,))
+            superset_support = sum(
+                1 for transaction in transactions if set(superset) <= set(transaction)
+            )
+            if superset_support == support:
+                is_closed = False
+                break
+        if is_closed:
+            closed.append((itemset, support))
+    return closed
+
+
+def brute_force_frequent_probability(
+    database: UncertainDatabase, itemset, min_sup: int
+) -> float:
+    """Pr_F by summing the PMF computed from explicit subset enumeration."""
+    probabilities = database.tidset_probabilities(database.tidset(itemset))
+    total = 0.0
+    for mask in range(1 << len(probabilities)):
+        count = 0
+        weight = 1.0
+        for position, probability in enumerate(probabilities):
+            if mask >> position & 1:
+                count += 1
+                weight *= probability
+            else:
+                weight *= 1.0 - probability
+        if count >= min_sup:
+            total += weight
+    return total
+
+
+# ----------------------------------------------------------------------
+# fixtures
+# ----------------------------------------------------------------------
+@pytest.fixture
+def rng() -> random.Random:
+    return random.Random(1234)
+
+
+@pytest.fixture
+def paper_db() -> UncertainDatabase:
+    from repro.core.database import paper_table2_database
+
+    return paper_table2_database()

@@ -1,0 +1,95 @@
+"""Tests for the closed-form frequent-probability approximations."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.approximations import (
+    normal_frequent_probability,
+    poisson_frequent_probability,
+    poisson_tail_error_bound,
+)
+from repro.core.support import frequent_probability
+from tests.conftest import probability_lists
+
+
+class TestDegenerateCases:
+    @pytest.mark.parametrize(
+        "approx", [normal_frequent_probability, poisson_frequent_probability]
+    )
+    def test_min_sup_zero(self, approx):
+        assert approx([0.5, 0.5], 0) == 1.0
+
+    @pytest.mark.parametrize(
+        "approx", [normal_frequent_probability, poisson_frequent_probability]
+    )
+    def test_impossible_threshold(self, approx):
+        assert approx([0.5], 2) == 0.0
+
+    def test_normal_with_deterministic_support(self):
+        assert normal_frequent_probability([1.0, 1.0], 2) == 1.0
+        assert normal_frequent_probability([1.0], 1) == 1.0
+
+    def test_poisson_with_zero_mean(self):
+        # All-zero probabilities have zero expected support.
+        assert poisson_frequent_probability([0.0, 0.0], 1) == 0.0
+
+
+class TestAccuracy:
+    def test_normal_accurate_for_large_balanced_sums(self):
+        rng = random.Random(0)
+        probabilities = [rng.uniform(0.3, 0.7) for _ in range(300)]
+        for min_sup in (100, 150, 180):
+            exact = frequent_probability(probabilities, min_sup)
+            approx = normal_frequent_probability(probabilities, min_sup)
+            assert approx == pytest.approx(exact, abs=0.02)
+
+    def test_poisson_accurate_for_small_probabilities(self):
+        rng = random.Random(1)
+        probabilities = [rng.uniform(0.001, 0.05) for _ in range(400)]
+        for min_sup in (2, 8, 15):
+            exact = frequent_probability(probabilities, min_sup)
+            approx = poisson_frequent_probability(probabilities, min_sup)
+            bound = poisson_tail_error_bound(probabilities)
+            assert abs(approx - exact) <= bound + 1e-9
+
+    @given(probability_lists(max_size=8), st.integers(min_value=1, max_value=9))
+    @settings(max_examples=60, deadline=None)
+    def test_poisson_error_is_certified(self, probabilities, min_sup):
+        """Le Cam's theorem: |approx - exact| <= 2 sum p_i^2, always."""
+        exact = frequent_probability(probabilities, min_sup)
+        approx = poisson_frequent_probability(probabilities, min_sup)
+        assert abs(approx - exact) <= poisson_tail_error_bound(probabilities) + 1e-9
+
+    @given(probability_lists(max_size=10))
+    @settings(max_examples=60, deadline=None)
+    def test_both_estimates_are_probabilities(self, probabilities):
+        for min_sup in range(len(probabilities) + 2):
+            for approx in (normal_frequent_probability, poisson_frequent_probability):
+                value = approx(probabilities, min_sup)
+                assert 0.0 <= value <= 1.0
+
+    @given(probability_lists(max_size=10))
+    @settings(max_examples=40, deadline=None)
+    def test_monotone_in_min_sup(self, probabilities):
+        for approx in (normal_frequent_probability, poisson_frequent_probability):
+            values = [
+                approx(probabilities, min_sup)
+                for min_sup in range(len(probabilities) + 1)
+            ]
+            assert all(a >= b - 1e-9 for a, b in zip(values, values[1:]))
+
+
+class TestErrorBound:
+    def test_zero_for_empty(self):
+        assert poisson_tail_error_bound([]) == 0.0
+
+    def test_capped_at_one(self):
+        assert poisson_tail_error_bound([1.0] * 10) == 1.0
+
+    def test_formula(self):
+        assert poisson_tail_error_bound([0.1, 0.2]) == pytest.approx(
+            2 * (0.01 + 0.04)
+        )

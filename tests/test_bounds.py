@@ -1,0 +1,143 @@
+"""Tests for Lemma 4.1 and Lemma 4.4 bounds.
+
+The essential property of every bound is *soundness*: the Chernoff-Hoeffding
+value must never fall below the true frequent probability (else the miner
+would prune true results), and the Lemma 4.4 interval must always contain
+the true frequent closed probability.  Both are property-tested against the
+exact oracles.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.bounds import (
+    FrequentClosedProbabilityBounds,
+    chernoff_hoeffding_frequency_bound,
+    frequent_closed_probability_bounds,
+    union_lower_bound,
+    union_upper_bound,
+)
+from repro.core.database import paper_table2_database
+from repro.core.events import ExtensionEventSystem
+from repro.core.possible_worlds import exact_probabilities
+from repro.core.support import SupportDistributionCache, frequent_probability
+from tests.conftest import probability_lists, uncertain_databases
+
+
+class TestChernoffHoeffding:
+    @given(probability_lists(max_size=10), st.integers(min_value=1, max_value=12))
+    @settings(max_examples=100, deadline=None)
+    def test_never_below_true_probability(self, probabilities, min_sup):
+        bound = chernoff_hoeffding_frequency_bound(
+            sum(probabilities), len(probabilities), min_sup
+        )
+        exact = frequent_probability(probabilities, min_sup)
+        assert bound >= exact - 1e-12
+
+    def test_uninformative_when_mean_reaches_threshold(self):
+        assert chernoff_hoeffding_frequency_bound(5.0, 10, 5) == 1.0
+        assert chernoff_hoeffding_frequency_bound(6.0, 10, 5) == 1.0
+
+    def test_small_when_mean_far_below_threshold(self):
+        bound = chernoff_hoeffding_frequency_bound(1.0, 100, 60)
+        assert bound < 1e-10
+
+    def test_zero_mean(self):
+        assert chernoff_hoeffding_frequency_bound(0.0, 10, 1) == 0.0
+
+    def test_empty_database(self):
+        assert chernoff_hoeffding_frequency_bound(0.0, 0, 1) == 0.0
+
+    def test_bound_shrinks_with_threshold(self):
+        bounds = [
+            chernoff_hoeffding_frequency_bound(5.0, 50, min_sup)
+            for min_sup in range(6, 30)
+        ]
+        assert all(a >= b - 1e-15 for a, b in zip(bounds, bounds[1:]))
+
+
+def _events_for(db, itemset, min_sup):
+    return ExtensionEventSystem(db, itemset, min_sup)
+
+
+class TestUnionBounds:
+    @given(
+        uncertain_databases(max_transactions=6, max_items=5, allow_certain=False),
+        st.sampled_from(["de_caen", "dawson_sankoff"]),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_lower_bounds_are_sound(self, db, method):
+        events = _events_for(db, (db.items[0],), 2)
+        if not events.events:
+            return
+        exact = events.union_probability_exact()
+        lower = union_lower_bound(events.singleton_probabilities, events, method)
+        assert lower <= exact + 1e-9
+
+    @given(
+        uncertain_databases(max_transactions=6, max_items=5, allow_certain=False),
+        st.sampled_from(["kwerel", "boole"]),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_upper_bounds_are_sound(self, db, method):
+        events = _events_for(db, (db.items[0],), 2)
+        if not events.events:
+            return
+        exact = events.union_probability_exact()
+        upper = union_upper_bound(events.singleton_probabilities, events, method)
+        assert upper >= exact - 1e-9
+
+    def test_single_event_bounds_are_tight(self, paper_db):
+        events = _events_for(paper_db, "abc", 2)
+        assert len(events) == 1
+        singletons = events.singleton_probabilities
+        assert union_lower_bound(singletons, events) == pytest.approx(0.0972)
+        assert union_upper_bound(singletons, events) == pytest.approx(0.0972)
+
+    def test_no_events_means_zero_union(self, paper_db):
+        events = _events_for(paper_db, "abcd", 2)
+        assert union_lower_bound([], events) == 0.0
+        assert union_upper_bound([], events) == 0.0
+
+    def test_unknown_methods_raise(self, paper_db):
+        events = _events_for(paper_db, "abc", 2)
+        with pytest.raises(ValueError):
+            union_lower_bound(events.singleton_probabilities, events, "nope")
+        with pytest.raises(ValueError):
+            union_upper_bound(events.singleton_probabilities, events, "nope")
+
+
+class TestFrequentClosedBounds:
+    @given(uncertain_databases(max_transactions=6, max_items=5, allow_certain=False))
+    @settings(max_examples=40, deadline=None)
+    def test_interval_contains_truth(self, db):
+        min_sup = 2
+        itemset = (db.items[0],)
+        cache = SupportDistributionCache(db, min_sup)
+        frequent = cache.frequent_probability_of_itemset(itemset)
+        events = _events_for(db, itemset, min_sup)
+        bounds = frequent_closed_probability_bounds(frequent, events)
+        truth = exact_probabilities(db, itemset, min_sup)["frequent_closed"]
+        assert bounds.lower - 1e-9 <= truth <= bounds.upper + 1e-9
+
+    def test_paper_example_is_pinched_exactly(self, paper_db):
+        # {abc} has a single event, so Lemma 4.4 pins Pr_FC without sampling.
+        cache = SupportDistributionCache(paper_db, 2)
+        frequent = cache.frequent_probability_of_itemset("abc")
+        events = _events_for(paper_db, "abc", 2)
+        bounds = frequent_closed_probability_bounds(frequent, events)
+        assert bounds.is_tight
+        assert bounds.midpoint == pytest.approx(0.8754)
+
+    def test_no_events_gives_frequent_probability(self, paper_db):
+        cache = SupportDistributionCache(paper_db, 2)
+        frequent = cache.frequent_probability_of_itemset("abcd")
+        events = _events_for(paper_db, "abcd", 2)
+        bounds = frequent_closed_probability_bounds(frequent, events)
+        assert bounds.lower == bounds.upper == pytest.approx(0.81)
+
+    def test_interval_is_ordered_and_clamped(self):
+        bounds = FrequentClosedProbabilityBounds(lower=0.2, upper=0.7)
+        assert bounds.midpoint == pytest.approx(0.45)
+        assert not bounds.is_tight

@@ -1,0 +1,166 @@
+"""End-to-end tests of the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+from repro.core.database import paper_table2_database
+from repro.data.io import save_uncertain_database
+
+
+@pytest.fixture
+def paper_file(tmp_path):
+    path = tmp_path / "paper.utd"
+    save_uncertain_database(paper_table2_database(), path)
+    return str(path)
+
+
+class TestMineCommand:
+    def test_paper_example(self, paper_file, capsys):
+        assert main(["mine", paper_file, "--min-sup", "2", "--pfct", "0.8"]) == 0
+        output = capsys.readouterr().out
+        assert "2 probabilistic frequent closed itemsets" in output
+        assert "a b c d" in output
+        assert "0.8754" in output
+
+    def test_relative_min_sup(self, paper_file, capsys):
+        assert main(["mine", paper_file, "--min-sup-ratio", "0.5"]) == 0
+        assert "min_sup=2" in capsys.readouterr().out
+
+    def test_framework_bfs(self, paper_file, capsys):
+        assert main(["mine", paper_file, "--min-sup", "2", "--framework", "bfs"]) == 0
+        assert "a b c d" in capsys.readouterr().out
+
+    def test_framework_naive(self, paper_file, capsys):
+        assert main(["mine", paper_file, "--min-sup", "2", "--framework", "naive"]) == 0
+        assert "a b c d" in capsys.readouterr().out
+
+    def test_disable_prunings(self, paper_file, capsys):
+        assert (
+            main(
+                ["mine", paper_file, "--min-sup", "2",
+                 "--disable", "ch", "super", "sub", "bound"]
+            )
+            == 0
+        )
+        assert "a b c" in capsys.readouterr().out
+
+    def test_stats_flag(self, paper_file, capsys):
+        assert main(["mine", paper_file, "--min-sup", "2", "--stats"]) == 0
+        assert "nodes=" in capsys.readouterr().out
+
+    def test_min_sup_required(self, paper_file):
+        with pytest.raises(SystemExit):
+            main(["mine", paper_file])
+
+
+class TestGenerateAndInspect:
+    def test_generate_quest(self, tmp_path, capsys):
+        output = tmp_path / "gen.utd"
+        assert (
+            main(
+                ["generate", str(output), "--kind", "quest",
+                 "--transactions", "30", "--items", "8", "--seed", "4"]
+            )
+            == 0
+        )
+        assert output.exists()
+        assert "wrote 30 transactions" in capsys.readouterr().out
+
+    def test_generate_mushroom(self, tmp_path):
+        output = tmp_path / "mush.utd"
+        assert (
+            main(
+                ["generate", str(output), "--kind", "mushroom",
+                 "--transactions", "20", "--seed", "4"]
+            )
+            == 0
+        )
+        assert output.exists()
+
+    def test_generate_then_mine(self, tmp_path, capsys):
+        output = tmp_path / "gen.utd"
+        main(["generate", str(output), "--transactions", "40", "--items", "6",
+              "--avg-length", "3", "--avg-pattern", "2", "--seed", "4"])
+        capsys.readouterr()
+        assert main(["mine", str(output), "--min-sup-ratio", "0.2",
+                     "--pfct", "0.5"]) == 0
+        assert "probabilistic frequent closed itemsets" in capsys.readouterr().out
+
+    def test_inspect(self, paper_file, capsys):
+        assert main(["inspect", paper_file]) == 0
+        output = capsys.readouterr().out
+        assert "transactions" in output
+        assert "4" in output
+
+
+class TestExperimentsCommand:
+    def test_runs_selected_tables(self, capsys):
+        assert main(["experiments", "--scale", "ci", "--only", "table7"]) == 0
+        assert "Table VII" in capsys.readouterr().out
+
+
+class TestArgumentErrors:
+    def test_unknown_command(self):
+        with pytest.raises(SystemExit):
+            main(["frobnicate"])
+
+    def test_missing_command(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+
+class TestJsonAndMaxSize:
+    def test_json_output(self, paper_file, capsys):
+        import json
+
+        assert main(["mine", paper_file, "--min-sup", "2", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        itemsets = [tuple(r["itemset"]) for r in payload["results"]]
+        assert itemsets == [("a", "b", "c"), ("a", "b", "c", "d")]
+        assert payload["results"][0]["probability"] == pytest.approx(0.8754)
+
+    def test_json_with_stats(self, paper_file, capsys):
+        import json
+
+        assert main(["mine", paper_file, "--min-sup", "2", "--json", "--stats"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["stats"]["results_emitted"] == 2
+
+    def test_max_size_caps_results(self, paper_file, capsys):
+        import json
+
+        assert (
+            main(["mine", paper_file, "--min-sup", "2", "--pfct", "0.0",
+                  "--json", "--max-size", "3"])
+            == 0
+        )
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["results"]
+        assert all(len(r["itemset"]) <= 3 for r in payload["results"])
+
+
+class TestVerifyFlag:
+    def test_verify_passes_on_paper_example(self, paper_file, capsys):
+        assert main(["mine", paper_file, "--min-sup", "2", "--verify"]) == 0
+        assert "verification:" in capsys.readouterr().out
+
+    def test_verify_works_with_sampled_framework(self, paper_file, capsys):
+        assert (
+            main(["mine", paper_file, "--min-sup", "2", "--framework", "naive",
+                  "--verify"])
+            == 0
+        )
+        assert "violations: none" in capsys.readouterr().out
+
+
+class TestExperimentsExport:
+    def test_export_writes_files(self, tmp_path, capsys):
+        out = tmp_path / "reports"
+        assert (
+            main(["experiments", "--scale", "ci", "--only", "table7",
+                  "--export", str(out), "--export-format", "csv"])
+            == 0
+        )
+        files = list(out.glob("*.csv"))
+        assert len(files) == 1
+        assert "exported 1 report(s)" in capsys.readouterr().out

@@ -1,0 +1,140 @@
+"""Tests for exact Pr_C / Pr_FC, including the #P-hardness reduction."""
+
+import itertools
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.closedness import (
+    closed_probability_exact,
+    frequent_closed_probability_exact,
+    frequent_non_closed_probability_exact,
+    frequent_probability_of,
+)
+from repro.core.database import UncertainDatabase, paper_table2_database, paper_table4_database
+from repro.core.possible_worlds import exact_probabilities
+from tests.conftest import uncertain_databases
+
+
+class TestPaperValues:
+    def test_running_example(self, paper_db):
+        assert frequent_closed_probability_exact(paper_db, "abc", 2) == pytest.approx(
+            0.8754
+        )
+        assert frequent_closed_probability_exact(paper_db, "abcd", 2) == pytest.approx(
+            0.81
+        )
+
+    def test_frequent_non_closed_of_abc(self, paper_db):
+        # Pr_FNC({abc}) = Pr(C_d) = 0.0972.
+        assert frequent_non_closed_probability_exact(
+            paper_db, "abc", 2
+        ) == pytest.approx(0.0972)
+
+    def test_zero_probability_itemsets(self, paper_db):
+        # {a} always co-occurs with b and c: never closed.
+        assert frequent_closed_probability_exact(paper_db, "a", 2) == pytest.approx(0.0)
+        assert frequent_closed_probability_exact(paper_db, "bc", 2) == pytest.approx(0.0)
+
+    def test_table4_semantics_comparison(self):
+        """Section II.B: Pr_FC({a}) and Pr_FC({ab}) are both only ~0.4."""
+        db = paper_table4_database()
+        assert frequent_closed_probability_exact(db, "a", 2) == pytest.approx(
+            0.399712
+        )
+        assert frequent_closed_probability_exact(db, "ab", 2) == pytest.approx(
+            0.39952
+        )
+        # While {abc} and {abcd} keep the values of Table II (0.88 and 0.99
+        # per the paper's rounding of Pr_F-weighted worlds... exact: 0.8754
+        # and 0.81 computed on the extended database too).
+        assert frequent_closed_probability_exact(db, "abc", 2) == pytest.approx(
+            0.8754
+        )
+        assert frequent_closed_probability_exact(db, "abcd", 2) == pytest.approx(0.81)
+
+
+class TestAgainstOracle:
+    @given(
+        uncertain_databases(max_transactions=7, max_items=5),
+        st.integers(min_value=1, max_value=4),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_matches_world_enumeration(self, db, min_sup):
+        # Test several itemsets per database, including multi-item ones.
+        items = db.items
+        targets = [(items[0],), items[: min(2, len(items))], items]
+        for target in targets:
+            truth = exact_probabilities(db, target, min_sup)
+            computed = frequent_closed_probability_exact(db, target, min_sup)
+            assert computed == pytest.approx(truth["frequent_closed"], abs=1e-9)
+
+    @given(uncertain_databases(max_transactions=7, max_items=4))
+    @settings(max_examples=30, deadline=None)
+    def test_closed_probability_is_min_sup_one(self, db):
+        target = (db.items[0],)
+        assert closed_probability_exact(db, target) == pytest.approx(
+            frequent_closed_probability_exact(db, target, 1)
+        )
+        assert closed_probability_exact(db, target) == pytest.approx(
+            exact_probabilities(db, target, 1)["closed"], abs=1e-9
+        )
+
+    @given(uncertain_databases(max_transactions=7, max_items=4))
+    @settings(max_examples=30, deadline=None)
+    def test_decomposition_identity(self, db):
+        """Pr_FC = Pr_F - Pr_FNC (Definition 4.1)."""
+        target = (db.items[0],)
+        frequent = frequent_probability_of(db, target, 2)
+        non_closed = frequent_non_closed_probability_exact(db, target, 2)
+        closed = frequent_closed_probability_exact(db, target, 2)
+        assert closed == pytest.approx(frequent - non_closed, abs=1e-9)
+
+
+def build_mdnf_reduction(clauses, num_variables):
+    """The Theorem 3.1 construction: monotone DNF -> uncertain database.
+
+    Transactions T_1..T_m (one per variable, probability 1/2) all contain X;
+    T_j additionally contains e_i iff v_j does NOT appear in clause C_i.
+    """
+    rows = []
+    for variable in range(num_variables):
+        items = ["X"]
+        for index, clause in enumerate(clauses):
+            if variable not in clause:
+                items.append(f"e{index}")
+        rows.append((f"T{variable}", tuple(items), 0.5))
+    return UncertainDatabase.from_rows(rows)
+
+
+def count_satisfying_assignments(clauses, num_variables):
+    return sum(
+        1
+        for assignment in itertools.product([False, True], repeat=num_variables)
+        if any(all(assignment[v] for v in clause) for clause in clauses)
+    )
+
+
+class TestHardnessReduction:
+    """Verify the claim inside the Theorem 3.1 proof on concrete formulas:
+
+    X is NOT closed with probability N / 2^m, i.e.
+    ``1 - Pr_C(X) = N / 2^m`` with N the number of satisfying assignments.
+    """
+
+    @pytest.mark.parametrize(
+        "clauses,num_variables",
+        [
+            ([(0, 1)], 2),
+            ([(0,), (1,)], 2),
+            ([(0, 1, 2), (0, 1, 3), (1, 2, 3)], 4),  # the paper's example
+            ([(0, 1), (1, 2), (2, 3)], 4),
+            ([(0,)], 3),
+        ],
+    )
+    def test_reduction_identity(self, clauses, num_variables):
+        db = build_mdnf_reduction(clauses, num_variables)
+        n_satisfying = count_satisfying_assignments(clauses, num_variables)
+        closed = closed_probability_exact(db, ("X",))
+        assert 1.0 - closed == pytest.approx(n_satisfying / 2**num_variables)

@@ -1,0 +1,306 @@
+"""Tests for the dataset substrate: Quest, Mushroom-like, Gaussian, I/O."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.database import UncertainDatabase
+from repro.data import (
+    QuestParameters,
+    attach_gaussian_probabilities,
+    generate_mushroom_like,
+    generate_quest,
+    load_uncertain_database,
+    save_uncertain_database,
+)
+from repro.data.gaussian import gaussian_probabilities
+from repro.data.io import load_exact_transactions, save_exact_transactions
+from repro.data.mushroom import MUSHROOM_ATTRIBUTE_CARDINALITIES
+from tests.conftest import uncertain_databases
+
+
+class TestQuestGenerator:
+    def test_row_count_and_universe(self):
+        transactions = generate_quest(QuestParameters(num_transactions=200, seed=3))
+        assert len(transactions) == 200
+        items = {item for transaction in transactions for item in transaction}
+        assert items <= set(range(40))
+
+    def test_average_length_tracks_parameter(self):
+        params = QuestParameters(
+            num_transactions=400, avg_transaction_length=8.0,
+            avg_pattern_length=4.0, num_items=60, seed=5,
+        )
+        transactions = generate_quest(params)
+        average = sum(len(t) for t in transactions) / len(transactions)
+        assert 5.0 < average < 11.0
+
+    def test_deterministic(self):
+        params = QuestParameters(num_transactions=50, seed=11)
+        assert generate_quest(params) == generate_quest(params)
+
+    def test_different_seeds_differ(self):
+        a = generate_quest(QuestParameters(num_transactions=50, seed=1))
+        b = generate_quest(QuestParameters(num_transactions=50, seed=2))
+        assert a != b
+
+    def test_keyword_construction(self):
+        transactions = generate_quest(num_transactions=10, num_items=5, seed=1)
+        assert len(transactions) == 10
+
+    def test_rejects_params_and_kwargs_together(self):
+        with pytest.raises(TypeError):
+            generate_quest(QuestParameters(), num_transactions=5)
+
+    def test_name(self):
+        assert QuestParameters().name == "T20I10D30KP40"
+        assert QuestParameters(num_transactions=500).name == "T20I10D500P40"
+
+    def test_no_empty_transactions(self):
+        transactions = generate_quest(QuestParameters(num_transactions=300, seed=9))
+        assert all(transactions)
+
+    @pytest.mark.parametrize(
+        "kwargs", [{"num_items": 0}, {"avg_transaction_length": 0.0},
+                   {"correlation": 1.5}, {"num_transactions": -1}]
+    )
+    def test_parameter_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            QuestParameters(**kwargs)
+
+
+class TestMushroomGenerator:
+    def test_shape_matches_schema(self):
+        rows = generate_mushroom_like(num_rows=50)
+        assert len(rows) == 50
+        assert all(len(row) == len(MUSHROOM_ATTRIBUTE_CARDINALITIES) for row in rows)
+
+    def test_one_value_per_attribute(self):
+        """Two values of the same attribute must never co-occur."""
+        for row in generate_mushroom_like(num_rows=40, seed=2):
+            attributes = [item.split("v")[0] for item in row]
+            assert len(attributes) == len(set(attributes))
+
+    def test_constant_attribute(self):
+        """veil-type has cardinality 1 -> the same item in every row."""
+        rows = generate_mushroom_like(num_rows=30)
+        assert all("a16v0" in row for row in rows)
+
+    def test_item_universe_bounded_by_schema(self):
+        rows = generate_mushroom_like(num_rows=2000, seed=4)
+        items = {item for row in rows for item in row}
+        assert len(items) <= sum(MUSHROOM_ATTRIBUTE_CARDINALITIES)
+
+    def test_density(self):
+        """Clusters should make some attribute values very frequent."""
+        rows = generate_mushroom_like(num_rows=300, seed=6)
+        counts = {}
+        for row in rows:
+            for item in row:
+                counts[item] = counts.get(item, 0) + 1
+        assert max(counts.values()) >= 0.5 * len(rows)
+
+    def test_deterministic(self):
+        assert generate_mushroom_like(num_rows=20, seed=7) == generate_mushroom_like(
+            num_rows=20, seed=7
+        )
+
+    @pytest.mark.parametrize(
+        "kwargs", [{"num_rows": -1}, {"cluster_fidelity": 1.5}, {"num_clusters": 0}]
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            generate_mushroom_like(**kwargs)
+
+
+class TestGaussianInjection:
+    def test_range_clipping(self):
+        rng = random.Random(0)
+        values = gaussian_probabilities(2000, 0.5, 0.5, rng)
+        assert all(0.01 <= value <= 1.0 for value in values)
+        # Variance 0.5 must clip substantially at both edges.
+        assert any(value == 0.01 for value in values)
+        assert any(value == 1.0 for value in values)
+
+    def test_max_probability_cap(self):
+        rng = random.Random(0)
+        values = gaussian_probabilities(500, 0.9, 0.2, rng, max_probability=0.95)
+        assert all(value <= 0.95 for value in values)
+
+    def test_mean_tracks_parameter(self):
+        rng = random.Random(1)
+        values = gaussian_probabilities(5000, 0.8, 0.01, rng)
+        assert sum(values) / len(values) == pytest.approx(0.8, abs=0.02)
+
+    def test_attach_builds_database(self):
+        db = attach_gaussian_probabilities([("a",), ("b",)], 0.8, 0.1, seed=3)
+        assert isinstance(db, UncertainDatabase)
+        assert len(db) == 2
+
+    def test_attach_is_deterministic(self):
+        first = attach_gaussian_probabilities([("a",)] , 0.5, 0.2, seed=9)
+        second = attach_gaussian_probabilities([("a",)], 0.5, 0.2, seed=9)
+        assert first.probabilities == second.probabilities
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"variance": -1.0},
+            {"min_probability": 0.0},
+            {"min_probability": 0.5, "max_probability": 0.4},
+        ],
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            gaussian_probabilities(
+                5, kwargs.pop("mean", 0.5), kwargs.pop("variance", 0.1),
+                random.Random(0), **kwargs
+            )
+
+
+class TestIO:
+    def test_round_trip(self, tmp_path):
+        db = UncertainDatabase.from_rows(
+            [("T1", "ab", 0.9), ("T2", ("x", "y z".replace(" ", "_")), 0.25)]
+        )
+        path = tmp_path / "db.utd"
+        save_uncertain_database(db, path)
+        loaded = load_uncertain_database(path)
+        assert [(t.tid, t.items, t.probability) for t in loaded] == [
+            (t.tid, t.items, t.probability) for t in db
+        ]
+
+    @given(uncertain_databases(max_transactions=6))
+    @settings(max_examples=20, deadline=None)
+    def test_round_trip_property(self, db):
+        import tempfile
+        from pathlib import Path
+
+        with tempfile.TemporaryDirectory() as tmp:
+            path = Path(tmp) / "db.utd"
+            self._assert_round_trip(db, path)
+
+    def _assert_round_trip(self, db, path):
+        save_uncertain_database(db, path)
+        loaded = load_uncertain_database(path)
+        assert len(loaded) == len(db)
+        assert loaded.items == db.items
+        for original, reread in zip(db, loaded):
+            assert original.items == reread.items
+            assert original.probability == pytest.approx(reread.probability)
+
+    def test_comments_and_blanks_are_skipped(self, tmp_path):
+        path = tmp_path / "db.utd"
+        path.write_text("# header\n\nT1\t0.5\ta b\n", encoding="utf-8")
+        db = load_uncertain_database(path)
+        assert len(db) == 1
+
+    def test_malformed_line_reports_location(self, tmp_path):
+        path = tmp_path / "db.utd"
+        path.write_text("T1 0.5 a b\n", encoding="utf-8")  # spaces, not tabs
+        with pytest.raises(ValueError, match="db.utd:1"):
+            load_uncertain_database(path)
+
+    def test_bad_probability_reports_location(self, tmp_path):
+        path = tmp_path / "db.utd"
+        path.write_text("T1\thigh\ta\n", encoding="utf-8")
+        with pytest.raises(ValueError, match="bad probability"):
+            load_uncertain_database(path)
+
+    def test_exact_round_trip(self, tmp_path):
+        transactions = [("a", "b"), ("c",)]
+        path = tmp_path / "exact.dat"
+        save_exact_transactions(transactions, path)
+        assert load_exact_transactions(path) == [("a", "b"), ("c",)]
+
+
+class TestClickstreamGenerator:
+    def test_shape(self):
+        from repro.data.clickstream import generate_clickstream
+
+        sessions = generate_clickstream(num_sessions=300, num_items=50, seed=2)
+        assert len(sessions) == 300
+        assert all(sessions)
+        items = {item for session in sessions for item in session}
+        assert len(items) <= 50
+
+    def test_power_law_head(self):
+        """The most popular page must dominate the tail by a wide margin."""
+        from repro.data.clickstream import generate_clickstream
+
+        sessions = generate_clickstream(
+            num_sessions=2000, num_items=100, zipf_exponent=1.3, seed=3
+        )
+        counts = {}
+        for session in sessions:
+            for item in session:
+                counts[item] = counts.get(item, 0) + 1
+        ranked = sorted(counts.values(), reverse=True)
+        assert ranked[0] > 5 * ranked[min(30, len(ranked) - 1)]
+
+    def test_average_length_tracks_parameter(self):
+        from repro.data.clickstream import generate_clickstream
+
+        sessions = generate_clickstream(
+            num_sessions=2000, avg_session_length=6.0, seed=4
+        )
+        # Distinct pages per session <= clicks; allow revisit shrinkage.
+        average = sum(len(s) for s in sessions) / len(sessions)
+        assert 3.0 < average < 7.0
+
+    def test_deterministic(self):
+        from repro.data.clickstream import generate_clickstream
+
+        assert generate_clickstream(num_sessions=20, seed=5) == generate_clickstream(
+            num_sessions=20, seed=5
+        )
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"num_sessions": -1},
+            {"num_items": 0},
+            {"avg_session_length": 0.5},
+            {"locality": 1.5},
+            {"zipf_exponent": 0.0},
+        ],
+    )
+    def test_validation(self, kwargs):
+        from repro.data.clickstream import generate_clickstream
+
+        with pytest.raises(ValueError):
+            generate_clickstream(**kwargs)
+
+
+class TestGzipIO:
+    def test_gz_round_trip(self, tmp_path):
+        import gzip
+
+        db = UncertainDatabase.from_rows([("T1", "ab", 0.9), ("T2", "c", 0.4)])
+        path = tmp_path / "db.utd.gz"
+        save_uncertain_database(db, path)
+        # It really is gzip on disk...
+        with gzip.open(path, "rt", encoding="utf-8") as handle:
+            assert handle.readline().startswith("#")
+        # ... and loads transparently.
+        loaded = load_uncertain_database(path)
+        assert [(t.tid, t.items) for t in loaded] == [
+            (t.tid, t.items) for t in db
+        ]
+
+    def test_gz_exact_round_trip(self, tmp_path):
+        path = tmp_path / "exact.dat.gz"
+        save_exact_transactions([("a", "b"), ("c",)], path)
+        assert load_exact_transactions(path) == [("a", "b"), ("c",)]
+
+    def test_gz_is_smaller_for_repetitive_data(self, tmp_path):
+        db = UncertainDatabase.from_rows(
+            [(f"T{i}", "abcdefgh", 0.5) for i in range(500)]
+        )
+        plain = tmp_path / "db.utd"
+        packed = tmp_path / "db.utd.gz"
+        save_uncertain_database(db, plain)
+        save_uncertain_database(db, packed)
+        assert packed.stat().st_size < plain.stat().st_size / 4

@@ -1,0 +1,135 @@
+"""Unit and property tests for the uncertain database data model."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+
+from repro.core.database import (
+    UncertainDatabase,
+    UncertainTransaction,
+    difference_tidsets,
+    intersect_tidsets,
+    paper_table2_database,
+    paper_table4_database,
+)
+from tests.conftest import uncertain_databases
+
+
+class TestUncertainTransaction:
+    def test_basic_construction(self):
+        txn = UncertainTransaction("T1", ("b", "a"), 0.5)
+        assert txn.items == ("a", "b")
+        assert txn.contains("a")
+        assert txn.contains(("a", "b"))
+        assert not txn.contains(("a", "c"))
+
+    @pytest.mark.parametrize("probability", [0.0, -0.1, 1.5, 2.0])
+    def test_rejects_bad_probability(self, probability):
+        with pytest.raises(ValueError, match="probability"):
+            UncertainTransaction("T1", ("a",), probability)
+
+    def test_rejects_empty_items(self):
+        with pytest.raises(ValueError, match="empty"):
+            UncertainTransaction("T1", (), 0.5)
+
+    def test_probability_one_allowed(self):
+        assert UncertainTransaction("T1", ("a",), 1.0).probability == 1.0
+
+
+class TestUncertainDatabase:
+    def test_from_rows(self):
+        db = UncertainDatabase.from_rows([("T1", "ab", 0.5), ("T2", "bc", 0.9)])
+        assert len(db) == 2
+        assert db.items == ("a", "b", "c")
+        assert db.probabilities == (0.5, 0.9)
+
+    def test_from_itemsets_generates_tids(self):
+        db = UncertainDatabase.from_itemsets(["ab", "c"], [0.3, 0.4])
+        assert [txn.tid for txn in db] == ["T1", "T2"]
+
+    def test_rejects_duplicate_tids(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            UncertainDatabase.from_rows([("T1", "a", 0.5), ("T1", "b", 0.5)])
+
+    def test_tidsets(self):
+        db = paper_table2_database()
+        assert db.tidset("a") == (0, 1, 2, 3)
+        assert db.tidset("d") == (0, 3)
+        assert db.tidset("ad") == (0, 3)
+        assert db.tidset(()) == (0, 1, 2, 3)
+        assert db.tidset("ax") == ()
+
+    def test_counts_match_paper(self):
+        db = paper_table2_database()
+        assert db.count("abcd") == 2  # Definition 4.2's worked example
+        assert db.count("abc") == 4
+
+    def test_expected_support(self):
+        db = paper_table2_database()
+        assert db.expected_support("abc") == pytest.approx(0.9 + 0.6 + 0.7 + 0.9)
+        assert db.expected_support("d") == pytest.approx(1.8)
+
+    def test_world_probability(self):
+        db = paper_table2_database()
+        # PW5 of Table III: T1, T2, T3 present, T4 absent -> 0.0378.
+        assert db.world_probability([0, 1, 2]) == pytest.approx(
+            0.9 * 0.6 * 0.7 * 0.1
+        )
+
+    def test_world_materialization(self):
+        db = paper_table2_database()
+        assert db.world([0, 3]) == [("a", "b", "c", "d"), ("a", "b", "c", "d")]
+
+    def test_certain_projection(self):
+        db = paper_table2_database()
+        assert len(db.certain_projection()) == 4
+        assert db.certain_projection()[1] == ("a", "b", "c")
+
+    def test_restrict(self):
+        db = paper_table2_database()
+        sub = db.restrict([0, 3])
+        assert len(sub) == 2
+        assert sub[0].tid == "T1"
+        assert sub[1].tid == "T4"
+
+    def test_table4_has_six_rows(self):
+        assert len(paper_table4_database()) == 6
+
+    @given(uncertain_databases())
+    @settings(max_examples=30, deadline=None)
+    def test_tidset_of_pair_is_intersection(self, db):
+        items = db.items
+        if len(items) >= 2:
+            pair = (items[0], items[-1])
+            expected = intersect_tidsets(
+                db.tidset_of_item(pair[0]), db.tidset_of_item(pair[1])
+            )
+            assert db.tidset(pair) == expected
+
+    @given(uncertain_databases())
+    @settings(max_examples=30, deadline=None)
+    def test_counts_are_consistent(self, db):
+        for item in db.items:
+            assert db.count((item,)) == len(db.tidset_of_item(item))
+            assert db.count((item,)) == sum(
+                1 for txn in db if item in txn.items
+            )
+
+
+class TestTidsetAlgebra:
+    def test_intersect(self):
+        assert intersect_tidsets((0, 1, 3, 5), (1, 2, 3, 6)) == (1, 3)
+
+    def test_intersect_empty(self):
+        assert intersect_tidsets((), (1, 2)) == ()
+        assert intersect_tidsets((1, 2), ()) == ()
+
+    def test_intersect_disjoint(self):
+        assert intersect_tidsets((0, 2), (1, 3)) == ()
+
+    def test_difference(self):
+        assert difference_tidsets((0, 1, 2, 3), (1, 3)) == (0, 2)
+
+    def test_difference_of_equal_is_empty(self):
+        assert difference_tidsets((1, 2), (1, 2)) == ()

@@ -1,0 +1,28 @@
+"""Run the doctests embedded in the library's docstrings.
+
+Doctests double as executable documentation: the quickstart snippets in the
+module docstrings must keep producing exactly the paper's numbers.
+"""
+
+import doctest
+
+import pytest
+
+import repro.core.itemsets
+import repro.core.miner
+import repro.data.gaussian
+
+MODULES_WITH_DOCTESTS = [
+    repro.core.itemsets,
+    repro.core.miner,
+    repro.data.gaussian,
+]
+
+
+@pytest.mark.parametrize(
+    "module", MODULES_WITH_DOCTESTS, ids=lambda module: module.__name__
+)
+def test_module_doctests(module):
+    result = doctest.testmod(module, verbose=False)
+    assert result.attempted > 0, f"{module.__name__} lost its doctests"
+    assert result.failed == 0

@@ -1,0 +1,202 @@
+"""Adversarial constructions and failure-injection tests.
+
+These target the places where the miner's pruning logic could plausibly go
+wrong: certain (p=1.0) transactions that annihilate extension events, long
+chains of items with identical tidsets (deep subset-pruning cascades),
+item orders engineered so superset pruning must fire mid-path, and
+degenerate thresholds.
+Every case is checked against the possible-world oracle.
+"""
+
+import pytest
+
+from repro.core.bfs import MPFCIBreadthFirstMiner
+from repro.core.config import MinerConfig
+from repro.core.database import UncertainDatabase
+from repro.core.miner import MPFCIMiner, mine_pfci
+from repro.core.possible_worlds import exact_frequent_closed_itemsets
+from repro.core.closedness import frequent_closed_probability_exact
+
+
+def assert_matches_oracle(db, min_sup, pfct, **config_kwargs):
+    truth = exact_frequent_closed_itemsets(db, min_sup, pfct)
+    config = MinerConfig(
+        min_sup=min_sup, pfct=pfct, exact_event_limit=32, **config_kwargs
+    )
+    results = MPFCIMiner(db, config).mine()
+    assert {r.itemset for r in results} == set(truth)
+    return results, truth
+
+
+class TestCertainTransactions:
+    def test_all_certain_reduces_to_exact_mining(self):
+        """With every probability 1.0 there is one world: results must be
+        exactly the deterministic frequent closed itemsets, each with
+        probability 1."""
+        db = UncertainDatabase.from_rows(
+            [("T1", "ab", 1.0), ("T2", "ab", 1.0), ("T3", "abc", 1.0)]
+        )
+        results, truth = assert_matches_oracle(db, 2, 0.5)
+        for result in results:
+            assert result.probability == pytest.approx(1.0)
+        assert {r.itemset for r in results} == {("a", "b")}
+
+    def test_certain_transaction_annihilates_events(self):
+        """A certain transaction containing X but not e makes C_e impossible
+        (its absent factor is 0): Pr_FC(X) = Pr_F(X)."""
+        db = UncertainDatabase.from_rows(
+            [("T1", "a", 1.0), ("T2", "ab", 0.5), ("T3", "ab", 0.5)]
+        )
+        value = frequent_closed_probability_exact(db, "a", 1)
+        # {a} is closed unless... T1 is always present and contains exactly
+        # {a}; the closure of {a} always equals {a}. Pr_C({a}) = 1.
+        assert value == pytest.approx(1.0)
+        assert_matches_oracle(db, 1, 0.5)
+
+    def test_mixed_certain_and_uncertain(self):
+        db = UncertainDatabase.from_rows(
+            [
+                ("T1", "abc", 1.0),
+                ("T2", "ab", 0.3),
+                ("T3", "bc", 1.0),
+                ("T4", "c", 0.9),
+            ]
+        )
+        for min_sup in (1, 2, 3):
+            assert_matches_oracle(db, min_sup, 0.2)
+
+
+class TestIdenticalTidsetChains:
+    def test_deep_subset_pruning_cascade(self):
+        """Five items that always co-occur: only the 5-itemset can be closed."""
+        db = UncertainDatabase.from_rows(
+            [("T1", "abcde", 0.9), ("T2", "abcde", 0.8), ("T3", "abcde", 0.7)]
+        )
+        results, _truth = assert_matches_oracle(db, 2, 0.5)
+        assert {r.itemset for r in results} == {("a", "b", "c", "d", "e")}
+
+    def test_pruning_counters_on_cascade(self):
+        db = UncertainDatabase.from_rows(
+            [("T1", "abcde", 0.9), ("T2", "abcde", 0.8), ("T3", "abcde", 0.7)]
+        )
+        miner = MPFCIMiner(db, MinerConfig(min_sup=2, pfct=0.5))
+        miner.mine()
+        # The a-branch absorbs b..e one at a time; the b,c,d,e branches die
+        # to superset pruning immediately.
+        assert miner.stats.pruned_by_superset == 4
+        assert miner.stats.pruned_by_subset > 0
+
+    def test_two_identical_groups(self):
+        """{a,b} and {c,d} each always co-occur but independently."""
+        db = UncertainDatabase.from_rows(
+            [("T1", "ab", 0.9), ("T2", "abcd", 0.8), ("T3", "cd", 0.7),
+             ("T4", "abcd", 0.6)]
+        )
+        assert_matches_oracle(db, 1, 0.3)
+        assert_matches_oracle(db, 2, 0.3)
+
+
+class TestThresholdExtremes:
+    def test_min_sup_equals_database_size(self):
+        db = UncertainDatabase.from_rows(
+            [("T1", "ab", 0.9), ("T2", "ab", 0.9), ("T3", "ab", 0.9)]
+        )
+        results, _ = assert_matches_oracle(db, 3, 0.5)
+        assert {r.itemset for r in results} == {("a", "b")}
+        assert results[0].probability == pytest.approx(0.9**3)
+
+    def test_pfct_barely_below_probability(self):
+        db = UncertainDatabase.from_rows([("T1", "a", 0.9)])
+        # Pr_FC({a}) = 0.9; thresholds straddling it flip membership.
+        assert {r.itemset for r in mine_pfci(db, 1, pfct=0.89999)} == {("a",)}
+        assert mine_pfci(db, 1, pfct=0.9) == []
+
+    def test_every_variant_on_singleton_database(self):
+        db = UncertainDatabase.from_rows([("T1", "a", 0.4)])
+        for flags in (
+            {},
+            {"use_chernoff_pruning": False},
+            {"use_probability_bounds": False},
+        ):
+            results = MPFCIMiner(
+                db, MinerConfig(min_sup=1, pfct=0.3, **flags)
+            ).mine()
+            assert [r.itemset for r in results] == [("a",)]
+            assert results[0].probability == pytest.approx(0.4)
+
+
+class TestLowProbabilityRegime:
+    def test_tiny_probabilities(self):
+        """Everything is improbable: no results, no crashes."""
+        db = UncertainDatabase.from_rows(
+            [(f"T{i}", "ab", 0.01) for i in range(8)]
+        )
+        assert mine_pfci(db, min_sup=4, pfct=0.5) == []
+
+    def test_chernoff_pruning_kills_everything_early(self):
+        db = UncertainDatabase.from_rows(
+            [(f"T{i}", "ab", 0.05) for i in range(10)]
+        )
+        miner = MPFCIMiner(db, MinerConfig(min_sup=9, pfct=0.8))
+        assert miner.mine() == []
+        assert miner.stats.pruned_by_chernoff >= 1
+        # The CH filter decided before any DP ran for those items.
+        assert miner.stats.nodes_visited == 0
+
+
+class TestItemOrderSensitivity:
+    """Result sets must not depend on item naming (enumeration order)."""
+
+    @pytest.mark.parametrize("mapping", [
+        {"a": "z", "b": "y", "c": "x", "d": "w"},   # full reversal
+        {"a": "m", "b": "a", "c": "q", "d": "b"},   # scramble
+    ])
+    def test_renaming_items_preserves_results(self, paper_db, mapping):
+        renamed_rows = [
+            (txn.tid, tuple(mapping[item] for item in txn.items), txn.probability)
+            for txn in paper_db
+        ]
+        renamed = UncertainDatabase.from_rows(renamed_rows)
+        original = {
+            frozenset(r.itemset): round(r.probability, 9)
+            for r in mine_pfci(paper_db, 2, pfct=0.8)
+        }
+        translated = {
+            frozenset(mapping[item] for item in itemset): probability
+            for itemset, probability in original.items()
+        }
+        got = {
+            frozenset(r.itemset): round(r.probability, 9)
+            for r in mine_pfci(renamed, 2, pfct=0.8)
+        }
+        assert got == translated
+
+    def test_bfs_agrees_on_adversarial_order(self):
+        """Superset pruning depends on item order; BFS (which cannot use it)
+        must still agree."""
+        db = UncertainDatabase.from_rows(
+            [("T1", "zy", 0.9), ("T2", "zyx", 0.8), ("T3", "x", 0.7),
+             ("T4", "zx", 0.6)]
+        )
+        config = MinerConfig(min_sup=1, pfct=0.3, exact_event_limit=32)
+        dfs = {r.itemset for r in MPFCIMiner(db, config).mine()}
+        bfs = {r.itemset for r in MPFCIBreadthFirstMiner(db, config).mine()}
+        truth = set(exact_frequent_closed_itemsets(db, 1, 0.3))
+        assert dfs == bfs == truth
+
+
+class TestNumericRobustness:
+    def test_many_transactions_probability_underflow(self):
+        """600 rows: world probabilities underflow but tail DP must not."""
+        db = UncertainDatabase.from_rows(
+            [(f"T{i}", "ab", 0.5) for i in range(600)]
+        )
+        results = mine_pfci(db, min_sup=250, pfct=0.9)
+        assert {r.itemset for r in results} == {("a", "b")}
+        assert 0.9 < results[0].probability <= 1.0
+
+    def test_duplicate_probability_values(self):
+        db = UncertainDatabase.from_rows(
+            [(f"T{i}", "abc"[: (i % 3) + 1], 0.5) for i in range(9)]
+        )
+        assert_matches_oracle(db, 2, 0.4)

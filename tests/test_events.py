@@ -1,0 +1,138 @@
+"""Tests for the extension-event system (Section IV.B's DNF machinery).
+
+Every probability produced by :class:`ExtensionEventSystem` is validated
+against a direct possible-world computation of the event semantics:
+``C_i = { w : support_w(X+e_i) = support_w(X) >= min_sup }``.
+"""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.core.database import paper_table2_database
+from repro.core.events import ExtensionEventSystem
+from repro.core.itemsets import canonical
+from repro.core.possible_worlds import enumerate_worlds, world_support
+from tests.conftest import uncertain_databases
+
+
+def oracle_conjunction(database, itemset, extension_items, min_sup):
+    """Pr(∧ C_i) straight from the definition, by world enumeration."""
+    itemset = canonical(itemset)
+    total = 0.0
+    for world, probability in enumerate_worlds(database):
+        base_support = world_support(database, world, itemset)
+        if base_support < min_sup:
+            continue
+        if all(
+            world_support(database, world, canonical(itemset + (item,)))
+            == base_support
+            for item in extension_items
+        ):
+            total += probability
+    return total
+
+
+class TestEventConstruction:
+    def test_paper_running_example(self, paper_db):
+        events = ExtensionEventSystem(paper_db, "abc", min_sup=2)
+        assert [event.item for event in events.events] == ["d"]
+        event = events.events[0]
+        # Pr(C_d) = (1-0.6)(1-0.7) * Pr_F({abcd}) = 0.12 * 0.81 = 0.0972.
+        assert event.absent_factor == pytest.approx(0.12)
+        assert event.frequent_probability == pytest.approx(0.81)
+        assert event.probability == pytest.approx(0.0972)
+
+    def test_no_events_for_maximal_itemset(self, paper_db):
+        events = ExtensionEventSystem(paper_db, "abcd", min_sup=2)
+        assert len(events) == 0
+
+    def test_low_count_extensions_are_dropped(self, paper_db):
+        # min_sup=3 makes the d-extension impossible (count 2 < 3).
+        events = ExtensionEventSystem(paper_db, "abc", min_sup=3)
+        assert len(events) == 0
+
+    def test_certain_cooccurrence_detection(self, paper_db):
+        # b always co-occurs with a (same tidset).
+        events = ExtensionEventSystem(paper_db, "a", min_sup=2)
+        assert events.has_certain_cooccurrence()
+        events = ExtensionEventSystem(paper_db, "abc", min_sup=2)
+        assert not events.has_certain_cooccurrence()
+
+
+class TestEventProbabilities:
+    @given(uncertain_databases(max_transactions=6, max_items=4))
+    @settings(max_examples=30, deadline=None)
+    def test_singletons_match_oracle(self, db):
+        itemset = (db.items[0],)
+        min_sup = 2
+        events = ExtensionEventSystem(db, itemset, min_sup)
+        for event in events.events:
+            oracle = oracle_conjunction(db, itemset, [event.item], min_sup)
+            assert event.probability == pytest.approx(oracle, abs=1e-9)
+
+    @given(uncertain_databases(max_transactions=6, max_items=5))
+    @settings(max_examples=30, deadline=None)
+    def test_pairwise_matches_oracle(self, db):
+        itemset = (db.items[0],)
+        min_sup = 1
+        events = ExtensionEventSystem(db, itemset, min_sup)
+        for first in range(len(events.events)):
+            for second in range(first + 1, len(events.events)):
+                oracle = oracle_conjunction(
+                    db,
+                    itemset,
+                    [events.events[first].item, events.events[second].item],
+                    min_sup,
+                )
+                assert events.pairwise_probability(first, second) == pytest.approx(
+                    oracle, abs=1e-9
+                )
+
+    def test_pairwise_is_memoized_and_symmetric(self, paper_db):
+        events = ExtensionEventSystem(paper_db, "a", min_sup=2)
+        assert len(events) >= 2
+        forward = events.pairwise_probability(0, 1)
+        backward = events.pairwise_probability(1, 0)
+        assert forward == backward
+        assert len(events._pairwise) == 1
+
+    def test_diagonal_pairwise_is_singleton(self, paper_db):
+        events = ExtensionEventSystem(paper_db, "a", min_sup=2)
+        assert events.pairwise_probability(0, 0) == events.events[0].probability
+
+    def test_conjunction_of_nothing_raises(self, paper_db):
+        events = ExtensionEventSystem(paper_db, "a", min_sup=2)
+        with pytest.raises(ValueError):
+            events.conjunction_probability([])
+
+
+class TestUnionProbability:
+    def test_paper_value(self, paper_db):
+        events = ExtensionEventSystem(paper_db, "abc", min_sup=2)
+        # Single event: union = Pr(C_d) = 0.0972.
+        assert events.union_probability_exact() == pytest.approx(0.0972)
+
+    @given(uncertain_databases(max_transactions=6, max_items=5))
+    @settings(max_examples=40, deadline=None)
+    def test_union_matches_oracle(self, db):
+        itemset = (db.items[0],)
+        min_sup = 2
+        events = ExtensionEventSystem(db, itemset, min_sup)
+        oracle = 0.0
+        for world, probability in enumerate_worlds(db):
+            base_support = world_support(db, world, itemset)
+            if base_support < min_sup:
+                continue
+            if any(
+                world_support(db, world, canonical(itemset + (event.item,)))
+                == base_support
+                for event in events.events
+            ):
+                oracle += probability
+        assert events.union_probability_exact() == pytest.approx(oracle, abs=1e-9)
+
+    def test_union_bounded_by_singleton_sum(self, paper_db):
+        events = ExtensionEventSystem(paper_db, "a", min_sup=2)
+        assert events.union_probability_exact() <= sum(
+            events.singleton_probabilities
+        ) + 1e-12

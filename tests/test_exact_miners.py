@@ -1,0 +1,160 @@
+"""Tests for the exact-data mining substrate (Apriori/Eclat/FP-growth/closed)."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.exact import (
+    mine_closed_itemsets,
+    mine_frequent_itemsets_apriori,
+    mine_frequent_itemsets_eclat,
+    mine_frequent_itemsets_fpgrowth,
+)
+from repro.exact.charm import closure_of_tidset, is_closed_in
+from repro.exact.fptree import FPTree
+from tests.conftest import brute_force_closed, brute_force_frequent, exact_transactions
+
+MINERS = [
+    mine_frequent_itemsets_apriori,
+    mine_frequent_itemsets_eclat,
+    mine_frequent_itemsets_fpgrowth,
+]
+
+SAMPLE = [
+    ("a", "b", "c"),
+    ("a", "b"),
+    ("a", "c"),
+    ("b", "c"),
+    ("a", "b", "c", "d"),
+]
+
+
+class TestFrequentMiners:
+    @pytest.mark.parametrize("miner", MINERS)
+    def test_simple_database(self, miner):
+        results = dict(miner(SAMPLE, 3))
+        assert results[("a",)] == 4
+        assert results[("a", "b")] == 3
+        assert ("a", "b", "c") not in results  # support 2 < 3
+
+    @pytest.mark.parametrize("miner", MINERS)
+    def test_empty_database(self, miner):
+        assert miner([], 1) == []
+
+    @pytest.mark.parametrize("miner", MINERS)
+    def test_min_sup_one_returns_everything(self, miner):
+        results = miner([("a", "b")], 1)
+        assert set(x for x, _s in results) == {("a",), ("b",), ("a", "b")}
+
+    @pytest.mark.parametrize("miner", MINERS)
+    def test_rejects_min_sup_zero(self, miner):
+        with pytest.raises(ValueError):
+            miner(SAMPLE, 0)
+
+    @pytest.mark.parametrize("miner", MINERS)
+    @given(transactions=exact_transactions())
+    @settings(max_examples=40, deadline=None)
+    def test_matches_brute_force(self, miner, transactions):
+        min_sup = max(1, len(transactions) // 2)
+        got = sorted(set(miner(transactions, min_sup)))
+        assert got == sorted(brute_force_frequent(transactions, min_sup))
+
+    @given(transactions=exact_transactions())
+    @settings(max_examples=30, deadline=None)
+    def test_all_three_agree(self, transactions):
+        results = [sorted(set(miner(transactions, 2))) for miner in MINERS]
+        assert results[0] == results[1] == results[2]
+
+
+class TestClosedMiner:
+    def test_simple_database(self):
+        results = dict(mine_closed_itemsets(SAMPLE, 2))
+        # {a} is not closed (every a co-occurs with... no: a appears in 4,
+        # ab in 3 -> a IS closed).
+        assert results[("a",)] == 4
+        assert results[("a", "b", "c")] == 2
+        assert ("a", "b", "c", "d") not in results  # support 1 < 2
+
+    def test_every_closed_set_is_frequent_and_closed(self):
+        for itemset, support in mine_closed_itemsets(SAMPLE, 2):
+            assert support >= 2
+            assert is_closed_in(SAMPLE, itemset)
+
+    def test_identical_transactions(self):
+        transactions = [("a", "b")] * 3
+        assert mine_closed_itemsets(transactions, 2) == [(("a", "b"), 3)]
+
+    def test_empty_database(self):
+        assert mine_closed_itemsets([], 1) == []
+
+    @given(transactions=exact_transactions())
+    @settings(max_examples=50, deadline=None)
+    def test_matches_brute_force(self, transactions):
+        for min_sup in (1, 2):
+            got = sorted(mine_closed_itemsets(transactions, min_sup))
+            assert got == sorted(brute_force_closed(transactions, min_sup))
+
+    @given(transactions=exact_transactions())
+    @settings(max_examples=30, deadline=None)
+    def test_no_duplicates(self, transactions):
+        mined = mine_closed_itemsets(transactions, 1)
+        itemsets = [itemset for itemset, _support in mined]
+        assert len(itemsets) == len(set(itemsets))
+
+    @given(transactions=exact_transactions())
+    @settings(max_examples=30, deadline=None)
+    def test_closed_supports_are_support_distinct_maximal(self, transactions):
+        """Each closed itemset's support differs from all proper supersets'."""
+        closed = dict(mine_closed_itemsets(transactions, 1))
+        frequent = dict(brute_force_frequent(transactions, 1))
+        for itemset, support in closed.items():
+            for other, other_support in frequent.items():
+                if set(other) > set(itemset):
+                    assert other_support < support
+
+
+class TestClosureHelpers:
+    def test_closure_of_tidset(self):
+        sets = [frozenset("abc"), frozenset("abd"), frozenset("ab")]
+        assert closure_of_tidset(sets, [0, 1, 2]) == frozenset("ab")
+        assert closure_of_tidset(sets, [0]) == frozenset("abc")
+
+    def test_closure_of_empty_tidset_raises(self):
+        with pytest.raises(ValueError):
+            closure_of_tidset([frozenset("a")], [])
+
+    def test_is_closed_in_support_zero(self):
+        assert not is_closed_in([("a",)], ("b",))
+
+
+class TestFPTree:
+    def test_single_path_detection(self):
+        tree = FPTree.from_transactions([("a", "b"), ("a", "b"), ("a",)], 1)
+        path = tree.single_path()
+        assert path is not None
+        assert [item for item, _count in path] == ["a", "b"]
+        assert [count for _item, count in path] == [3, 2]
+
+    def test_branching_tree_has_no_single_path(self):
+        tree = FPTree.from_transactions([("a", "b"), ("a", "c")], 1)
+        assert tree.single_path() is None
+
+    def test_header_chain_counts(self):
+        tree = FPTree.from_transactions([("a", "b"), ("b", "c"), ("b",)], 1)
+        assert sum(node.count for node in tree.node_chain("b")) == 3
+
+    def test_conditional_pattern_base(self):
+        tree = FPTree.from_transactions([("a", "b"), ("a", "b"), ("b",)], 1)
+        # b (count 3) ranks above a (count 2), so a hangs under b and the
+        # conditional base of a is the b-prefix; b itself sits at the root.
+        assert tree.conditional_pattern_base("a") == [(["b"], 2)]
+        assert tree.conditional_pattern_base("b") == []
+
+    def test_infrequent_items_are_dropped(self):
+        tree = FPTree.from_transactions([("a", "x"), ("a",)], 2)
+        assert "x" not in tree.item_counts
+        assert tree.item_counts["a"] == 2
+
+    def test_empty_tree(self):
+        tree = FPTree.from_transactions([], 1)
+        assert tree.is_empty()
+        assert tree.single_path() == []

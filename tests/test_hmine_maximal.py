@@ -1,0 +1,99 @@
+"""Tests for the H-mine miner and the maximal-itemset miner."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.exact.charm import mine_closed_itemsets
+from repro.exact.hmine import mine_frequent_itemsets_hmine
+from repro.exact.eclat import mine_frequent_itemsets_eclat
+from repro.exact.maximal import is_maximal_in, mine_maximal_itemsets
+from tests.conftest import brute_force_frequent, exact_transactions
+
+SAMPLE = [
+    ("a", "b", "c"),
+    ("a", "b"),
+    ("a", "c"),
+    ("b", "c"),
+    ("a", "b", "c", "d"),
+]
+
+
+class TestHMine:
+    def test_simple_database(self):
+        results = dict(mine_frequent_itemsets_hmine(SAMPLE, 3))
+        assert results[("a",)] == 4
+        assert results[("a", "b")] == 3
+        assert ("a", "b", "c") not in results
+
+    def test_empty_database(self):
+        assert mine_frequent_itemsets_hmine([], 1) == []
+
+    def test_rejects_min_sup_zero(self):
+        with pytest.raises(ValueError):
+            mine_frequent_itemsets_hmine(SAMPLE, 0)
+
+    def test_infrequent_items_filtered_globally(self):
+        results = mine_frequent_itemsets_hmine([("a", "x"), ("a",)], 2)
+        assert results == [(("a",), 2)]
+
+    @given(transactions=exact_transactions())
+    @settings(max_examples=40, deadline=None)
+    def test_matches_brute_force(self, transactions):
+        for min_sup in (1, 2):
+            got = sorted(set(mine_frequent_itemsets_hmine(transactions, min_sup)))
+            assert got == sorted(brute_force_frequent(transactions, min_sup))
+
+    @given(transactions=exact_transactions())
+    @settings(max_examples=25, deadline=None)
+    def test_agrees_with_eclat(self, transactions):
+        assert mine_frequent_itemsets_hmine(transactions, 2) == sorted(
+            set(mine_frequent_itemsets_eclat(transactions, 2)),
+            key=lambda pair: (len(pair[0]), pair[0]),
+        )
+
+
+class TestMaximal:
+    def test_simple_database(self):
+        maximal = mine_maximal_itemsets(SAMPLE, 2)
+        # {abc} (support 2) dominates everything at min_sup=2.
+        assert maximal == [(("a", "b", "c"), 2)]
+
+    def test_min_sup_one_returns_longest_transactions(self):
+        maximal = dict(mine_maximal_itemsets(SAMPLE, 1))
+        assert set(maximal) == {("a", "b", "c", "d")}
+
+    def test_empty(self):
+        assert mine_maximal_itemsets([], 1) == []
+
+    def test_is_maximal_predicate(self):
+        assert is_maximal_in(SAMPLE, "abc", 2)
+        assert not is_maximal_in(SAMPLE, "ab", 2)     # abc still frequent
+        assert not is_maximal_in(SAMPLE, "abcd", 2)   # not frequent
+
+    @given(transactions=exact_transactions())
+    @settings(max_examples=40, deadline=None)
+    def test_matches_predicate(self, transactions):
+        for min_sup in (1, 2):
+            frequent = brute_force_frequent(transactions, min_sup)
+            expected = sorted(
+                (itemset, support)
+                for itemset, support in frequent
+                if is_maximal_in(transactions, itemset, min_sup)
+            )
+            got = sorted(mine_maximal_itemsets(transactions, min_sup))
+            assert got == expected
+
+    @given(transactions=exact_transactions())
+    @settings(max_examples=25, deadline=None)
+    def test_maximal_subset_of_closed(self, transactions):
+        maximal = {x for x, _s in mine_maximal_itemsets(transactions, 2)}
+        closed = {x for x, _s in mine_closed_itemsets(transactions, 2)}
+        assert maximal <= closed
+
+    @given(transactions=exact_transactions())
+    @settings(max_examples=25, deadline=None)
+    def test_every_frequent_itemset_has_maximal_superset(self, transactions):
+        frequent = brute_force_frequent(transactions, 2)
+        maximal = [set(x) for x, _s in mine_maximal_itemsets(transactions, 2)]
+        for itemset, _support in frequent:
+            assert any(set(itemset) <= m for m in maximal)

@@ -1,0 +1,136 @@
+"""Cross-module integration tests on generated workloads.
+
+These exercise the full pipeline (generator -> uncertainty injection -> I/O
+-> miners) and assert the structural relationships that hold between the
+result families by definition:
+
+* every PFCI is a PFI (``Pr_F >= Pr_FC > pfct``);
+* every exact FCI is an FI, and closed mining loses no support information
+  (every FI has a closed superset with equal support);
+* all three frameworks (DFS, BFS, Naive) agree on generated data;
+* serialization round-trips preserve mining results.
+"""
+
+import math
+import random
+
+import pytest
+
+from repro.core.bfs import MPFCIBreadthFirstMiner
+from repro.core.config import MinerConfig
+from repro.core.miner import MPFCIMiner
+from repro.core.naive import NaiveMiner
+from repro.data import attach_gaussian_probabilities, generate_quest
+from repro.data.io import load_uncertain_database, save_uncertain_database
+from repro.data.mushroom import generate_mushroom_like
+from repro.data.quest import QuestParameters
+from repro.exact.charm import mine_closed_itemsets
+from repro.exact.fpgrowth import mine_frequent_itemsets_fpgrowth
+from repro.uncertain.pfim import mine_probabilistic_frequent_itemsets
+
+
+@pytest.fixture(scope="module")
+def quest_db():
+    transactions = generate_quest(
+        QuestParameters(
+            num_transactions=120, avg_transaction_length=6.0,
+            avg_pattern_length=3.0, num_items=14, seed=21,
+        )
+    )
+    return attach_gaussian_probabilities(transactions, 0.75, 0.15, seed=21)
+
+
+@pytest.fixture(scope="module")
+def mushroom_db():
+    rows = generate_mushroom_like(num_rows=60, seed=3)
+    return attach_gaussian_probabilities(rows, 0.6, 0.3, seed=3)
+
+
+class TestResultFamilyInclusions:
+    @pytest.mark.parametrize("fixture", ["quest_db", "mushroom_db"])
+    def test_pfci_subset_of_pfi(self, request, fixture):
+        db = request.getfixturevalue(fixture)
+        min_sup = max(1, math.ceil(0.2 * len(db)))
+        pfcis = {
+            r.itemset
+            for r in MPFCIMiner(db, MinerConfig(min_sup=min_sup, pfct=0.6)).mine()
+        }
+        pfis = {x for x, _p in mine_probabilistic_frequent_itemsets(db, min_sup, 0.6)}
+        assert pfcis <= pfis
+
+    @pytest.mark.parametrize("fixture", ["quest_db", "mushroom_db"])
+    def test_fci_subset_of_fi_with_support_coverage(self, request, fixture):
+        db = request.getfixturevalue(fixture)
+        certain = db.certain_projection()
+        min_sup = max(1, math.ceil(0.2 * len(certain)))
+        fis = dict(mine_frequent_itemsets_fpgrowth(certain, min_sup))
+        fcis = dict(mine_closed_itemsets(certain, min_sup))
+        assert set(fcis) <= set(fis)
+        # Lossless compression: every FI has a closed superset with equal
+        # support (that is what makes closed itemsets a summary, not a
+        # sample).
+        for itemset, support in fis.items():
+            assert any(
+                set(itemset) <= set(closed) and closed_support == support
+                for closed, closed_support in fcis.items()
+            )
+
+    def test_pfci_probability_never_exceeds_frequent_probability(self, quest_db):
+        min_sup = max(1, math.ceil(0.25 * len(quest_db)))
+        results = MPFCIMiner(
+            quest_db, MinerConfig(min_sup=min_sup, pfct=0.5)
+        ).mine()
+        assert results
+        for result in results:
+            assert result.probability <= result.frequent_probability + 1e-9
+
+
+class TestFrameworkAgreementAtScale:
+    def test_dfs_bfs_naive_agree(self, quest_db):
+        min_sup = max(1, math.ceil(0.3 * len(quest_db)))
+        config = MinerConfig(min_sup=min_sup, pfct=0.7, epsilon=0.05,
+                             delta=0.05, exact_event_limit=20)
+        dfs = {r.itemset for r in MPFCIMiner(quest_db, config).mine()}
+        bfs = {r.itemset for r in MPFCIBreadthFirstMiner(quest_db, config).mine()}
+        naive = {r.itemset for r in NaiveMiner(quest_db, config).mine()}
+        assert dfs == bfs
+        # Naive samples everything; allow borderline-only disagreement.
+        for itemset in dfs ^ naive:
+            from repro.core.closedness import frequent_closed_probability_exact
+
+            value = frequent_closed_probability_exact(quest_db, itemset, min_sup)
+            assert abs(value - 0.7) < 0.07
+
+    def test_dense_mushroom_agreement(self, mushroom_db):
+        min_sup = max(1, math.ceil(0.3 * len(mushroom_db)))
+        config = MinerConfig(min_sup=min_sup, pfct=0.7, exact_event_limit=20)
+        dfs = {r.itemset for r in MPFCIMiner(mushroom_db, config).mine()}
+        bfs = {r.itemset for r in MPFCIBreadthFirstMiner(mushroom_db, config).mine()}
+        assert dfs == bfs
+
+
+class TestPipelineRoundTrip:
+    def test_save_load_preserves_mining_results(self, quest_db, tmp_path):
+        path = tmp_path / "quest.utd"
+        save_uncertain_database(quest_db, path)
+        reloaded = load_uncertain_database(path)
+        min_sup = max(1, math.ceil(0.3 * len(quest_db)))
+        config = MinerConfig(min_sup=min_sup, pfct=0.7)
+        # The .utd text format stores items as strings, so compare the
+        # stringified original against the reloaded run.
+        original = sorted(
+            (tuple(sorted(str(item) for item in r.itemset)), round(r.probability, 9))
+            for r in MPFCIMiner(quest_db, config).mine()
+        )
+        roundtripped = sorted(
+            (r.itemset, round(r.probability, 9))
+            for r in MPFCIMiner(reloaded, config).mine()
+        )
+        assert original == roundtripped
+
+    def test_seeded_runs_are_identical(self, mushroom_db):
+        min_sup = max(1, math.ceil(0.25 * len(mushroom_db)))
+        config = MinerConfig(min_sup=min_sup, pfct=0.6, exact_event_limit=0)
+        first = [(r.itemset, r.probability) for r in MPFCIMiner(mushroom_db, config).mine()]
+        second = [(r.itemset, r.probability) for r in MPFCIMiner(mushroom_db, config).mine()]
+        assert first == second

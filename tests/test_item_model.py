@@ -1,0 +1,166 @@
+"""Tests for the attribute-level uncertainty substrate."""
+
+import itertools
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.uncertain.item_model import (
+    ItemUncertainDatabase,
+    ItemUncertainTransaction,
+    mine_expected_support_item_model,
+    mine_probabilistic_frequent_item_model,
+)
+
+
+@pytest.fixture
+def small_db():
+    return ItemUncertainDatabase.from_rows(
+        [
+            ("T1", {"a": 0.9, "b": 0.5}),
+            ("T2", {"a": 0.8, "c": 1.0}),
+            ("T3", {"a": 0.7, "b": 0.6, "c": 0.4}),
+        ]
+    )
+
+
+@st.composite
+def item_databases(draw):
+    num_transactions = draw(st.integers(min_value=1, max_value=3))
+    rows = []
+    for index in range(num_transactions):
+        num_items = draw(st.integers(min_value=1, max_value=3))
+        items = {}
+        for item in "abc"[:num_items]:
+            items[item] = round(
+                draw(st.floats(min_value=0.1, max_value=1.0, allow_nan=False)), 2
+            )
+        rows.append((f"T{index}", items))
+    return ItemUncertainDatabase.from_rows(rows)
+
+
+class TestTransaction:
+    def test_containment_probability(self):
+        txn = ItemUncertainTransaction("T1", {"a": 0.5, "b": 0.4})
+        assert txn.containment_probability("a") == 0.5
+        assert txn.containment_probability("ab") == pytest.approx(0.2)
+        assert txn.containment_probability("ac") == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="no items"):
+            ItemUncertainTransaction("T1", {})
+        with pytest.raises(ValueError, match="probability"):
+            ItemUncertainTransaction("T1", {"a": 0.0})
+        with pytest.raises(ValueError, match="probability"):
+            ItemUncertainTransaction("T1", {"a": 1.5})
+
+
+class TestDatabase:
+    def test_basic_accessors(self, small_db):
+        assert len(small_db) == 3
+        assert small_db.items == ("a", "b", "c")
+        assert small_db[1].tid == "T2"
+
+    def test_duplicate_tids_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            ItemUncertainDatabase.from_rows(
+                [("T1", {"a": 0.5}), ("T1", {"b": 0.5})]
+            )
+
+    def test_expected_support(self, small_db):
+        assert small_db.expected_support("a") == pytest.approx(0.9 + 0.8 + 0.7)
+        assert small_db.expected_support("ab") == pytest.approx(
+            0.9 * 0.5 + 0.7 * 0.6
+        )
+
+    def test_frequent_probability_simple(self, small_db):
+        # Pr[support({a}) >= 3] = 0.9 * 0.8 * 0.7.
+        assert small_db.frequent_probability("a", 3) == pytest.approx(0.504)
+
+    def test_worlds_sum_to_one(self, small_db):
+        total = sum(probability for _w, probability in small_db.enumerate_worlds())
+        assert total == pytest.approx(1.0)
+
+    def test_world_enumeration_guard(self):
+        rows = [(f"T{i}", {"a": 0.5, "b": 0.5, "c": 0.5, "d": 0.5}) for i in range(5)]
+        with pytest.raises(ValueError, match="refusing"):
+            list(ItemUncertainDatabase.from_rows(rows).enumerate_worlds())
+
+    @given(item_databases())
+    @settings(max_examples=25, deadline=None)
+    def test_frequent_probability_matches_world_oracle(self, db):
+        """Pr_F from the Poisson-binomial reduction == world enumeration."""
+        for itemset in [("a",), ("a", "b")]:
+            for min_sup in (1, 2):
+                oracle = sum(
+                    probability
+                    for world, probability in db.enumerate_worlds()
+                    if sum(1 for txn in world if set(itemset) <= set(txn)) >= min_sup
+                )
+                assert db.frequent_probability(itemset, min_sup) == pytest.approx(
+                    oracle, abs=1e-9
+                )
+
+    @given(item_databases())
+    @settings(max_examples=25, deadline=None)
+    def test_expected_support_matches_world_oracle(self, db):
+        for itemset in [("a",), ("a", "b")]:
+            oracle = sum(
+                probability * sum(1 for txn in world if set(itemset) <= set(txn))
+                for world, probability in db.enumerate_worlds()
+            )
+            assert db.expected_support(itemset) == pytest.approx(oracle, abs=1e-9)
+
+
+class TestItemModelMiners:
+    def test_expected_support_mining(self, small_db):
+        results = dict(mine_expected_support_item_model(small_db, 1.0))
+        assert results[("a",)] == pytest.approx(2.4)
+        assert ("a", "b") not in results  # E = 0.87 < 1.0
+
+    def test_probabilistic_frequent_mining(self, small_db):
+        results = dict(mine_probabilistic_frequent_item_model(small_db, 2, 0.5))
+        # Pr[support({a}) >= 2] = 0.9*0.8*0.3 + 0.9*0.2*0.7 + 0.1*0.8*0.7 + 0.9*0.8*0.7
+        assert results[("a",)] == pytest.approx(
+            0.9 * 0.8 * 0.3 + 0.9 * 0.2 * 0.7 + 0.1 * 0.8 * 0.7 + 0.9 * 0.8 * 0.7
+        )
+
+    def test_models_disagree_on_high_variance_items(self):
+        """The motivating gap: same expectation, different tail."""
+        concentrated = ItemUncertainDatabase.from_rows(
+            [(f"T{i}", {"a": 1.0}) for i in range(2)]
+            + [(f"S{i}", {"a": 0.001}) for i in range(3)]
+        )
+        spread = ItemUncertainDatabase.from_rows(
+            [(f"T{i}", {"a": 0.4006}) for i in range(5)]
+        )
+        # Both have E[support] ~ 2.003 ...
+        assert concentrated.expected_support("a") == pytest.approx(
+            spread.expected_support("a"), abs=1e-6
+        )
+        # ... but very different Pr[support >= 2].
+        assert concentrated.frequent_probability("a", 2) > 0.99
+        assert spread.frequent_probability("a", 2) < 0.70
+
+    @given(item_databases(), st.sampled_from([0.3, 0.6]))
+    @settings(max_examples=20, deadline=None)
+    def test_probabilistic_mining_matches_brute_force(self, db, pft):
+        min_sup = 1
+        expected = set()
+        for size in range(1, len(db.items) + 1):
+            for combo in itertools.combinations(db.items, size):
+                if db.frequent_probability(combo, min_sup) > pft:
+                    expected.add(combo)
+        got = {
+            x for x, _v in mine_probabilistic_frequent_item_model(db, min_sup, pft)
+        }
+        assert got == expected
+
+    def test_validation(self, small_db):
+        with pytest.raises(ValueError):
+            mine_expected_support_item_model(small_db, 0.0)
+        with pytest.raises(ValueError):
+            mine_probabilistic_frequent_item_model(small_db, 0, 0.5)
+        with pytest.raises(ValueError):
+            mine_probabilistic_frequent_item_model(small_db, 1, 1.0)

@@ -1,0 +1,101 @@
+"""Unit and property tests for repro.core.itemsets."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.itemsets import (
+    canonical,
+    extend,
+    format_itemset,
+    has_prefix,
+    is_proper_superset,
+    is_sorted_itemset,
+    is_subset,
+    union,
+)
+
+
+class TestCanonical:
+    def test_sorts_and_deduplicates(self):
+        assert canonical("cabba") == ("a", "b", "c")
+
+    def test_empty(self):
+        assert canonical([]) == ()
+
+    def test_integers(self):
+        assert canonical([3, 1, 2, 1]) == (1, 2, 3)
+
+    def test_idempotent(self):
+        once = canonical("dcba")
+        assert canonical(once) == once
+
+    @given(st.lists(st.sampled_from("abcdef")))
+    def test_always_sorted_and_unique(self, items):
+        result = canonical(items)
+        assert is_sorted_itemset(result)
+        assert set(result) == set(items)
+
+
+class TestExtend:
+    def test_appends_larger_item(self):
+        assert extend(("a", "b"), "c") == ("a", "b", "c")
+
+    def test_extending_empty(self):
+        assert extend((), "a") == ("a",)
+
+    def test_rejects_smaller_item(self):
+        with pytest.raises(ValueError):
+            extend(("b",), "a")
+
+    def test_rejects_equal_item(self):
+        with pytest.raises(ValueError):
+            extend(("b",), "b")
+
+
+class TestSubsetPredicates:
+    def test_is_subset(self):
+        assert is_subset("ab", "abc")
+        assert is_subset("", "abc")
+        assert not is_subset("ad", "abc")
+
+    def test_is_proper_superset(self):
+        assert is_proper_superset("abc", "ab")
+        assert not is_proper_superset("ab", "ab")
+        assert not is_proper_superset("ab", "abc")
+
+    @given(st.lists(st.sampled_from("abcd")), st.lists(st.sampled_from("abcd")))
+    def test_union_contains_both(self, first, second):
+        merged = union(first, second)
+        assert is_subset(first, merged)
+        assert is_subset(second, merged)
+        assert set(merged) == set(first) | set(second)
+
+
+class TestHasPrefix:
+    def test_true_prefix(self):
+        assert has_prefix(("a", "b", "c"), ("a", "b"))
+
+    def test_whole_itemset_is_its_own_prefix(self):
+        assert has_prefix(("a", "b"), ("a", "b"))
+
+    def test_empty_prefix(self):
+        assert has_prefix(("a",), ())
+
+    def test_non_prefix_subset(self):
+        # {a, c} contains neither b-first prefix; positional, not subset.
+        assert not has_prefix(("a", "c"), ("c",))
+
+    def test_longer_prefix_fails(self):
+        assert not has_prefix(("a",), ("a", "b"))
+
+
+class TestFormatting:
+    def test_format_itemset(self):
+        assert format_itemset("ba") == "{a, b}"
+
+    def test_format_empty(self):
+        assert format_itemset(()) == "{}"
+
+    def test_format_numbers(self):
+        assert format_itemset([10, 2]) == "{2, 10}"

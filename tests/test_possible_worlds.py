@@ -1,0 +1,123 @@
+"""Tests for the possible-world oracle itself (Table III semantics)."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.core.database import UncertainDatabase, paper_table2_database
+from repro.core.possible_worlds import (
+    MAX_ENUMERABLE_TRANSACTIONS,
+    enumerate_worlds,
+    exact_frequent_closed_itemsets,
+    exact_probabilities,
+    sample_world,
+    world_is_closed,
+    world_is_frequent,
+    world_support,
+)
+from repro.core.support import frequent_probability
+from tests.conftest import uncertain_databases
+
+
+class TestEnumeration:
+    def test_probabilities_sum_to_one(self, paper_db):
+        total = sum(probability for _world, probability in enumerate_worlds(paper_db))
+        assert total == pytest.approx(1.0)
+
+    def test_number_of_worlds(self, paper_db):
+        assert sum(1 for _ in enumerate_worlds(paper_db)) == 16
+
+    def test_pw5_probability_matches_table3(self, paper_db):
+        worlds = dict(enumerate_worlds(paper_db))
+        assert worlds[(0, 1, 2)] == pytest.approx(0.0378)
+
+    def test_certain_transaction_prunes_worlds(self):
+        db = UncertainDatabase.from_rows([("T1", "a", 1.0), ("T2", "b", 0.5)])
+        worlds = list(enumerate_worlds(db))
+        # Worlds dropping the certain transaction have probability 0.
+        assert len(worlds) == 2
+        assert all(0 in world for world, _p in worlds)
+
+    def test_refuses_large_databases(self):
+        rows = [(f"T{i}", "a", 0.5) for i in range(MAX_ENUMERABLE_TRANSACTIONS + 1)]
+        with pytest.raises(ValueError, match="refusing"):
+            list(enumerate_worlds(UncertainDatabase.from_rows(rows)))
+
+    @given(uncertain_databases(max_transactions=6))
+    @settings(max_examples=25, deadline=None)
+    def test_random_databases_sum_to_one(self, db):
+        total = sum(probability for _world, probability in enumerate_worlds(db))
+        assert total == pytest.approx(1.0)
+
+
+class TestWorldPredicates:
+    def test_world_support(self, paper_db):
+        assert world_support(paper_db, (0, 1, 3), "abc") == 3
+        assert world_support(paper_db, (0, 1, 3), "d") == 2
+        assert world_support(paper_db, (), "a") == 0
+
+    def test_world_is_frequent(self, paper_db):
+        assert world_is_frequent(paper_db, (0, 3), "abcd", 2)
+        assert not world_is_frequent(paper_db, (0,), "abcd", 2)
+
+    def test_absent_itemset_is_not_closed(self, paper_db):
+        # Convention from the hardness proof: support 0 => not closed.
+        assert not world_is_closed(paper_db, (), "a")
+
+    def test_closedness_in_concrete_worlds(self, paper_db):
+        # World {T1, T2}: {abc} closed (T2 realizes it exactly); {ab} not.
+        assert world_is_closed(paper_db, (0, 1), ("a", "b", "c"))
+        assert not world_is_closed(paper_db, (0, 1), ("a", "b"))
+        # World {T1, T4}: only {abcd} is closed.
+        assert world_is_closed(paper_db, (0, 3), ("a", "b", "c", "d"))
+        assert not world_is_closed(paper_db, (0, 3), ("a", "b", "c"))
+
+
+class TestExactProbabilities:
+    def test_consistency_with_dp(self, paper_db):
+        """Pr_F from world enumeration equals the Poisson-binomial DP."""
+        for itemset in ("a", "abc", "abcd", "d"):
+            enumerated = exact_probabilities(paper_db, itemset, 2)["frequent"]
+            probabilities = paper_db.tidset_probabilities(paper_db.tidset(itemset))
+            assert enumerated == pytest.approx(
+                frequent_probability(probabilities, 2)
+            )
+
+    @given(uncertain_databases(max_transactions=6, max_items=4))
+    @settings(max_examples=20, deadline=None)
+    def test_frequent_closed_never_exceeds_either_factor(self, db):
+        itemset = db.items[:2]
+        values = exact_probabilities(db, itemset, 2)
+        assert values["frequent_closed"] <= values["frequent"] + 1e-12
+        assert values["frequent_closed"] <= values["closed"] + 1e-12
+
+    def test_paper_frequent_closed_values(self, paper_db):
+        assert exact_probabilities(paper_db, "abc", 2)[
+            "frequent_closed"
+        ] == pytest.approx(0.8754)
+        assert exact_probabilities(paper_db, "abcd", 2)[
+            "frequent_closed"
+        ] == pytest.approx(0.81)
+
+
+class TestExactMining:
+    def test_paper_result_set(self, paper_db):
+        results = exact_frequent_closed_itemsets(paper_db, 2, 0.8)
+        assert set(results) == {("a", "b", "c"), ("a", "b", "c", "d")}
+        assert results[("a", "b", "c")] == pytest.approx(0.8754)
+
+    def test_threshold_is_strict(self, paper_db):
+        # Pr_FC({abcd}) = 0.81: a threshold of exactly 0.81 must exclude it.
+        results = exact_frequent_closed_itemsets(paper_db, 2, 0.81)
+        assert ("a", "b", "c", "d") not in results
+
+
+class TestSampling:
+    def test_sample_world_respects_certainty(self, rng):
+        db = UncertainDatabase.from_rows([("T1", "a", 1.0), ("T2", "b", 0.5)])
+        for _ in range(50):
+            assert 0 in sample_world(db, rng)
+
+    def test_sample_world_frequency(self, rng):
+        db = UncertainDatabase.from_rows([("T1", "a", 0.25)])
+        hits = sum(1 for _ in range(4000) if sample_world(db, rng) == (0,))
+        assert hits / 4000 == pytest.approx(0.25, abs=0.03)

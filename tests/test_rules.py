@@ -1,0 +1,151 @@
+"""Tests for probabilistic association rules."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.database import UncertainDatabase, paper_table2_database
+from repro.core.possible_worlds import enumerate_worlds, world_support
+from repro.core.rules import (
+    expected_confidence,
+    generate_probabilistic_rules,
+    rule_confidence_probability,
+)
+from tests.conftest import uncertain_databases
+
+
+def oracle_rule_probability(db, antecedent, consequent, min_sup, min_conf):
+    """Pr[sup(X∪Y) >= min_sup and conf >= min_conf] by world enumeration."""
+    union = tuple(antecedent) + tuple(consequent)
+    total = 0.0
+    for world, probability in enumerate_worlds(db):
+        support_union = world_support(db, world, union)
+        support_antecedent = world_support(db, world, antecedent)
+        if support_union < min_sup:
+            continue
+        if support_union >= min_conf * support_antecedent:
+            total += probability
+    return total
+
+
+class TestRuleConfidenceProbability:
+    def test_paper_example_hand_computed(self, paper_db):
+        # Rule {a} -> {d}: A = {T1, T4} (0.9 each), B = {T2, T3}.
+        # With min_conf = 1.0, every B transaction must be absent.
+        value = rule_confidence_probability(paper_db, "a", "d", 1, 1.0)
+        expected = (1 - (1 - 0.9) * (1 - 0.9)) * (1 - 0.6) * (1 - 0.7)
+        assert value == pytest.approx(expected)
+
+    def test_certain_rule(self, paper_db):
+        # {d} -> {a}: every transaction containing d contains a, so the rule
+        # holds whenever d appears at all.
+        value = rule_confidence_probability(paper_db, "d", "a", 1, 1.0)
+        assert value == pytest.approx(1 - (1 - 0.9) * (1 - 0.9))
+
+    def test_min_sup_gate(self, paper_db):
+        # sup({a,d}) >= 3 is impossible (count 2).
+        assert rule_confidence_probability(paper_db, "a", "d", 3, 0.5) == 0.0
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"antecedent": (), "consequent": "a"},
+            {"antecedent": "a", "consequent": ()},
+            {"antecedent": "ab", "consequent": "b"},
+            {"antecedent": "a", "consequent": "b", "min_sup": 0},
+            {"antecedent": "a", "consequent": "b", "min_conf": 0.0},
+            {"antecedent": "a", "consequent": "b", "min_conf": 1.5},
+        ],
+    )
+    def test_validation(self, paper_db, kwargs):
+        kwargs.setdefault("min_sup", 1)
+        kwargs.setdefault("min_conf", 0.5)
+        with pytest.raises(ValueError):
+            rule_confidence_probability(
+                paper_db, kwargs["antecedent"], kwargs["consequent"],
+                kwargs["min_sup"], kwargs["min_conf"],
+            )
+
+    @given(
+        uncertain_databases(max_transactions=6, max_items=4),
+        st.integers(min_value=1, max_value=3),
+        st.sampled_from([0.3, 0.5, 0.8, 1.0]),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_matches_world_oracle(self, db, min_sup, min_conf):
+        items = db.items
+        if len(items) < 2:
+            return
+        antecedent, consequent = (items[0],), (items[1],)
+        value = rule_confidence_probability(
+            db, antecedent, consequent, min_sup, min_conf
+        )
+        oracle = oracle_rule_probability(db, antecedent, consequent, min_sup, min_conf)
+        assert value == pytest.approx(oracle, abs=1e-9)
+
+    @given(uncertain_databases(max_transactions=6, max_items=4))
+    @settings(max_examples=25, deadline=None)
+    def test_monotone_in_min_conf(self, db):
+        items = db.items
+        if len(items) < 2:
+            return
+        values = [
+            rule_confidence_probability(db, (items[0],), (items[1],), 1, conf)
+            for conf in (0.2, 0.5, 0.8, 1.0)
+        ]
+        assert all(a >= b - 1e-12 for a, b in zip(values, values[1:]))
+
+
+class TestExpectedConfidence:
+    def test_paper_example(self, paper_db):
+        # E[sup(ad)] = 1.8, E[sup(a)] = 3.1.
+        assert expected_confidence(paper_db, "a", "d") == pytest.approx(1.8 / 3.1)
+
+    def test_certain_implication(self, paper_db):
+        assert expected_confidence(paper_db, "d", "a") == pytest.approx(1.0)
+
+    def test_empty_antecedent_support(self):
+        db = UncertainDatabase.from_rows([("T1", "a", 0.5)])
+        assert expected_confidence(db, "b", "c") == 0.0
+
+
+class TestRuleGeneration:
+    def test_paper_example_rules(self, paper_db):
+        rules = generate_probabilistic_rules(
+            paper_db, min_sup=2, min_conf=0.8, rule_threshold=0.7
+        )
+        assert rules
+        rendered = {f"{r.antecedent}->{r.consequent}" for r in rules}
+        # The certain implications within {a,b,c} must surface.
+        assert "('a',)->('b', 'c')" in rendered
+        for rule in rules:
+            assert rule.confidence_probability > 0.7
+            assert not set(rule.antecedent) & set(rule.consequent)
+
+    def test_rules_verified_against_direct_computation(self, paper_db):
+        rules = generate_probabilistic_rules(
+            paper_db, min_sup=2, min_conf=0.9, rule_threshold=0.5
+        )
+        for rule in rules:
+            direct = rule_confidence_probability(
+                paper_db, rule.antecedent, rule.consequent, 2, 0.9
+            )
+            assert rule.confidence_probability == pytest.approx(direct)
+
+    def test_sorted_by_probability(self, paper_db):
+        rules = generate_probabilistic_rules(
+            paper_db, min_sup=2, min_conf=0.8, rule_threshold=0.1
+        )
+        probabilities = [rule.confidence_probability for rule in rules]
+        assert probabilities == sorted(probabilities, reverse=True)
+
+    def test_threshold_validation(self, paper_db):
+        with pytest.raises(ValueError):
+            generate_probabilistic_rules(paper_db, 2, 0.8, rule_threshold=1.0)
+
+    def test_string_rendering(self, paper_db):
+        rules = generate_probabilistic_rules(
+            paper_db, min_sup=2, min_conf=0.8, rule_threshold=0.7
+        )
+        assert "->" in str(rules[0])
+        assert "Pr[conf]" in str(rules[0])

@@ -1,0 +1,154 @@
+"""Tests for likely-frequent-item mining over probabilistic streams."""
+
+import random
+
+import pytest
+
+from repro.core.support import frequent_probability
+from repro.uncertain.stream import ProbabilisticItemStream
+
+
+def feed(stream, arrivals):
+    for item, probability in arrivals:
+        stream.append(item, probability)
+
+
+class TestMaintenance:
+    def test_landmark_accumulates(self):
+        stream = ProbabilisticItemStream()
+        feed(stream, [("a", 0.5), ("b", 0.9), ("a", 0.4)])
+        assert len(stream) == 3
+        assert stream.total_arrivals == 3
+        assert stream.expected_count("a") == pytest.approx(0.9)
+        assert stream.items() == ["a", "b"]
+
+    def test_sliding_window_evicts_oldest(self):
+        stream = ProbabilisticItemStream(window=2)
+        feed(stream, [("a", 0.5), ("b", 0.9), ("a", 0.4)])
+        assert len(stream) == 2
+        assert stream.total_arrivals == 3
+        # The first "a" (0.5) left the window.
+        assert stream.expected_count("a") == pytest.approx(0.4)
+        assert stream.expected_count("b") == pytest.approx(0.9)
+
+    def test_eviction_removes_empty_items(self):
+        stream = ProbabilisticItemStream(window=1)
+        feed(stream, [("a", 0.5), ("b", 0.9)])
+        assert stream.items() == ["b"]
+        assert stream.expected_count("a") == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ProbabilisticItemStream(window=0)
+        stream = ProbabilisticItemStream()
+        with pytest.raises(ValueError):
+            stream.append("a", 0.0)
+        with pytest.raises(ValueError):
+            stream.append("a", 1.5)
+
+
+class TestExactQueries:
+    def test_frequent_probability_matches_core_dp(self):
+        stream = ProbabilisticItemStream()
+        probabilities = [0.3, 0.8, 0.6, 0.9]
+        feed(stream, [("x", value) for value in probabilities])
+        for min_sup in (1, 2, 3, 4, 5):
+            assert stream.frequent_probability("x", min_sup) == pytest.approx(
+                frequent_probability(probabilities, min_sup)
+            )
+
+    def test_likely_frequent_items(self):
+        stream = ProbabilisticItemStream()
+        feed(stream, [("hot", 0.9)] * 10 + [("cold", 0.1)] * 10)
+        results = dict(stream.likely_frequent_items(min_sup=5, pft=0.8))
+        assert "hot" in results
+        assert "cold" not in results
+        assert results["hot"] == pytest.approx(
+            frequent_probability([0.9] * 10, 5)
+        )
+
+    def test_threshold_strictness(self):
+        stream = ProbabilisticItemStream()
+        feed(stream, [("a", 0.9), ("a", 0.9)])
+        value = frequent_probability([0.9, 0.9], 2)  # 0.81
+        assert stream.likely_frequent_items(2, value) == []
+        assert stream.likely_frequent_items(2, value - 1e-9) == [
+            ("a", pytest.approx(0.81))
+        ]
+
+    def test_ch_screening_never_drops_results(self):
+        """The CH filter is an optimization, not a semantics change."""
+        rng = random.Random(5)
+        stream = ProbabilisticItemStream()
+        for _ in range(200):
+            stream.append(rng.choice("abcdef"), round(rng.uniform(0.05, 1.0), 2))
+        fast = stream.likely_frequent_items(min_sup=15, pft=0.5)
+        # Recompute without screening: brute force over all items.
+        slow = []
+        for item in stream.items():
+            probability = stream.frequent_probability(item, 15)
+            if probability > 0.5:
+                slow.append((item, probability))
+        slow.sort(key=lambda pair: (-pair[1], str(pair[0])))
+        assert [(i, round(p, 9)) for i, p in fast] == [
+            (i, round(p, 9)) for i, p in slow
+        ]
+
+    def test_windowed_semantics(self):
+        """Only in-window arrivals count."""
+        stream = ProbabilisticItemStream(window=3)
+        feed(stream, [("a", 0.9)] * 6)
+        assert stream.frequent_probability("a", 3) == pytest.approx(0.9**3)
+        assert stream.frequent_probability("a", 4) == 0.0
+
+    def test_validation(self):
+        stream = ProbabilisticItemStream()
+        stream.append("a", 0.5)
+        with pytest.raises(ValueError):
+            stream.likely_frequent_items(0, 0.5)
+        with pytest.raises(ValueError):
+            stream.likely_frequent_items(1, 1.0)
+
+
+class TestSampledQueries:
+    def test_tracks_exact_on_clear_cases(self):
+        stream = ProbabilisticItemStream()
+        feed(stream, [("hot", 0.95)] * 12 + [("cold", 0.05)] * 12)
+        exact = {i for i, _p in stream.likely_frequent_items(6, 0.8)}
+        sampled = {
+            i
+            for i, _p in stream.likely_frequent_items_sampled(
+                6, 0.8, epsilon=0.05, delta=0.05, rng=random.Random(1)
+            )
+        }
+        assert exact == sampled == {"hot"}
+
+    def test_estimates_are_close(self):
+        stream = ProbabilisticItemStream()
+        probabilities = [0.7, 0.4, 0.9, 0.6, 0.8]
+        feed(stream, [("x", value) for value in probabilities])
+        exact = stream.frequent_probability("x", 3)
+        (item, estimate), = stream.likely_frequent_items_sampled(
+            3, 0.0, epsilon=0.02, delta=0.02, rng=random.Random(7)
+        )
+        assert item == "x"
+        assert estimate == pytest.approx(exact, abs=0.03)
+
+    def test_deterministic_with_seed(self):
+        stream = ProbabilisticItemStream()
+        feed(stream, [("a", 0.6)] * 8)
+        first = stream.likely_frequent_items_sampled(
+            3, 0.1, rng=random.Random(3)
+        )
+        second = stream.likely_frequent_items_sampled(
+            3, 0.1, rng=random.Random(3)
+        )
+        assert first == second
+
+    def test_validation(self):
+        stream = ProbabilisticItemStream()
+        stream.append("a", 0.5)
+        with pytest.raises(ValueError):
+            stream.likely_frequent_items_sampled(1, 0.5, epsilon=0.0)
+        with pytest.raises(ValueError):
+            stream.likely_frequent_items_sampled(1, 0.5, delta=1.0)

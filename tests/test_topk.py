@@ -1,0 +1,87 @@
+"""Tests for the top-k PFCI extension."""
+
+import pytest
+
+from repro.core.config import MinerConfig
+from repro.core.database import UncertainDatabase, paper_table2_database
+from repro.core.possible_worlds import exact_frequent_closed_itemsets
+from repro.core.topk import mine_top_k_pfci
+
+
+class TestTopK:
+    def test_top_one_on_paper_example(self, paper_db):
+        outcome = mine_top_k_pfci(paper_db, min_sup=2, k=1)
+        assert len(outcome.results) == 1
+        assert outcome.results[0].itemset == ("a", "b", "c")
+        assert outcome.results[0].probability == pytest.approx(0.8754)
+
+    def test_top_two_ordering(self, paper_db):
+        outcome = mine_top_k_pfci(paper_db, min_sup=2, k=2)
+        itemsets = [result.itemset for result in outcome.results]
+        assert itemsets == [("a", "b", "c"), ("a", "b", "c", "d")]
+        probabilities = [result.probability for result in outcome.results]
+        assert probabilities == sorted(probabilities, reverse=True)
+
+    def test_relaxation_happens_when_start_too_high(self, paper_db):
+        outcome = mine_top_k_pfci(
+            paper_db, min_sup=2, k=2, start_pfct=0.9, relaxation=0.9
+        )
+        # Pr_FC({abcd}) = 0.81 < 0.9: at least one relaxation round needed.
+        assert outcome.rounds > 1
+        assert len(outcome.results) == 2
+
+    def test_exhaustion(self, paper_db):
+        # Only 2 itemsets ever have positive Pr_FC at min_sup=2.
+        outcome = mine_top_k_pfci(paper_db, min_sup=2, k=10, floor_pfct=0.0)
+        assert outcome.exhausted
+        assert len(outcome.results) == 2
+        assert outcome.threshold == 0.0
+
+    def test_matches_oracle_top_k(self):
+        db = UncertainDatabase.from_rows(
+            [
+                ("T1", "ab", 0.9),
+                ("T2", "ab", 0.8),
+                ("T3", "cd", 0.9),
+                ("T4", "cd", 0.7),
+                ("T5", "ac", 0.6),
+            ]
+        )
+        truth = exact_frequent_closed_itemsets(db, 2, 0.0)
+        expected_order = sorted(truth.items(), key=lambda kv: -kv[1])
+        outcome = mine_top_k_pfci(db, min_sup=2, k=3)
+        got = [(r.itemset, r.probability) for r in outcome.results]
+        assert [itemset for itemset, _p in got] == [
+            itemset for itemset, _p in expected_order[:3]
+        ]
+        for (_, got_probability), (_, true_probability) in zip(
+            got, expected_order
+        ):
+            assert got_probability == pytest.approx(true_probability, abs=1e-6)
+
+    def test_custom_config_is_respected(self, paper_db):
+        config = MinerConfig(min_sup=2, use_probability_bounds=False,
+                             exact_event_limit=32)
+        outcome = mine_top_k_pfci(paper_db, min_sup=2, k=2, config=config)
+        assert len(outcome.results) == 2
+        assert outcome.stats.bound_evaluations == 0
+
+    def test_stats_accumulate_over_rounds(self, paper_db):
+        outcome = mine_top_k_pfci(
+            paper_db, min_sup=2, k=2, start_pfct=0.9, relaxation=0.9
+        )
+        assert outcome.stats.nodes_visited > outcome.rounds  # several per round
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"k": 0},
+            {"k": 1, "floor_pfct": 1.0},
+            {"k": 1, "floor_pfct": 0.5, "start_pfct": 0.4},
+            {"k": 1, "relaxation": 0.0},
+            {"k": 1, "relaxation": 1.0},
+        ],
+    )
+    def test_validation(self, paper_db, kwargs):
+        with pytest.raises(ValueError):
+            mine_top_k_pfci(paper_db, min_sup=2, **kwargs)

@@ -1,0 +1,51 @@
+"""Tests for the UF-growth expected-support miner."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.core.database import UncertainDatabase, paper_table2_database
+from repro.uncertain.expected_support import mine_expected_support_itemsets
+from repro.uncertain.ufgrowth import mine_expected_support_itemsets_ufgrowth
+from tests.conftest import uncertain_databases
+
+
+class TestUFGrowth:
+    def test_paper_database(self, paper_db):
+        results = dict(mine_expected_support_itemsets_ufgrowth(paper_db, 3.0))
+        assert results[("a", "b", "c")] == pytest.approx(3.1)
+        assert ("a", "b", "c", "d") not in results  # E[sup] = 1.8 < 3.0
+
+    def test_fractional_threshold(self, paper_db):
+        results = dict(mine_expected_support_itemsets_ufgrowth(paper_db, 1.5))
+        assert results[("a", "b", "c", "d")] == pytest.approx(1.8)
+
+    def test_validation(self, paper_db):
+        with pytest.raises(ValueError):
+            mine_expected_support_itemsets_ufgrowth(paper_db, 0.0)
+
+    def test_values_are_expected_supports(self, paper_db):
+        for itemset, value in mine_expected_support_itemsets_ufgrowth(paper_db, 1.0):
+            assert value == pytest.approx(paper_db.expected_support(itemset))
+
+    def test_single_item_database(self):
+        db = UncertainDatabase.from_rows([("T1", "a", 0.4), ("T2", "a", 0.5)])
+        assert mine_expected_support_itemsets_ufgrowth(db, 0.8) == [
+            (("a",), pytest.approx(0.9))
+        ]
+        assert mine_expected_support_itemsets_ufgrowth(db, 0.95) == []
+
+    @given(uncertain_databases(max_transactions=7, max_items=5))
+    @settings(max_examples=40, deadline=None)
+    def test_equivalent_to_uapriori(self, db):
+        """UF-growth and U-Apriori are the FP-growth/Apriori pair of the
+        expected-support model; they must produce identical result sets.
+
+        Thresholds are chosen off the lattice of achievable sums to avoid
+        float-ordering flips at exact boundaries.
+        """
+        for min_esup in (0.513, 1.497, 2.371):
+            ufgrowth = mine_expected_support_itemsets_ufgrowth(db, min_esup)
+            uapriori = mine_expected_support_itemsets(db, min_esup)
+            assert [x for x, _v in ufgrowth] == [x for x, _v in uapriori]
+            for (_, left), (_, right) in zip(ufgrowth, uapriori):
+                assert left == pytest.approx(right)

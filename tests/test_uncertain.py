@@ -1,0 +1,122 @@
+"""Tests for the uncertain frequent-itemset mining substrate."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.database import UncertainDatabase, paper_table2_database
+from repro.uncertain import (
+    mine_expected_support_itemsets,
+    mine_probabilistic_frequent_itemsets,
+    mine_probabilistic_frequent_itemsets_topdown,
+)
+from tests.conftest import brute_force_frequent_probability, uncertain_databases
+
+
+class TestBottomUpPFIM:
+    def test_paper_example_counts(self, paper_db):
+        """Example 1.1: 15 PFIs; 7 with Pr_F=0.9726 and 8 with Pr_F=0.81."""
+        results = mine_probabilistic_frequent_itemsets(paper_db, 2, 0.8)
+        assert len(results) == 15
+        values = sorted(round(probability, 4) for _x, probability in results)
+        assert values.count(0.81) == 8
+        assert values.count(0.9726) == 7
+
+    def test_threshold_is_strict(self, paper_db):
+        # pft = 0.81 excludes the eight 0.81-probability itemsets.
+        results = mine_probabilistic_frequent_itemsets(paper_db, 2, 0.81)
+        assert len(results) == 7
+
+    def test_validation(self, paper_db):
+        with pytest.raises(ValueError):
+            mine_probabilistic_frequent_itemsets(paper_db, 0, 0.5)
+        with pytest.raises(ValueError):
+            mine_probabilistic_frequent_itemsets(paper_db, 1, 1.0)
+
+    @given(
+        uncertain_databases(max_transactions=6, max_items=4),
+        st.integers(min_value=1, max_value=4),
+        st.sampled_from([0.2, 0.5, 0.8]),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_matches_brute_force(self, db, min_sup, pft):
+        import itertools
+
+        expected = set()
+        items = db.items
+        for size in range(1, len(items) + 1):
+            for combo in itertools.combinations(items, size):
+                if brute_force_frequent_probability(db, combo, min_sup) > pft:
+                    expected.add(combo)
+        got = {x for x, _p in mine_probabilistic_frequent_itemsets(db, min_sup, pft)}
+        assert got == expected
+
+    def test_anti_monotone_output(self, paper_db):
+        """Every subset of a returned itemset is also returned."""
+        results = dict(mine_probabilistic_frequent_itemsets(paper_db, 2, 0.5))
+        for itemset in results:
+            for position in range(len(itemset)):
+                subset = itemset[:position] + itemset[position + 1 :]
+                if subset:
+                    assert subset in results
+                    assert results[subset] >= results[itemset] - 1e-12
+
+
+class TestTopDownPFIM:
+    def test_paper_example(self, paper_db):
+        topdown = mine_probabilistic_frequent_itemsets_topdown(paper_db, 2, 0.8)
+        bottomup = mine_probabilistic_frequent_itemsets(paper_db, 2, 0.8)
+        assert topdown == bottomup
+
+    @given(
+        uncertain_databases(max_transactions=7, max_items=5),
+        st.integers(min_value=1, max_value=4),
+        st.sampled_from([0.2, 0.5, 0.8]),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_equivalent_to_bottom_up(self, db, min_sup, pft):
+        topdown = mine_probabilistic_frequent_itemsets_topdown(db, min_sup, pft)
+        bottomup = mine_probabilistic_frequent_itemsets(db, min_sup, pft)
+        assert topdown == bottomup
+
+    def test_validation(self, paper_db):
+        with pytest.raises(ValueError):
+            mine_probabilistic_frequent_itemsets_topdown(paper_db, 0, 0.5)
+
+
+class TestExpectedSupportModel:
+    def test_paper_database(self, paper_db):
+        # E[support({abc})] = 3.1; threshold 3 keeps it, 3.2 drops it.
+        kept = dict(mine_expected_support_itemsets(paper_db, 3.0))
+        assert kept[("a", "b", "c")] == pytest.approx(3.1)
+        dropped = dict(mine_expected_support_itemsets(paper_db, 3.2))
+        assert ("a", "b", "c") not in dropped
+
+    def test_validation(self, paper_db):
+        with pytest.raises(ValueError):
+            mine_expected_support_itemsets(paper_db, 0.0)
+
+    def test_disagrees_with_probabilistic_model(self):
+        """A high-variance itemset: expected support passes, Pr_F fails.
+
+        Ten transactions with probability 0.5 give expected support 5, but
+        Pr[support >= 5] is only ~0.62 — the semantic gap the probabilistic
+        frequent model exists to close.
+        """
+        db = UncertainDatabase.from_rows(
+            [(f"T{i}", "a", 0.5) for i in range(10)]
+        )
+        expected = {x for x, _v in mine_expected_support_itemsets(db, 5.0)}
+        assert ("a",) in expected
+        probabilistic = {
+            x for x, _v in mine_probabilistic_frequent_itemsets(db, 5, 0.8)
+        }
+        assert ("a",) not in probabilistic
+
+    @given(uncertain_databases(max_transactions=6, max_items=4))
+    @settings(max_examples=20, deadline=None)
+    def test_expected_support_values_are_correct(self, db):
+        for itemset, value in mine_expected_support_itemsets(db, 0.5):
+            assert value == pytest.approx(db.expected_support(itemset))

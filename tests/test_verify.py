@@ -1,0 +1,76 @@
+"""Tests for the post-hoc result verification utility."""
+
+import pytest
+
+from repro.core.config import MinerConfig
+from repro.core.database import UncertainDatabase, paper_table2_database
+from repro.core.miner import MPFCIMiner, ProbabilisticFrequentClosedItemset, mine_pfci
+from repro.core.verify import verify_results
+
+
+class TestVerifyResults:
+    def test_paper_example_is_sound(self, paper_db):
+        results = mine_pfci(paper_db, min_sup=2, pfct=0.8)
+        report = verify_results(paper_db, results, min_sup=2, pfct=0.8)
+        assert report.all_sound
+        assert report.max_point_error < 1e-9
+        assert "violations: none" in report.summary()
+
+    def test_sampled_run_is_sound_within_intervals(self, paper_db):
+        config = MinerConfig(
+            min_sup=2, pfct=0.8, exact_event_limit=0,
+            use_probability_bounds=False, epsilon=0.2, delta=0.2,
+        )
+        results = MPFCIMiner(paper_db, config).mine()
+        report = verify_results(paper_db, results, min_sup=2, pfct=0.8)
+        assert report.all_sound
+
+    def test_oracle_method_agrees(self, paper_db):
+        results = mine_pfci(paper_db, min_sup=2, pfct=0.8)
+        exact = verify_results(paper_db, results, 2, 0.8, method="exact")
+        oracle = verify_results(paper_db, results, 2, 0.8, method="oracle")
+        for left, right in zip(exact.entries, oracle.entries):
+            assert left.exact_probability == pytest.approx(
+                right.exact_probability, abs=1e-9
+            )
+
+    def test_detects_fabricated_result(self, paper_db):
+        fake = ProbabilisticFrequentClosedItemset(
+            itemset=("a",), probability=0.95, lower=0.9, upper=1.0,
+            method="sampled", frequent_probability=0.99,
+        )
+        report = verify_results(paper_db, [fake], min_sup=2, pfct=0.8)
+        assert not report.all_sound
+        entry = report.entries[0]
+        assert entry.exact_probability == pytest.approx(0.0, abs=1e-12)
+        assert not entry.interval_sound
+        assert not entry.qualifies
+        assert "('a',)" in report.summary()
+
+    def test_detects_threshold_violation_with_sound_interval(self, paper_db):
+        # Interval contains the truth (0.81) but the itemset does not clear
+        # a higher threshold.
+        honest = ProbabilisticFrequentClosedItemset(
+            itemset=("a", "b", "c", "d"), probability=0.81, lower=0.7,
+            upper=0.9, method="sampled", frequent_probability=0.81,
+        )
+        report = verify_results(paper_db, [honest], min_sup=2, pfct=0.85)
+        assert not report.all_sound
+        assert report.entries[0].interval_sound
+        assert not report.entries[0].qualifies
+
+    def test_oracle_refuses_large_databases(self):
+        db = UncertainDatabase.from_rows(
+            [(f"T{i}", "a", 0.5) for i in range(25)]
+        )
+        with pytest.raises(ValueError, match="possible worlds"):
+            verify_results(db, [], min_sup=1, method="oracle")
+
+    def test_unknown_method(self, paper_db):
+        with pytest.raises(ValueError, match="method"):
+            verify_results(paper_db, [], min_sup=2, method="sampling")
+
+    def test_empty_results(self, paper_db):
+        report = verify_results(paper_db, [], min_sup=2)
+        assert report.all_sound
+        assert report.max_point_error == 0.0
