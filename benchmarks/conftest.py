@@ -35,3 +35,14 @@ def run_once(benchmark, func):
     """Time ``func`` with a small fixed round count (miners are seconds-slow,
     so pytest-benchmark's auto-calibration would multiply runtimes 100x)."""
     return benchmark.pedantic(func, rounds=2, iterations=1, warmup_rounds=0)
+
+
+def record_stats(benchmark, stats):
+    """Attach a run's MiningStats report to the benchmark JSON output.
+
+    The report lands under ``extra_info["mining_stats"]`` so
+    ``--benchmark-json`` artifacts carry the instrumentation (cache hit
+    rate, prunes per lemma, phase timings) alongside the wall-clock rows.
+    """
+    benchmark.extra_info["mining_stats"] = stats.report()
+    return stats

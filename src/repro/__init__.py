@@ -25,8 +25,10 @@ Quickstart::
 from .core import (
     MinerConfig,
     MinerStatistics,
+    MiningStats,
     MPFCIMiner,
     ProbabilisticFrequentClosedItemset,
+    SupportDPCache,
     UncertainDatabase,
     UncertainTransaction,
     mine_pfci,
@@ -54,7 +56,9 @@ __version__ = "1.0.0"
 __all__ = [
     "MinerConfig",
     "MinerStatistics",
+    "MiningStats",
     "MPFCIMiner",
+    "SupportDPCache",
     "MPFCIBreadthFirstMiner",
     "NaiveMiner",
     "ProbabilisticFrequentClosedItemset",

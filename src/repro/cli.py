@@ -57,10 +57,19 @@ def _add_mine_parser(subparsers) -> None:
         help="pruning rules to disable (Table VII variants)",
     )
     parser.add_argument(
-        "--stats", action="store_true", help="print work counters after mining"
+        "--stats",
+        action="store_true",
+        help="print work counters (summary line + JSON report) after mining",
     )
     parser.add_argument(
         "--json", action="store_true", help="emit results as JSON instead of a table"
+    )
+    parser.add_argument(
+        "--processes",
+        type=int,
+        default=None,
+        metavar="N",
+        help="mine root branches in N worker processes (dfs framework only)",
     )
     parser.add_argument(
         "--max-size", type=int, default=None, help="cap on result itemset length"
@@ -137,13 +146,29 @@ def _command_mine(args: argparse.Namespace) -> int:
         use_probability_bounds="bound" not in args.disable,
         max_itemset_size=args.max_size,
     )
-    if args.framework == "dfs":
-        miner = MPFCIMiner(database, config)
-    elif args.framework == "bfs":
-        miner = MPFCIBreadthFirstMiner(database, config)
+    if args.processes is not None and args.framework != "dfs":
+        print("--processes is only supported with --framework dfs", file=sys.stderr)
+        return 2
+    if args.processes is not None and args.processes < 1:
+        print("--processes must be >= 1", file=sys.stderr)
+        return 2
+    if args.processes is not None:
+        from .core.parallel import mine_pfci_parallel
+        from .core.stats import MiningStats
+
+        stats = MiningStats()
+        results = mine_pfci_parallel(
+            database, config, processes=args.processes, stats=stats
+        )
     else:
-        miner = NaiveMiner(database, config)
-    results = miner.mine()
+        if args.framework == "dfs":
+            miner = MPFCIMiner(database, config)
+        elif args.framework == "bfs":
+            miner = MPFCIBreadthFirstMiner(database, config)
+        else:
+            miner = NaiveMiner(database, config)
+        results = miner.mine()
+        stats = miner.stats
     if args.json:
         import json
 
@@ -152,7 +177,8 @@ def _command_mine(args: argparse.Namespace) -> int:
             "results": [result.to_dict() for result in results],
         }
         if args.stats:
-            payload["stats"] = miner.stats.as_dict()
+            payload["stats"] = stats.as_dict()
+            payload["stats_report"] = stats.report()
         print(json.dumps(payload, indent=2))
         return 0
     rows = [
@@ -174,7 +200,10 @@ def _command_mine(args: argparse.Namespace) -> int:
         )
     )
     if args.stats:
-        print(miner.stats.summary())
+        import json
+
+        print(stats.summary())
+        print(json.dumps(stats.report(), indent=2))
     if args.verify:
         from .core.verify import verify_results
 

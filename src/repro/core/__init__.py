@@ -24,14 +24,17 @@ from .database import (
     paper_table2_database,
     paper_table4_database,
 )
+from .cache import SupportDPCache
 from .miner import MPFCIMiner, ProbabilisticFrequentClosedItemset, mine_pfci
-from .stats import MinerStatistics
+from .stats import MinerStatistics, MiningStats
 
 __all__ = [
     "MinerConfig",
     "MinerStatistics",
+    "MiningStats",
     "MPFCIMiner",
     "ProbabilisticFrequentClosedItemset",
+    "SupportDPCache",
     "UncertainDatabase",
     "UncertainTransaction",
     "mine_pfci",

@@ -42,14 +42,11 @@ from typing import List, Optional, Sequence
 
 import numpy as np
 
+from .cache import SupportDPCache
 from .database import UncertainDatabase
 from .events import ExtensionEventSystem
 from .itemsets import Item
-from .support import (
-    SupportDistributionCache,
-    sample_conditional_presence,
-    tail_probability_table,
-)
+from .support import sample_conditional_presence
 
 __all__ = [
     "ApproxFCPResult",
@@ -106,10 +103,13 @@ def approx_union_probability(
         cumulative.append(running)
 
     database = events.database
+    cache = events.support_cache
     # Per-event precomputation: conditional-sampler inputs and membership
-    # sets for the first-cover check.
+    # sets for the first-cover check.  Tail tables come from the run-shared
+    # support-DP cache (one fetch per event, reused locally per sample), so
+    # re-checks of overlapping tidsets stop rebuilding them.
     event_probabilities = [
-        database.tidset_probabilities(event.tidset) for event in events.events
+        cache.probabilities_of_tidset(event.tidset) for event in events.events
     ]
     tail_tables = [None] * len(events.events)
     item_of_event = [event.item for event in events.events]
@@ -122,8 +122,8 @@ def approx_union_probability(
         if index >= len(events.events):
             index = len(events.events) - 1
         if tail_tables[index] is None:
-            tail_tables[index] = tail_probability_table(
-                event_probabilities[index], events.min_sup
+            tail_tables[index] = cache.tail_table_of_tidset(
+                events.events[index].tidset
             )
         bits = sample_conditional_presence(
             event_probabilities[index],
@@ -196,8 +196,9 @@ def paper_ratio_union_estimator(
         cumulative.append(running)
 
     database = events.database
+    cache = events.support_cache
     event_probabilities = [
-        database.tidset_probabilities(event.tidset) for event in events.events
+        cache.probabilities_of_tidset(event.tidset) for event in events.events
     ]
     tail_tables = [None] * len(events.events)
     item_of_event = [event.item for event in events.events]
@@ -208,8 +209,8 @@ def paper_ratio_union_estimator(
         pick = rng.random() * z
         index = min(bisect.bisect_left(cumulative, pick), len(events.events) - 1)
         if tail_tables[index] is None:
-            tail_tables[index] = tail_probability_table(
-                event_probabilities[index], events.min_sup
+            tail_tables[index] = cache.tail_table_of_tidset(
+                events.events[index].tidset
             )
         bits = sample_conditional_presence(
             event_probabilities[index],
@@ -255,10 +256,10 @@ def approx_frequent_closed_probability(
     epsilon: float,
     delta: float,
     rng: random.Random,
-    support_cache: Optional[SupportDistributionCache] = None,
+    support_cache: Optional[SupportDPCache] = None,
 ) -> ApproxFCPResult:
     """ApproxFCP (Fig. 2): ``Pr_FC(X) ≈ Pr_F(X) − KL-estimate(Pr_FNC(X))``."""
-    cache = support_cache or SupportDistributionCache(database, min_sup)
+    cache = support_cache or SupportDPCache(database, min_sup)
     frequent = cache.frequent_probability_of_itemset(itemset)
     if frequent <= 0.0:
         return ApproxFCPResult(0.0, 0, 0.0, 0.0)

@@ -19,16 +19,16 @@ from typing import Dict, List, Tuple
 
 from .approx import approx_union_probability
 from .bounds import (
-    chernoff_hoeffding_frequency_bound,
+    chernoff_hoeffding_bound_for_tidset,
     frequent_closed_probability_bounds,
 )
+from .cache import SupportDPCache
 from .config import MinerConfig
 from .database import Tidset, UncertainDatabase, intersect_tidsets
 from .events import ExtensionEventSystem
 from .itemsets import Item, Itemset
 from .miner import ProbabilisticFrequentClosedItemset
-from .stats import MinerStatistics
-from .support import SupportDistributionCache
+from .stats import MiningStats
 
 __all__ = ["MPFCIBreadthFirstMiner"]
 
@@ -42,15 +42,21 @@ class MPFCIBreadthFirstMiner:
         self.config = config.variant(
             use_superset_pruning=False, use_subset_pruning=False
         )
-        self.stats = MinerStatistics()
+        self.stats = MiningStats()
         self._rng = random.Random(config.seed)
-        self._cache = SupportDistributionCache(database, config.min_sup)
+        self._cache = self._new_cache()
+
+    def _new_cache(self) -> SupportDPCache:
+        return SupportDPCache(
+            self.database, self.config.min_sup,
+            max_entries=self.config.dp_cache_size,
+        )
 
     def mine(self) -> List[ProbabilisticFrequentClosedItemset]:
         started = time.perf_counter()
-        self.stats = MinerStatistics()
+        self.stats = MiningStats()
         self._rng = random.Random(self.config.seed)
-        self._cache = SupportDistributionCache(self.database, self.config.min_sup)
+        self._cache = self._new_cache()
         results: List[ProbabilisticFrequentClosedItemset] = []
 
         level: Dict[Itemset, Tidset] = {}
@@ -59,6 +65,7 @@ class MPFCIBreadthFirstMiner:
             self.stats.candidates_generated += 1
             if self._passes_frequency_pruning(tidset):
                 level[(item,)] = tidset
+        self.stats.candidate_phase_seconds = time.perf_counter() - started
 
         while level:
             for itemset, tidset in level.items():
@@ -69,6 +76,13 @@ class MPFCIBreadthFirstMiner:
         results.sort(key=lambda result: (len(result.itemset), result.itemset))
         self.stats.results_emitted = len(results)
         self.stats.elapsed_seconds = time.perf_counter() - started
+        self.stats.search_phase_seconds = max(
+            0.0,
+            self.stats.elapsed_seconds
+            - self.stats.candidate_phase_seconds
+            - self.stats.check_phase_seconds,
+        )
+        self._cache.apply_to(self.stats)
         return results
 
     def _next_level(self, level: Dict[Itemset, Tidset]) -> Dict[Itemset, Tidset]:
@@ -91,9 +105,8 @@ class MPFCIBreadthFirstMiner:
             self.stats.pruned_by_count += 1
             return False
         if config.use_chernoff_pruning:
-            expected = sum(self.database.tidset_probabilities(tidset))
-            bound = chernoff_hoeffding_frequency_bound(
-                expected, len(self.database), config.min_sup
+            bound = chernoff_hoeffding_bound_for_tidset(
+                self._cache, len(self.database), tidset
             )
             if bound <= config.pfct:
                 self.stats.pruned_by_chernoff += 1
@@ -110,6 +123,19 @@ class MPFCIBreadthFirstMiner:
         tidset: Tidset,
         results: List[ProbabilisticFrequentClosedItemset],
     ) -> None:
+        started = time.perf_counter()
+        try:
+            self.stats.checks_performed += 1
+            self._check_inner(itemset, tidset, results)
+        finally:
+            self.stats.check_phase_seconds += time.perf_counter() - started
+
+    def _check_inner(
+        self,
+        itemset: Itemset,
+        tidset: Tidset,
+        results: List[ProbabilisticFrequentClosedItemset],
+    ) -> None:
         config = self.config
         frequent = self._cache.frequent_probability_of_tidset(tidset)
         events = ExtensionEventSystem(
@@ -120,8 +146,10 @@ class MPFCIBreadthFirstMiner:
             support_cache=self._cache,
         )
         if events.has_certain_cooccurrence():
+            self.stats.skipped_certain_cooccurrence += 1
             return
         if not events.events:
+            self.stats.trivial_results += 1
             results.append(
                 ProbabilisticFrequentClosedItemset(
                     itemset, frequent, frequent, frequent, "trivial", frequent
@@ -139,6 +167,7 @@ class MPFCIBreadthFirstMiner:
             if bounds.is_tight or bounds.lower > config.pfct:
                 if bounds.is_tight:
                     self.stats.fcp_exact_evaluations += 1
+                    self.stats.decided_by_tight_bounds += 1
                 else:
                     self.stats.accepted_by_lower_bound += 1
                 results.append(

@@ -36,6 +36,7 @@ from .events import ExtensionEventSystem
 
 __all__ = [
     "chernoff_hoeffding_frequency_bound",
+    "chernoff_hoeffding_bound_for_tidset",
     "union_lower_bound",
     "union_upper_bound",
     "FrequentClosedProbabilityBounds",
@@ -70,6 +71,21 @@ def chernoff_hoeffding_frequency_bound(
     log_chernoff = (min_sup - mu) + min_sup * math.log(ratio)
     chernoff = math.exp(log_chernoff)
     return min(hoeffding, chernoff, 1.0)
+
+
+def chernoff_hoeffding_bound_for_tidset(
+    cache, database_size: int, tidset
+) -> float:
+    """Lemma 4.1 bound for a tidset, reading μ from the support-DP cache.
+
+    ``cache`` is a :class:`repro.core.cache.SupportDPCache`; its memoized
+    probability tuples make the expected support a cached read, so repeated
+    Chernoff evaluations of the same tidset (candidate phase, then per-node
+    extension filters) stop re-summing the probabilities.
+    """
+    return chernoff_hoeffding_frequency_bound(
+        cache.expected_support_of_tidset(tidset), database_size, cache.min_sup
+    )
 
 
 def union_lower_bound(

@@ -1,0 +1,227 @@
+"""Shared support-DP cache — the memoization substrate of the mining runtime.
+
+The hot path of every miner is the Poisson-binomial machinery of
+:mod:`repro.core.support`: the frequent-probability DP behind ``Pr_F``
+(Definition 3.4) and the suffix tail tables the ApproxFCP sampler consumes.
+Both depend only on (tidset, ``min_sup``), and the enumeration tree revisits
+the same tidsets constantly — a node's tidset is re-read when the node is
+checked, extension-event tidsets recur across sibling checks, and pairwise
+conjunction tidsets overlap heavily (Bernecker et al.'s ProFP-Growth makes
+the same observation for plain frequentness mining: memoizing the DP across
+the tree is the dominant constant-factor win).
+
+:class:`SupportDPCache` centralizes that reuse behind one keyed, bounded
+object:
+
+* ``Pr_F`` values, tail tables, and tidset probability tuples are each
+  memoized by tidset under LRU eviction, so memory stays bounded on
+  adversarial workloads while typical runs never evict;
+* every lookup is counted (hits / misses / evictions per table), which is
+  what :class:`repro.core.stats.MiningStats` reports as the DP-cache block;
+* one instance is threaded through a whole mining run — ``MPFCIMiner``,
+  ``MPFCIBreadthFirstMiner`` and the parallel branch workers hand their
+  cache to :class:`repro.core.events.ExtensionEventSystem`, the Lemma 4.4
+  bound evaluation, and the ApproxFCP sampler, replacing the former
+  per-call recomputation of tail tables and probability tuples.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+__all__ = ["SupportDPCache", "DEFAULT_CACHE_SIZE", "DEFAULT_TABLE_CACHE_SIZE"]
+
+# Value entries are one float keyed by a position tuple; generous by default
+# so realistic runs behave like an unbounded memo table.
+DEFAULT_CACHE_SIZE = 65536
+# Tail tables are (k+1) x (min_sup+1) arrays — far heavier per entry.
+DEFAULT_TABLE_CACHE_SIZE = 2048
+
+
+class SupportDPCache:
+    """Keyed, bounded-size memo table for the support-DP quantities.
+
+    Keys are the sorted position tuples produced by
+    :meth:`repro.core.database.UncertainDatabase.tidset`; the cached value
+    depends only on the tidset and ``min_sup``, so one instance must never
+    be shared between configurations with different ``min_sup``.
+
+    Three internal tables, each LRU-bounded independently:
+
+    ========================  ==========================================
+    table                     holds
+    ========================  ==========================================
+    values                    ``Pr_F(tidset) = Pr[support >= min_sup]``
+    tail tables               suffix tail DP of ``tail_probability_table``
+    probabilities             the tidset's probability tuple
+    ========================  ==========================================
+
+    Counters (``hits`` / ``misses`` / ``evictions`` for the value table,
+    ``table_hits`` / ``table_misses`` / ``table_evictions`` for tail
+    tables, ``dp_invocations`` for actual DP runs of either kind) feed the
+    :class:`~repro.core.stats.MiningStats` report; by construction
+    ``hits + misses`` equals the number of ``Pr_F`` requests.
+    """
+
+    def __init__(
+        self,
+        database,
+        min_sup: int,
+        max_entries: int = DEFAULT_CACHE_SIZE,
+        max_tables: int = DEFAULT_TABLE_CACHE_SIZE,
+    ):
+        if max_entries < 1:
+            raise ValueError(f"max_entries must be >= 1, got {max_entries}")
+        if max_tables < 1:
+            raise ValueError(f"max_tables must be >= 1, got {max_tables}")
+        self._database = database
+        self._min_sup = min_sup
+        self.max_entries = max_entries
+        self.max_tables = max_tables
+        self._values: "OrderedDict[Tuple[int, ...], float]" = OrderedDict()
+        self._tables: "OrderedDict[Tuple[int, ...], np.ndarray]" = OrderedDict()
+        self._probabilities: "OrderedDict[Tuple[int, ...], Tuple[float, ...]]" = (
+            OrderedDict()
+        )
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.table_hits = 0
+        self.table_misses = 0
+        self.table_evictions = 0
+        self.dp_invocations = 0
+
+    # ------------------------------------------------------------------
+    # basic accessors
+    # ------------------------------------------------------------------
+    @property
+    def database(self):
+        return self._database
+
+    @property
+    def min_sup(self) -> int:
+        return self._min_sup
+
+    def __len__(self) -> int:
+        """Number of cached ``Pr_F`` values (the primary table)."""
+        return len(self._values)
+
+    @property
+    def table_count(self) -> int:
+        return len(self._tables)
+
+    # ------------------------------------------------------------------
+    # cached quantities
+    # ------------------------------------------------------------------
+    def probabilities_of_tidset(self, tidset: Tuple[int, ...]) -> Tuple[float, ...]:
+        """The tidset's probability tuple, memoized.
+
+        Building the tuple is O(|tidset|) per call and sits under every DP,
+        absent factor, and expected-support computation, so the miner's
+        repeated reads of the same node tidset come from here.
+        """
+        cached = self._probabilities.get(tidset)
+        if cached is not None:
+            self._probabilities.move_to_end(tidset)
+            return cached
+        value = self._database.tidset_probabilities(tidset)
+        self._probabilities[tidset] = value
+        if len(self._probabilities) > self.max_entries:
+            self._probabilities.popitem(last=False)
+        return value
+
+    def expected_support_of_tidset(self, tidset: Tuple[int, ...]) -> float:
+        """Expected support (the Lemma 4.1 input) from the cached tuple."""
+        return float(sum(self.probabilities_of_tidset(tidset)))
+
+    def frequent_probability_of_tidset(self, tidset: Tuple[int, ...]) -> float:
+        """``Pr_F`` of the tidset, memoized under LRU eviction."""
+        cached = self._values.get(tidset)
+        if cached is not None:
+            self.hits += 1
+            self._values.move_to_end(tidset)
+            return cached
+        self.misses += 1
+        self.dp_invocations += 1
+        from .support import frequent_probability
+
+        value = frequent_probability(
+            self.probabilities_of_tidset(tidset), self._min_sup
+        )
+        self._values[tidset] = value
+        if len(self._values) > self.max_entries:
+            self._values.popitem(last=False)
+            self.evictions += 1
+        return value
+
+    def frequent_probability_of_itemset(self, itemset) -> float:
+        return self.frequent_probability_of_tidset(self._database.tidset(itemset))
+
+    def tail_table_of_tidset(self, tidset: Tuple[int, ...]) -> np.ndarray:
+        """The suffix tail table of the tidset (ApproxFCP's sampler input)."""
+        cached = self._tables.get(tidset)
+        if cached is not None:
+            self.table_hits += 1
+            self._tables.move_to_end(tidset)
+            return cached
+        self.table_misses += 1
+        self.dp_invocations += 1
+        from .support import tail_probability_table
+
+        table = tail_probability_table(
+            self.probabilities_of_tidset(tidset), self._min_sup
+        )
+        self._tables[tidset] = table
+        if len(self._tables) > self.max_tables:
+            self._tables.popitem(last=False)
+            self.table_evictions += 1
+        return table
+
+    # ------------------------------------------------------------------
+    # statistics plumbing
+    # ------------------------------------------------------------------
+    @property
+    def requests(self) -> int:
+        """Total ``Pr_F`` lookups; equals ``hits + misses`` by construction."""
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of ``Pr_F`` requests served from cache (0 when idle)."""
+        return self.hits / self.requests if self.requests else 0.0
+
+    def counters(self) -> Dict[str, int]:
+        """Snapshot of every counter, in ``MiningStats`` field naming."""
+        return {
+            "dp_cache_hits": self.hits,
+            "dp_cache_misses": self.misses,
+            "dp_cache_evictions": self.evictions,
+            "dp_tail_table_hits": self.table_hits,
+            "dp_tail_table_misses": self.table_misses,
+            "dp_tail_table_evictions": self.table_evictions,
+            "dp_invocations": self.dp_invocations,
+        }
+
+    def apply_to(self, stats) -> None:
+        """Copy (not add) the cache counters into a ``MiningStats``.
+
+        Cache counters are cumulative on the cache object, so miners call
+        this once per finished run/branch; repeated calls stay idempotent.
+        """
+        for name, value in self.counters().items():
+            setattr(stats, name, value)
+
+    def clear(self) -> None:
+        """Drop every entry; counters are preserved (they describe the run)."""
+        self._values.clear()
+        self._tables.clear()
+        self._probabilities.clear()
+
+    def __repr__(self) -> str:
+        return (
+            f"SupportDPCache(min_sup={self._min_sup}, entries={len(self._values)}, "
+            f"tables={len(self._tables)}, hits={self.hits}, misses={self.misses})"
+        )

@@ -53,6 +53,9 @@ class MinerConfig:
         max_itemset_size: optional cap on result itemset length; the miner
             stops extending at the cap (sound: discarded nodes could only
             produce longer-than-cap results).  ``None`` = unbounded.
+        dp_cache_size: entry bound of the shared support-DP cache (LRU
+            eviction beyond it).  Purely a memory/speed trade-off — cached
+            and uncached runs return identical results.
     """
 
     min_sup: int
@@ -68,8 +71,13 @@ class MinerConfig:
     lower_bound: str = "de_caen"
     upper_bound: str = "kwerel"
     max_itemset_size: Optional[int] = None
+    dp_cache_size: int = 65536
 
     def __post_init__(self) -> None:
+        if self.dp_cache_size < 1:
+            raise ValueError(
+                f"dp_cache_size must be >= 1, got {self.dp_cache_size}"
+            )
         if self.max_itemset_size is not None and self.max_itemset_size < 1:
             raise ValueError("max_itemset_size must be >= 1 when set")
         if self.min_sup < 1:

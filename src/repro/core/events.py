@@ -28,9 +28,9 @@ import math
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from .cache import SupportDPCache
 from .database import Tidset, UncertainDatabase, intersect_tidsets
 from .itemsets import Item, Itemset, canonical
-from .support import SupportDistributionCache, frequent_probability
 
 __all__ = ["ExtensionEvent", "ExtensionEventSystem"]
 
@@ -74,7 +74,7 @@ class ExtensionEventSystem:
         itemset: Sequence[Item],
         min_sup: int,
         base_tidset: Optional[Tidset] = None,
-        support_cache: Optional[SupportDistributionCache] = None,
+        support_cache: Optional[SupportDPCache] = None,
     ):
         self.database = database
         self.itemset = canonical(itemset)
@@ -82,9 +82,19 @@ class ExtensionEventSystem:
         self.base_tidset: Tidset = (
             database.tidset(self.itemset) if base_tidset is None else base_tidset
         )
-        self._cache = support_cache or SupportDistributionCache(database, min_sup)
+        self._cache = support_cache or SupportDPCache(database, min_sup)
+        # Every absent factor reads the base tidset's probabilities; one
+        # cached tuple serves construction and all conjunction queries.
+        self._base_probabilities = self._cache.probabilities_of_tidset(
+            self.base_tidset
+        )
         self.events: List[ExtensionEvent] = self._build_events()
         self._pairwise: Dict[Tuple[int, int], float] = {}
+
+    @property
+    def support_cache(self) -> SupportDPCache:
+        """The run-shared support-DP cache this system computes through."""
+        return self._cache
 
     # ------------------------------------------------------------------
     # construction
@@ -92,7 +102,7 @@ class ExtensionEventSystem:
     def _build_events(self) -> List[ExtensionEvent]:
         item_set = set(self.itemset)
         base = self.base_tidset
-        base_probabilities = self.database.tidset_probabilities(base)
+        base_probabilities = self._base_probabilities
         events: List[ExtensionEvent] = []
         for item in self.database.items:
             if item in item_set:
@@ -163,8 +173,9 @@ class ExtensionEventSystem:
     def _conjunction_from_tidset(self, tidset: Tidset) -> float:
         if len(tidset) < self.min_sup:
             return 0.0
-        base_probabilities = self.database.tidset_probabilities(self.base_tidset)
-        absent = self._absent_factor(self.base_tidset, base_probabilities, tidset)
+        absent = self._absent_factor(
+            self.base_tidset, self._base_probabilities, tidset
+        )
         return absent * self._cache.frequent_probability_of_tidset(tidset)
 
     def pairwise_probability(self, first: int, second: int) -> float:

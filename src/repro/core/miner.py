@@ -37,15 +37,15 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from .approx import approx_union_probability
 from .bounds import (
-    chernoff_hoeffding_frequency_bound,
+    chernoff_hoeffding_bound_for_tidset,
     frequent_closed_probability_bounds,
 )
+from .cache import SupportDPCache
 from .config import MinerConfig
 from .database import Tidset, UncertainDatabase, intersect_tidsets
 from .events import ExtensionEventSystem
 from .itemsets import Item, Itemset
-from .stats import MinerStatistics
-from .support import SupportDistributionCache
+from .stats import MiningStats
 
 __all__ = ["ProbabilisticFrequentClosedItemset", "MPFCIMiner", "mine_pfci"]
 
@@ -103,14 +103,18 @@ class MPFCIMiner:
     def __init__(self, database: UncertainDatabase, config: MinerConfig):
         self.database = database
         self.config = config
-        self.stats = MinerStatistics()
+        self.stats = MiningStats()
         self._rng = random.Random(config.seed)
-        self._cache: SupportDistributionCache = SupportDistributionCache(
-            database, config.min_sup
-        )
+        self._cache: SupportDPCache = self._new_cache()
         self._item_tidsets: Dict[Item, Tidset] = {
             item: database.tidset_of_item(item) for item in database.items
         }
+
+    def _new_cache(self) -> SupportDPCache:
+        return SupportDPCache(
+            self.database, self.config.min_sup,
+            max_entries=self.config.dp_cache_size,
+        )
 
     # ------------------------------------------------------------------
     # public API
@@ -118,12 +122,13 @@ class MPFCIMiner:
     def mine(self) -> List[ProbabilisticFrequentClosedItemset]:
         """Run the full algorithm and return results sorted by itemset."""
         started = time.perf_counter()
-        self.stats = MinerStatistics()
+        self.stats = MiningStats()
         self._rng = random.Random(self.config.seed)
-        self._cache = SupportDistributionCache(self.database, self.config.min_sup)
+        self._cache = self._new_cache()
         results: List[ProbabilisticFrequentClosedItemset] = []
 
         candidates = self._candidate_items()
+        self.stats.candidate_phase_seconds = time.perf_counter() - started
         for position, item in enumerate(candidates):
             self._dfs(
                 itemset=(item,),
@@ -135,6 +140,50 @@ class MPFCIMiner:
         results.sort(key=lambda result: (len(result.itemset), result.itemset))
         self.stats.results_emitted = len(results)
         self.stats.elapsed_seconds = time.perf_counter() - started
+        self.stats.search_phase_seconds = max(
+            0.0,
+            self.stats.elapsed_seconds
+            - self.stats.candidate_phase_seconds
+            - self.stats.check_phase_seconds,
+        )
+        self._cache.apply_to(self.stats)
+        return results
+
+    def mine_branch(
+        self, item: Item, extensions: Sequence[Item]
+    ) -> List[ProbabilisticFrequentClosedItemset]:
+        """Mine the subtree rooted at ``(item,)`` — one root branch.
+
+        The DFS enumeration partitions cleanly at the root (each branch only
+        reads its own itemsets plus global tidsets), so this is the public
+        entry point branch-parallel drivers use: ``extensions`` is the tail
+        of the candidate item list after ``item``, exactly what
+        :meth:`mine` passes into the subtree.
+
+        Unlike :meth:`mine`, statistics are *not* reset — repeated branch
+        calls on one miner accumulate into ``self.stats``, and the shared
+        support-DP cache persists across branches.  Results are returned
+        sorted the same way :meth:`mine` sorts.
+        """
+        started = time.perf_counter()
+        results: List[ProbabilisticFrequentClosedItemset] = []
+        self._dfs(
+            itemset=(item,),
+            tidset=self._item_tidsets[item],
+            extensions=list(extensions),
+            results=results,
+        )
+        results.sort(key=lambda result: (len(result.itemset), result.itemset))
+        elapsed = time.perf_counter() - started
+        self.stats.results_emitted += len(results)
+        self.stats.elapsed_seconds += elapsed
+        self.stats.search_phase_seconds = max(
+            0.0,
+            self.stats.elapsed_seconds
+            - self.stats.candidate_phase_seconds
+            - self.stats.check_phase_seconds,
+        )
+        self._cache.apply_to(self.stats)
         return results
 
     # ------------------------------------------------------------------
@@ -160,9 +209,8 @@ class MPFCIMiner:
             self.stats.pruned_by_count += 1
             return False
         if config.use_chernoff_pruning:
-            expected = sum(self.database.tidset_probabilities(tidset))
-            bound = chernoff_hoeffding_frequency_bound(
-                expected, len(self.database), config.min_sup
+            bound = chernoff_hoeffding_bound_for_tidset(
+                self._cache, len(self.database), tidset
             )
             if bound <= config.pfct:
                 self.stats.pruned_by_chernoff += 1
@@ -221,7 +269,9 @@ class MPFCIMiner:
                 self.stats.pruned_by_subset += len(remaining) - position
                 break
 
-        if not itemset_marked_non_closed:
+        if itemset_marked_non_closed:
+            self.stats.subset_absorbed += 1
+        else:
             self._check(itemset, tidset, results)
 
     def _superset_pruned(self, itemset: Itemset, tidset: Tidset) -> bool:
@@ -249,9 +299,23 @@ class MPFCIMiner:
         tidset: Tidset,
         results: List[ProbabilisticFrequentClosedItemset],
     ) -> None:
+        started = time.perf_counter()
+        try:
+            self.stats.checks_performed += 1
+            self._check_inner(itemset, tidset, results)
+        finally:
+            self.stats.check_phase_seconds += time.perf_counter() - started
+
+    def _check_inner(
+        self,
+        itemset: Itemset,
+        tidset: Tidset,
+        results: List[ProbabilisticFrequentClosedItemset],
+    ) -> None:
         config = self.config
         frequent = self._cache.frequent_probability_of_tidset(tidset)
         if frequent <= config.pfct:
+            self.stats.check_frequency_rejections += 1
             return
 
         events = ExtensionEventSystem(
@@ -263,9 +327,11 @@ class MPFCIMiner:
         )
         if events.has_certain_cooccurrence():
             # Some superset co-occurs in every world: Pr_FC(X) = 0.
+            self.stats.skipped_certain_cooccurrence += 1
             return
         if not events.events:
             # No superset can ever tie the support: Pr_FC(X) = Pr_F(X).
+            self.stats.trivial_results += 1
             self._emit(
                 results, itemset, frequent, frequent, frequent, "trivial", frequent
             )
@@ -285,6 +351,7 @@ class MPFCIMiner:
             if bounds.is_tight:
                 method = "exact" if bounds.upper == bounds.lower else "bound"
                 self.stats.fcp_exact_evaluations += 1
+                self.stats.decided_by_tight_bounds += 1
                 self._emit(
                     results,
                     itemset,

@@ -4,18 +4,26 @@ The depth-first enumeration partitions cleanly at the root: candidate item
 ``i``'s subtree (prefix ``(i,)`` with extension items ``> i``) is mined
 independently of every other branch — all pruning rules (Lemmas 4.1–4.4)
 only read the branch's own itemsets plus global tidsets.  This module
-ships each root branch to a worker process and merges the results.
+ships each root branch to a worker process via the public
+:meth:`~repro.core.miner.MPFCIMiner.mine_branch` entry point and merges
+both the results and the per-worker :class:`~repro.core.stats.MiningStats`
+(each worker owns a private support-DP cache; its hit/miss counters are
+summed into the caller's stats object, so ``dp_cache_hits +
+dp_cache_misses == dp_requests`` holds for the merged run too).
 
 Determinism note: each branch gets the derived seed ``config.seed + rank``
 so parallel runs are reproducible, but the Monte-Carlo draws differ from a
 serial run's single shared stream — results can differ on itemsets whose
 ``Pr_FC`` lies within sampling noise of ``pfct``.  With the exact checking
 path (large ``exact_event_limit``) or when bounds decide everything, the
-output is identical to the serial miner's (the tests assert it).
+output is identical to the serial miner's (the tests assert it), and every
+non-cache work counter (nodes, prunes, bound/check outcomes) merges to the
+serial run's exact values.
 """
 
 from __future__ import annotations
 
+import time
 from concurrent.futures import ProcessPoolExecutor
 from typing import List, Optional, Sequence, Tuple
 
@@ -23,36 +31,32 @@ from .config import MinerConfig
 from .database import UncertainDatabase
 from .itemsets import Item
 from .miner import MPFCIMiner, ProbabilisticFrequentClosedItemset
+from .stats import MiningStats
 
 __all__ = ["mine_pfci_parallel"]
 
 
-def _mine_branch(
+def _mine_branch_worker(
     database: UncertainDatabase,
     config: MinerConfig,
     item: Item,
     extensions: Tuple[Item, ...],
     rank: int,
-) -> List[ProbabilisticFrequentClosedItemset]:
+) -> Tuple[List[ProbabilisticFrequentClosedItemset], MiningStats]:
     """Worker entry point: mine one root branch (module-level for pickling)."""
     branch_config = config.variant(
         seed=None if config.seed is None else config.seed + rank
     )
     miner = MPFCIMiner(database, branch_config)
-    results: List[ProbabilisticFrequentClosedItemset] = []
-    miner._dfs(
-        itemset=(item,),
-        tidset=database.tidset_of_item(item),
-        extensions=list(extensions),
-        results=results,
-    )
-    return results
+    results = miner.mine_branch(item, extensions)
+    return results, miner.stats
 
 
 def mine_pfci_parallel(
     database: UncertainDatabase,
     config: MinerConfig,
     processes: Optional[int] = None,
+    stats: Optional[MiningStats] = None,
 ) -> List[ProbabilisticFrequentClosedItemset]:
     """Mine probabilistic frequent closed itemsets using worker processes.
 
@@ -60,30 +64,49 @@ def mine_pfci_parallel(
         database: the uncertain transaction database.
         config: miner configuration (same object the serial miner takes).
         processes: worker count (``None`` = ``os.cpu_count()``).
+        stats: optional :class:`MiningStats` the merged run counters are
+            accumulated into — the planner's candidate-phase work plus every
+            worker's branch counters, with ``elapsed_seconds`` overwritten
+            by the parallel run's wall-clock (a sum of per-worker times
+            would report CPU seconds, not latency).
 
     Returns:
         The same result list as :meth:`MPFCIMiner.mine` (sorted by length,
         then itemset); see the module docstring for the sampling-seed
         caveat.
     """
+    started = time.perf_counter()
     # The candidate filter is cheap and must run once, up front, exactly as
     # the serial miner does (phase 1 of the framework).
     planner = MPFCIMiner(database, config)
+    planner_started = time.perf_counter()
     candidates = planner._candidate_items()
-    if not candidates:
-        return []
+    planner.stats.candidate_phase_seconds = time.perf_counter() - planner_started
+    planner._cache.apply_to(planner.stats)
 
-    tasks = [
-        (item, tuple(candidates[position + 1 :]), position)
-        for position, item in enumerate(candidates)
-    ]
+    merged = MiningStats()
+    merged.merge(planner.stats)
     results: List[ProbabilisticFrequentClosedItemset] = []
-    with ProcessPoolExecutor(max_workers=processes) as executor:
-        futures = [
-            executor.submit(_mine_branch, database, config, item, extensions, rank)
-            for item, extensions, rank in tasks
+    if candidates:
+        tasks = [
+            (item, tuple(candidates[position + 1 :]), position)
+            for position, item in enumerate(candidates)
         ]
-        for future in futures:
-            results.extend(future.result())
-    results.sort(key=lambda result: (len(result.itemset), result.itemset))
+        with ProcessPoolExecutor(max_workers=processes) as executor:
+            futures = [
+                executor.submit(
+                    _mine_branch_worker, database, config, item, extensions, rank
+                )
+                for item, extensions, rank in tasks
+            ]
+            for future in futures:
+                branch_results, branch_stats = future.result()
+                results.extend(branch_results)
+                merged.merge(branch_stats)
+        results.sort(key=lambda result: (len(result.itemset), result.itemset))
+
+    merged.elapsed_seconds = time.perf_counter() - started
+    if stats is not None:
+        stats.merge(merged)
+        stats.elapsed_seconds = merged.elapsed_seconds
     return results

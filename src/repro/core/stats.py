@@ -1,44 +1,101 @@
-"""Counters collected during a mining run.
+"""Per-run mining statistics: counters, DP-cache traffic, phase wall-clock.
 
 The effectiveness experiments (Figs. 6–9) are about *how much work each
 pruning rule saves*; these counters make that observable without profiling:
-every pruning decision, bound evaluation, and Monte-Carlo sample increments a
-field here.  The harness prints them next to wall-clock times so the paper's
-qualitative claims ("bound pruning matters most, CH least") can be verified
-structurally as well as by timing.
+every pruning decision, bound evaluation, DP request, and Monte-Carlo sample
+increments a field here.  The harness prints them next to wall-clock times
+so the paper's qualitative claims ("bound pruning matters most, CH least")
+can be verified structurally as well as by timing.
+
+Accounting invariants (asserted in ``tests/test_mining_stats.py``):
+
+* **node accounting** — every DFS node visited is either superset-pruned
+  (Lemma 4.2), absorbed by subset pruning (Lemma 4.3, the node itself is
+  known non-closed), or checked::
+
+      nodes_visited == pruned_by_superset + subset_absorbed + checks_performed
+
+  (for BFS, where the structural prunings cannot fire, ``nodes_visited ==
+  checks_performed``);
+
+* **check accounting** — every check ends in exactly one outcome::
+
+      checks_performed == check_frequency_rejections
+                        + skipped_certain_cooccurrence + trivial_results
+                        + rejected_by_upper_bound + accepted_by_lower_bound
+                        + fcp_exact_evaluations + fcp_sampled_evaluations
+
+  (``fcp_exact_evaluations`` covers both tight Lemma 4.4 intervals —
+  sub-counted in ``decided_by_tight_bounds`` — and the inclusion–exclusion
+  path);
+
+* **DP-cache accounting** — every ``Pr_F`` request either hits or misses::
+
+      dp_cache_hits + dp_cache_misses == dp_requests
+
+The class is exported as both ``MiningStats`` (current name) and
+``MinerStatistics`` (the original seed name, kept as an alias).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 
 @dataclass
-class MinerStatistics:
-    """Work counters for one mining run."""
+class MiningStats:
+    """Work counters, DP-cache traffic, and phase timings for one run."""
 
+    # --- enumeration ---------------------------------------------------
     nodes_visited: int = 0
     candidates_generated: int = 0
+    # --- pruning (Lemmas 4.1-4.3 plus the plain count filter) ----------
     pruned_by_count: int = 0
     pruned_by_chernoff: int = 0
     pruned_by_frequency: int = 0
     pruned_by_superset: int = 0
     pruned_by_subset: int = 0
+    subset_absorbed: int = 0
+    # --- checking (Lemma 4.4 bounds, exact IE, ApproxFCP) --------------
+    checks_performed: int = 0
+    check_frequency_rejections: int = 0
+    skipped_certain_cooccurrence: int = 0
+    trivial_results: int = 0
+    bound_evaluations: int = 0
     accepted_by_lower_bound: int = 0
     rejected_by_upper_bound: int = 0
-    bound_evaluations: int = 0
+    decided_by_tight_bounds: int = 0
     fcp_exact_evaluations: int = 0
     fcp_sampled_evaluations: int = 0
     monte_carlo_samples: int = 0
     frequent_probability_evaluations: int = 0
+    # --- support-DP cache ----------------------------------------------
+    dp_invocations: int = 0
+    dp_cache_hits: int = 0
+    dp_cache_misses: int = 0
+    dp_cache_evictions: int = 0
+    dp_tail_table_hits: int = 0
+    dp_tail_table_misses: int = 0
+    dp_tail_table_evictions: int = 0
+    # --- results and wall-clock ----------------------------------------
     results_emitted: int = 0
     elapsed_seconds: float = 0.0
+    candidate_phase_seconds: float = 0.0
+    search_phase_seconds: float = 0.0
+    check_phase_seconds: float = 0.0
 
-    def merge(self, other: "MinerStatistics") -> None:
-        """Accumulate another run's counters into this one (harness batching)."""
+    def merge(self, other: "MiningStats") -> None:
+        """Accumulate another run's counters into this one.
+
+        Used by the harness for batching and by the parallel driver to merge
+        per-worker branch counters into the planner's totals.
+        """
         for name in self.__dataclass_fields__:
             setattr(self, name, getattr(self, name) + getattr(other, name))
 
+    # ------------------------------------------------------------------
+    # derived quantities
+    # ------------------------------------------------------------------
     @property
     def fcp_evaluations(self) -> int:
         """Total frequent-closed-probability computations (exact + sampled)."""
@@ -54,8 +111,64 @@ class MinerStatistics:
             + self.pruned_by_subset
         )
 
+    @property
+    def dp_requests(self) -> int:
+        """``Pr_F`` lookups against the support-DP cache (hits + misses)."""
+        return self.dp_cache_hits + self.dp_cache_misses
+
+    @property
+    def dp_cache_hit_rate(self) -> float:
+        """Fraction of ``Pr_F`` requests served from cache (0 when idle)."""
+        requests = self.dp_requests
+        return self.dp_cache_hits / requests if requests else 0.0
+
+    @property
+    def check_outcomes(self) -> int:
+        """Sum over the mutually exclusive check outcomes.
+
+        Equals ``checks_performed`` on any consistent run (the check
+        accounting invariant).
+        """
+        return (
+            self.check_frequency_rejections
+            + self.skipped_certain_cooccurrence
+            + self.trivial_results
+            + self.rejected_by_upper_bound
+            + self.accepted_by_lower_bound
+            + self.fcp_exact_evaluations
+            + self.fcp_sampled_evaluations
+        )
+
+    # ------------------------------------------------------------------
+    # reporting API
+    # ------------------------------------------------------------------
     def as_dict(self) -> dict:
+        """Flat counter dict (one key per dataclass field)."""
         return {name: getattr(self, name) for name in self.__dataclass_fields__}
+
+    def report(self) -> dict:
+        """Structured, JSON-ready report: counters, derived rates, phases.
+
+        This is what the CLI's ``--stats`` flag emits and what the benchmark
+        harness records into its ``BENCH_*.json`` ``extra_info``, so run
+        trajectories stay comparable across PRs.
+        """
+        return {
+            "counters": self.as_dict(),
+            "derived": {
+                "dp_requests": self.dp_requests,
+                "dp_cache_hit_rate": round(self.dp_cache_hit_rate, 6),
+                "fcp_evaluations": self.fcp_evaluations,
+                "total_pruned": self.total_pruned,
+                "check_outcomes": self.check_outcomes,
+            },
+            "phases": {
+                "candidate_seconds": self.candidate_phase_seconds,
+                "search_seconds": self.search_phase_seconds,
+                "check_seconds": self.check_phase_seconds,
+                "total_seconds": self.elapsed_seconds,
+            },
+        }
 
     def summary(self) -> str:
         return (
@@ -64,9 +177,18 @@ class MinerStatistics:
             f"freq={self.pruned_by_frequency}, super={self.pruned_by_superset}, "
             f"sub={self.pruned_by_subset}) "
             f"bounds(accept={self.accepted_by_lower_bound}, "
-            f"reject={self.rejected_by_upper_bound}) "
+            f"reject={self.rejected_by_upper_bound}, "
+            f"tight={self.decided_by_tight_bounds}) "
             f"fcp(exact={self.fcp_exact_evaluations}, "
             f"sampled={self.fcp_sampled_evaluations}, "
             f"samples={self.monte_carlo_samples}) "
+            f"dp(requests={self.dp_requests}, "
+            f"hit_rate={self.dp_cache_hit_rate:.2f}) "
             f"time={self.elapsed_seconds:.3f}s"
         )
+
+
+# The seed's class name; every historical import keeps working.
+MinerStatistics = MiningStats
+
+__all__ = ["MiningStats", "MinerStatistics"]

