@@ -1,88 +1,98 @@
-"""Live monitoring of likely frequent items in a probabilistic event stream.
+"""Live monitoring of probabilistic frequent closed itemsets in a stream.
 
-A network monitor sees a stream of (source, confidence) intrusion alerts —
-each alert is genuine only with the classifier's confidence.  The question
-"which sources have probably fired at least N genuine alerts in the last W
-events?" is exactly likely-frequent-item detection over a probabilistic
-sliding window ([30] in the paper's related work), implemented by
-:class:`repro.uncertain.stream.ProbabilisticItemStream`.
+A network monitor sees a stream of correlated intrusion alerts: each event
+is a *set* of sources that fired together, and the whole event is genuine
+only with the classifier's confidence.  The question "which source
+combinations are probably firing together at least N times in the last W
+events?" is sliding-window PFCI mining, handled incrementally by
+:class:`repro.streaming.PFCIMonitor`: per slide it screens which result
+branches a new event can possibly affect (Chernoff–Hoeffding over
+incrementally maintained expected supports), re-mines only those, and
+reports the result changes as ``(added, removed, retained)`` deltas.
 
-The script replays a synthetic day of alerts with two planted attackers
-(one persistent, one burst-then-quiet) and prints the detector's view at
-checkpoints, contrasting the exact DP detector with the cheaper
-Monte-Carlo one and with a naive expected-count threshold.
+The script replays a synthetic day of traffic with a planted attack wave —
+a coordinated trio of hosts that fires together for a while, then goes
+quiet — and prints every change to the PFCI set as the wave enters and
+slides back out of the window, followed by the incremental-work counters
+that show how little mining each slide actually required.
 
 Run:  python examples/streaming_monitor.py
 """
 
 import random
 
+from repro.core.config import MinerConfig
+from repro.core.database import UncertainTransaction
 from repro.eval.reporting import format_table
-from repro.uncertain.stream import ProbabilisticItemStream
+from repro.streaming import PFCIMonitor
 
-WINDOW = 600
-MIN_SUP = 25          # "at least 25 genuine alerts in the window"
-PFT = 0.9
+WINDOW = 200
+MIN_SUP = 30          # "at least 30 genuine co-occurrences in the window"
+PFCT = 0.6
 
-BACKGROUND_SOURCES = [f"host{index:02d}" for index in range(40)]
-
-
-def replay(stream, rng, phase, length):
-    """Feed one phase of traffic; returns the arrivals for bookkeeping."""
-    for _ in range(length):
-        roll = rng.random()
-        if phase == "burst" and roll < 0.25:
-            stream.append("attacker-burst", round(rng.uniform(0.7, 0.95), 2))
-        elif roll < 0.08:
-            stream.append("attacker-slow", round(rng.uniform(0.75, 0.9), 2))
-        else:
-            # Background noise: low-confidence scattered alerts.
-            stream.append(rng.choice(BACKGROUND_SOURCES),
-                          round(rng.uniform(0.05, 0.45), 2))
+BACKGROUND_HOSTS = [f"host{index:02d}" for index in range(12)]
+ATTACK_TRIO = ("evil-a", "evil-b", "evil-c")
 
 
-def report(stream, label):
-    exact = stream.likely_frequent_items(MIN_SUP, PFT)
-    sampled = {
-        item
-        for item, _p in stream.likely_frequent_items_sampled(
-            MIN_SUP, PFT, epsilon=0.05, delta=0.05, rng=random.Random(0)
-        )
-    }
+def synthesize_event(rng, number, phase):
+    """One stream event: a set of co-firing sources plus a confidence."""
+    hosts = set(rng.sample(BACKGROUND_HOSTS, rng.randint(1, 3)))
+    confidence = round(rng.uniform(0.3, 0.7), 2)
+    if phase == "attack" and rng.random() < 0.45:
+        # The coordinated trio rides along on high-confidence events.
+        hosts.update(rng.sample(ATTACK_TRIO, rng.randint(2, 3)))
+        confidence = round(rng.uniform(0.75, 0.95), 2)
+    return UncertainTransaction(f"E{number}", tuple(sorted(hosts)), confidence)
+
+
+def replay(monitor, rng, phase, length, start):
+    """Feed one phase of traffic, printing every PFCI set change."""
+    for number in range(start, start + length):
+        delta = monitor.slide(synthesize_event(rng, number, phase))
+        for result in delta.added:
+            print(f"  slide {number:>5} [{phase:<6}] + {' '.join(result.itemset)}"
+                  f"  (Pr_FC={result.probability:.3f})")
+        for result in delta.removed:
+            print(f"  slide {number:>5} [{phase:<6}] - {' '.join(result.itemset)}")
+    return start + length
+
+
+def report(monitor, label):
     rows = [
-        [item, probability, stream.expected_count(item), item in sampled]
-        for item, probability in exact
+        [" ".join(result.itemset), result.probability, result.method]
+        for result in monitor.results()
     ]
     print(format_table(
-        ["source", "Pr[genuine >= 25]", "E[genuine]", "MC agrees"],
+        ["sources firing together", "Pr_FC", "method"],
         rows,
-        title=f"{label}: {len(stream)} alerts in window, "
-              f"{stream.total_arrivals} total",
+        title=f"{label}: {len(monitor.window)} events in window, "
+              f"{monitor.window.total_appended} total",
     ))
-    # What a naive expected-count rule would flag extra:
-    naive_extra = [
-        item for item in stream.items()
-        if stream.expected_count(item) >= MIN_SUP
-        and item not in {i for i, _p in exact}
-    ]
-    if naive_extra:
-        print(f"  expected-count rule would ALSO flag: {naive_extra} "
-              f"(high expectation, but Pr < {PFT})")
     print()
 
 
 def main() -> None:
     rng = random.Random(2012)
-    stream = ProbabilisticItemStream(window=WINDOW)
+    config = MinerConfig(min_sup=MIN_SUP, pfct=PFCT, exact_event_limit=64)
+    monitor = PFCIMonitor(config, window=WINDOW)
 
-    replay(stream, rng, "burst", 500)
-    report(stream, "T1 - during the burst attack")
+    print("PFCI set changes as the stream advances:")
+    clock = replay(monitor, rng, "calm", 250, start=0)
+    report(monitor, "T1 - background traffic only")
 
-    replay(stream, rng, "quiet", 700)
-    report(stream, "T2 - burst attacker went quiet (slid out of the window)")
+    clock = replay(monitor, rng, "attack", 220, clock)
+    report(monitor, "T2 - coordinated trio inside the window")
 
-    replay(stream, rng, "quiet", 600)
-    report(stream, "T3 - only the slow persistent attacker remains")
+    clock = replay(monitor, rng, "calm", 320, clock)
+    report(monitor, "T3 - attack wave slid back out of the window")
+
+    stats = monitor.stats
+    print(f"incremental work over {stats.slides_processed} slides: "
+          f"{stats.branches_remined} branches re-mined, "
+          f"{stats.branches_retained} retained verbatim, "
+          f"{stats.branches_screened_out} screened out; "
+          f"PMF updates {stats.pmf_incremental_updates} incremental / "
+          f"{stats.pmf_full_rebuilds} full rebuilds")
 
 
 if __name__ == "__main__":

@@ -9,7 +9,10 @@ Subcommands:
 * ``inspect``     — print the characteristics of a ``.utd`` file
   (Table VIII-style);
 * ``experiments`` — regenerate the paper's tables and figures (delegates to
-  :mod:`repro.eval.experiments`).
+  :mod:`repro.eval.experiments`);
+* ``stream-mine`` — replay a ``.utd`` file through a sliding window and
+  maintain its PFCI set incrementally (:mod:`repro.streaming`), reporting
+  per-slide deltas.
 """
 
 from __future__ import annotations
@@ -78,6 +81,50 @@ def _add_mine_parser(subparsers) -> None:
         "--verify",
         action="store_true",
         help="re-check every result against the exact probability after mining",
+    )
+
+
+def _add_stream_mine_parser(subparsers) -> None:
+    parser = subparsers.add_parser(
+        "stream-mine",
+        help="replay a .utd file through a sliding window, maintaining PFCIs",
+    )
+    parser.add_argument("input", help="path to the .utd database to replay")
+    parser.add_argument(
+        "--window", type=int, required=True, metavar="W",
+        help="sliding-window length in transactions",
+    )
+    group = parser.add_mutually_exclusive_group(required=True)
+    group.add_argument(
+        "--min-sup", type=int, help="absolute minimum support over the window"
+    )
+    group.add_argument(
+        "--min-sup-ratio", type=float,
+        help="minimum support as a fraction of the window length",
+    )
+    parser.add_argument("--pfct", type=float, default=0.8)
+    parser.add_argument("--epsilon", type=float, default=0.1)
+    parser.add_argument("--delta", type=float, default=0.1)
+    parser.add_argument("--seed", type=int, default=20120401)
+    parser.add_argument(
+        "--max-slides", type=int, default=None, metavar="N",
+        help="stop after N transactions (default: replay the whole file)",
+    )
+    parser.add_argument(
+        "--report-every", type=int, default=None, metavar="K",
+        help="print a delta summary every K slides (default: only changes)",
+    )
+    parser.add_argument(
+        "--refresh-interval", type=int, default=64, metavar="K",
+        help="force a full support-PMF rebuild after K incremental updates",
+    )
+    parser.add_argument(
+        "--stats",
+        action="store_true",
+        help="print cumulative work counters after the replay",
+    )
+    parser.add_argument(
+        "--json", action="store_true", help="emit results as JSON instead of a table"
     )
 
 
@@ -216,6 +263,90 @@ def _command_mine(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_stream_mine(args: argparse.Namespace) -> int:
+    from .streaming import PFCIMonitor
+
+    database = load_uncertain_database(args.input)
+    if args.window < 1:
+        print("--window must be >= 1", file=sys.stderr)
+        return 2
+    if args.min_sup is not None:
+        config = MinerConfig(
+            min_sup=args.min_sup,
+            pfct=args.pfct,
+            epsilon=args.epsilon,
+            delta=args.delta,
+            seed=args.seed,
+        )
+    else:
+        # The ratio is relative to the *window*, not the whole file: the
+        # window is the database being mined at any instant.
+        config = MinerConfig.with_relative_min_sup(
+            args.window,
+            args.min_sup_ratio,
+            pfct=args.pfct,
+            epsilon=args.epsilon,
+            delta=args.delta,
+            seed=args.seed,
+        )
+    monitor = PFCIMonitor(
+        config, window=args.window, refresh_interval=args.refresh_interval
+    )
+    transactions = list(database)
+    if args.max_slides is not None:
+        transactions = transactions[: args.max_slides]
+    changes = 0
+    for number, transaction in enumerate(transactions, start=1):
+        delta = monitor.slide(transaction)
+        if delta.changed:
+            changes += 1
+        if not args.json:
+            periodic = args.report_every and number % args.report_every == 0
+            if delta.changed or periodic:
+                print(f"slide {number:>6}: {delta.summary()}")
+    results = monitor.results()
+    if args.json:
+        import json
+
+        payload = {
+            "config": config.describe(),
+            "window": args.window,
+            "slides": monitor.stats.slides_processed,
+            "result_changes": changes,
+            "results": [result.to_dict() for result in results],
+        }
+        if args.stats:
+            payload["stats"] = monitor.stats.as_dict()
+            payload["stats_report"] = monitor.stats.report()
+        print(json.dumps(payload, indent=2))
+        return 0
+    rows = [
+        [
+            " ".join(str(item) for item in result.itemset),
+            result.probability,
+            result.lower,
+            result.upper,
+            result.method,
+        ]
+        for result in results
+    ]
+    print(
+        format_table(
+            ["itemset", "Pr_FC", "lower", "upper", "method"],
+            rows,
+            title=f"{len(results)} PFCIs in the final window "
+            f"(window={args.window}, {monitor.stats.slides_processed} slides, "
+            f"{changes} result changes, {config.describe()})",
+        )
+    )
+    if args.stats:
+        import json
+
+        print(monitor.stats.summary())
+        print(json.dumps(monitor.stats.report(), indent=2))
+    return 0
+
+
 def _command_generate(args: argparse.Namespace) -> int:
     if args.kind == "quest":
         transactions = generate_quest(
@@ -285,12 +416,14 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     )
     subparsers = parser.add_subparsers(dest="command", required=True)
     _add_mine_parser(subparsers)
+    _add_stream_mine_parser(subparsers)
     _add_generate_parser(subparsers)
     _add_inspect_parser(subparsers)
     _add_experiments_parser(subparsers)
     args = parser.parse_args(argv)
     handlers = {
         "mine": _command_mine,
+        "stream-mine": _command_stream_mine,
         "generate": _command_generate,
         "inspect": _command_inspect,
         "experiments": _command_experiments,

@@ -72,6 +72,7 @@ class SupportDPCache:
         min_sup: int,
         max_entries: int = DEFAULT_CACHE_SIZE,
         max_tables: int = DEFAULT_TABLE_CACHE_SIZE,
+        generation: Optional[int] = None,
     ):
         if max_entries < 1:
             raise ValueError(f"max_entries must be >= 1, got {max_entries}")
@@ -79,11 +80,23 @@ class SupportDPCache:
             raise ValueError(f"max_tables must be >= 1, got {max_tables}")
         self._database = database
         self._min_sup = min_sup
+        self.generation = generation
         self.max_entries = max_entries
         self.max_tables = max_tables
         self._values: "OrderedDict[Tuple[int, ...], float]" = OrderedDict()
         self._tables: "OrderedDict[Tuple[int, ...], np.ndarray]" = OrderedDict()
         self._probabilities: "OrderedDict[Tuple[int, ...], Tuple[float, ...]]" = (
+            OrderedDict()
+        )
+        # Second-level memos keyed by the ordered *probability tuple* rather
+        # than by positions.  The DP quantities are pure functions of that
+        # tuple, and a sliding window renumbers positions every slide while
+        # leaving the surviving rows' probability tuples untouched — so these
+        # maps survive rebind() and turn most post-slide recomputation into
+        # lookups.  Determinism is preserved: the key is the *ordered* tuple,
+        # so a hit returns bit-for-bit what recomputing would.
+        self._values_by_probs: "OrderedDict[Tuple[float, ...], float]" = OrderedDict()
+        self._tables_by_probs: "OrderedDict[Tuple[float, ...], np.ndarray]" = (
             OrderedDict()
         )
         self.hits = 0
@@ -93,6 +106,8 @@ class SupportDPCache:
         self.table_misses = 0
         self.table_evictions = 0
         self.dp_invocations = 0
+        self.generation_invalidations = 0
+        self.cross_generation_hits = 0
 
     # ------------------------------------------------------------------
     # basic accessors
@@ -108,6 +123,29 @@ class SupportDPCache:
     def __len__(self) -> int:
         """Number of cached ``Pr_F`` values (the primary table)."""
         return len(self._values)
+
+    def rebind(self, database, generation: Optional[int] = None) -> bool:
+        """Adopt a new backing database (e.g. a fresh window snapshot).
+
+        Position-keyed entries are invalidated: positions are renumbered by
+        every window slide, so the tidset-keyed tables are cleared and the
+        cache starts serving the new database.  The probability-keyed
+        second-level memos survive — they are position-independent pure
+        function tables, and reusing them across slides is the streaming
+        monitor's main DP saving.  Counters survive too (they describe the
+        cache's whole life, and ``generation_invalidations`` records how
+        often this happened).  Returns True when an invalidation occurred;
+        rebinding to the identical database + generation is a no-op.
+        """
+        if database is self._database and generation == self.generation:
+            return False
+        self._database = database
+        self.generation = generation
+        self.generation_invalidations += 1
+        self._values.clear()
+        self._tables.clear()
+        self._probabilities.clear()
+        return True
 
     @property
     def table_count(self) -> int:
@@ -145,12 +183,19 @@ class SupportDPCache:
             self._values.move_to_end(tidset)
             return cached
         self.misses += 1
-        self.dp_invocations += 1
-        from .support import frequent_probability
+        probabilities = self.probabilities_of_tidset(tidset)
+        value = self._values_by_probs.get(probabilities)
+        if value is not None:
+            self.cross_generation_hits += 1
+            self._values_by_probs.move_to_end(probabilities)
+        else:
+            self.dp_invocations += 1
+            from .support import frequent_probability
 
-        value = frequent_probability(
-            self.probabilities_of_tidset(tidset), self._min_sup
-        )
+            value = frequent_probability(probabilities, self._min_sup)
+            self._values_by_probs[probabilities] = value
+            if len(self._values_by_probs) > self.max_entries:
+                self._values_by_probs.popitem(last=False)
         self._values[tidset] = value
         if len(self._values) > self.max_entries:
             self._values.popitem(last=False)
@@ -168,12 +213,19 @@ class SupportDPCache:
             self._tables.move_to_end(tidset)
             return cached
         self.table_misses += 1
-        self.dp_invocations += 1
-        from .support import tail_probability_table
+        probabilities = self.probabilities_of_tidset(tidset)
+        table = self._tables_by_probs.get(probabilities)
+        if table is not None:
+            self.cross_generation_hits += 1
+            self._tables_by_probs.move_to_end(probabilities)
+        else:
+            self.dp_invocations += 1
+            from .support import tail_probability_table
 
-        table = tail_probability_table(
-            self.probabilities_of_tidset(tidset), self._min_sup
-        )
+            table = tail_probability_table(probabilities, self._min_sup)
+            self._tables_by_probs[probabilities] = table
+            if len(self._tables_by_probs) > self.max_tables:
+                self._tables_by_probs.popitem(last=False)
         self._tables[tidset] = table
         if len(self._tables) > self.max_tables:
             self._tables.popitem(last=False)
@@ -203,6 +255,8 @@ class SupportDPCache:
             "dp_tail_table_misses": self.table_misses,
             "dp_tail_table_evictions": self.table_evictions,
             "dp_invocations": self.dp_invocations,
+            "dp_generation_invalidations": self.generation_invalidations,
+            "dp_cross_generation_hits": self.cross_generation_hits,
         }
 
     def apply_to(self, stats) -> None:
@@ -215,10 +269,12 @@ class SupportDPCache:
             setattr(stats, name, value)
 
     def clear(self) -> None:
-        """Drop every entry; counters are preserved (they describe the run)."""
+        """Drop every entry (both key levels); counters are preserved."""
         self._values.clear()
         self._tables.clear()
         self._probabilities.clear()
+        self._values_by_probs.clear()
+        self._tables_by_probs.clear()
 
     def __repr__(self) -> str:
         return (

@@ -110,6 +110,28 @@ class UncertainDatabase:
         ]
         return cls.from_rows(rows)
 
+    @classmethod
+    def from_indexed_parts(
+        cls,
+        transactions: Sequence[UncertainTransaction],
+        vertical: Dict[Item, Tidset],
+    ) -> "UncertainDatabase":
+        """Build a database from rows plus an already-computed vertical index.
+
+        The streaming window maintains its vertical index incrementally, so
+        its per-slide snapshots skip the O(rows × items) index rebuild (and
+        the duplicate-tid scan) of the regular constructor.  The caller is
+        responsible for the index being exactly what
+        ``_build_vertical_index`` would produce and for tid uniqueness.
+        """
+        database = cls.__new__(cls)
+        database._transactions = tuple(transactions)
+        database._vertical = vertical
+        database._probabilities = tuple(
+            txn.probability for txn in database._transactions
+        )
+        return database
+
     def _build_vertical_index(self) -> Dict[Item, Tidset]:
         index: Dict[Item, List[int]] = {}
         for position, txn in enumerate(self._transactions):

@@ -100,12 +100,35 @@ class MPFCIMiner:
     may be invoked repeatedly and resets its statistics each time.
     """
 
-    def __init__(self, database: UncertainDatabase, config: MinerConfig):
+    def __init__(
+        self,
+        database: UncertainDatabase,
+        config: MinerConfig,
+        support_cache: Optional[SupportDPCache] = None,
+    ):
         self.database = database
         self.config = config
         self.stats = MiningStats()
         self._rng = random.Random(config.seed)
-        self._cache: SupportDPCache = self._new_cache()
+        if support_cache is not None:
+            # An externally owned cache (the streaming monitor's, which
+            # persists across window slides) must already be bound to this
+            # exact database and threshold — stale position keys would
+            # silently corrupt every DP lookup.
+            if support_cache.database is not database:
+                raise ValueError(
+                    "support_cache is bound to a different database; "
+                    "call rebind() before handing it to a miner"
+                )
+            if support_cache.min_sup != config.min_sup:
+                raise ValueError(
+                    f"support_cache min_sup={support_cache.min_sup} does not "
+                    f"match config min_sup={config.min_sup}"
+                )
+        self._external_cache = support_cache is not None
+        self._cache: SupportDPCache = (
+            support_cache if support_cache is not None else self._new_cache()
+        )
         self._item_tidsets: Dict[Item, Tidset] = {
             item: database.tidset_of_item(item) for item in database.items
         }
@@ -124,7 +147,10 @@ class MPFCIMiner:
         started = time.perf_counter()
         self.stats = MiningStats()
         self._rng = random.Random(self.config.seed)
-        self._cache = self._new_cache()
+        if self._external_cache:
+            self._cache.clear()
+        else:
+            self._cache = self._new_cache()
         results: List[ProbabilisticFrequentClosedItemset] = []
 
         candidates = self._candidate_items()

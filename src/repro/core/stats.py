@@ -77,6 +77,15 @@ class MiningStats:
     dp_tail_table_hits: int = 0
     dp_tail_table_misses: int = 0
     dp_tail_table_evictions: int = 0
+    dp_generation_invalidations: int = 0
+    dp_cross_generation_hits: int = 0
+    # --- sliding-window streaming (repro.streaming.PFCIMonitor) --------
+    slides_processed: int = 0
+    branches_retained: int = 0
+    branches_remined: int = 0
+    branches_screened_out: int = 0
+    pmf_incremental_updates: int = 0
+    pmf_full_rebuilds: int = 0
     # --- results and wall-clock ----------------------------------------
     results_emitted: int = 0
     elapsed_seconds: float = 0.0
@@ -123,6 +132,17 @@ class MiningStats:
         return self.dp_cache_hits / requests if requests else 0.0
 
     @property
+    def pmf_updates(self) -> int:
+        """Total window-PMF maintenance operations (incremental + full)."""
+        return self.pmf_incremental_updates + self.pmf_full_rebuilds
+
+    @property
+    def pmf_incremental_fraction(self) -> float:
+        """Fraction of window-PMF updates served by O(n) convolution peeling."""
+        updates = self.pmf_updates
+        return self.pmf_incremental_updates / updates if updates else 0.0
+
+    @property
     def check_outcomes(self) -> int:
         """Sum over the mutually exclusive check outcomes.
 
@@ -161,6 +181,8 @@ class MiningStats:
                 "fcp_evaluations": self.fcp_evaluations,
                 "total_pruned": self.total_pruned,
                 "check_outcomes": self.check_outcomes,
+                "pmf_updates": self.pmf_updates,
+                "pmf_incremental_fraction": round(self.pmf_incremental_fraction, 6),
             },
             "phases": {
                 "candidate_seconds": self.candidate_phase_seconds,

@@ -1,0 +1,18 @@
+"""Sliding-window incremental PFCI mining (the streaming subsystem).
+
+Layers:
+
+* :class:`WindowedUncertainDatabase` — bounded window with an incrementally
+  maintained vertical index, expected supports, and generation counter;
+* :class:`PFCIMonitor` — keeps the window's exact PFCI set current per
+  slide via branch-local re-mining behind Chernoff–Hoeffding screening and
+  incremental support-PMF maintenance, emitting :class:`SlideDelta` records.
+
+See ``docs/streaming.md`` for the window model, delta semantics, and the
+screening soundness argument.
+"""
+
+from .monitor import PFCIMonitor, SlideDelta
+from .window import WindowedUncertainDatabase
+
+__all__ = ["PFCIMonitor", "SlideDelta", "WindowedUncertainDatabase"]

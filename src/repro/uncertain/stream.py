@@ -13,6 +13,13 @@ the window, so the exact path reuses the core DP, and the cheap maintenance
 path keeps per-item expected counts incrementally for Chernoff–Hoeffding
 screening (sound: the bound over-approximates the tail).
 
+The window bookkeeping itself — eviction order, the per-item vertical
+index, incremental expected counts — is
+:class:`repro.streaming.window.WindowedUncertainDatabase`; each arrival is
+stored as a single-item uncertain transaction, so the item-level stream and
+the itemset-level :class:`repro.streaming.PFCIMonitor` share one sliding
+window implementation.
+
 The sampling-based alternative estimates each tail by direct Monte-Carlo
 over the item's arrival probabilities with the additive Hoeffding sample
 bound ``N = ceil(ln(2/delta) / (2 eps^2))``.
@@ -22,11 +29,12 @@ from __future__ import annotations
 
 import math
 import random
-from collections import deque
-from typing import Deque, Dict, Hashable, List, Optional, Tuple
+from typing import Hashable, List, Optional, Tuple
 
 from ..core.bounds import chernoff_hoeffding_frequency_bound
+from ..core.database import UncertainTransaction
 from ..core.support import frequent_probability
+from ..streaming.window import WindowedUncertainDatabase
 
 __all__ = ["ProbabilisticItemStream"]
 
@@ -52,10 +60,7 @@ class ProbabilisticItemStream:
         if window is not None and window < 1:
             raise ValueError("window must be >= 1 when set")
         self.window = window
-        self._arrivals: Deque[Tuple[Item, float]] = deque()
-        self._probabilities: Dict[Item, Deque[float]] = {}
-        self._expected: Dict[Item, float] = {}
-        self._total_arrivals = 0
+        self._window = WindowedUncertainDatabase(capacity=window)
 
     # ------------------------------------------------------------------
     # maintenance
@@ -64,20 +69,8 @@ class ProbabilisticItemStream:
         """Observe one arrival; evicts the oldest when the window overflows."""
         if not 0.0 < probability <= 1.0:
             raise ValueError(f"probability must be in (0, 1], got {probability}")
-        self._arrivals.append((item, probability))
-        self._probabilities.setdefault(item, deque()).append(probability)
-        self._expected[item] = self._expected.get(item, 0.0) + probability
-        self._total_arrivals += 1
-        if self.window is not None and len(self._arrivals) > self.window:
-            old_item, old_probability = self._arrivals.popleft()
-            bucket = self._probabilities[old_item]
-            # Arrivals are appended in order, so the oldest is leftmost.
-            bucket.popleft()
-            if bucket:
-                self._expected[old_item] -= old_probability
-            else:
-                del self._probabilities[old_item]
-                del self._expected[old_item]
+        tid = f"A{self._window.total_appended}"
+        self._window.append(UncertainTransaction(tid, (item,), probability))
 
     def extend(self, arrivals) -> None:
         for item, probability in arrivals:
@@ -88,24 +81,24 @@ class ProbabilisticItemStream:
     # ------------------------------------------------------------------
     def __len__(self) -> int:
         """Number of arrivals currently inside the window."""
-        return len(self._arrivals)
+        return len(self._window)
 
     @property
     def total_arrivals(self) -> int:
         """Arrivals ever observed (ignores eviction)."""
-        return self._total_arrivals
+        return self._window.total_appended
 
     def items(self) -> List[Item]:
-        return sorted(self._probabilities, key=str)
+        return sorted(self._window.distinct_items, key=str)
 
     def expected_count(self, item: Item) -> float:
         """Incrementally maintained ``E[count(item)]`` inside the window."""
-        return self._expected.get(item, 0.0)
+        return self._window.expected_support_of_item(item)
 
     def frequent_probability(self, item: Item, min_sup: int) -> float:
         """Exact ``Pr[count(item) >= min_sup]`` (Poisson-binomial DP)."""
         return frequent_probability(
-            self._probabilities.get(item, ()), min_sup
+            self._window.item_probabilities(item), min_sup
         )
 
     def likely_frequent_items(
@@ -120,17 +113,19 @@ class ProbabilisticItemStream:
             raise ValueError("min_sup must be at least 1")
         if not 0.0 <= pft < 1.0:
             raise ValueError("pft must be in [0, 1)")
-        horizon = len(self._arrivals)
+        horizon = len(self._window)
         results: List[Tuple[Item, float]] = []
-        for item, probabilities in self._probabilities.items():
-            if len(probabilities) < min_sup:
+        for item in self._window.distinct_items:
+            if self._window.count_of_item(item) < min_sup:
                 continue
             bound = chernoff_hoeffding_frequency_bound(
-                self._expected[item], horizon, min_sup
+                self._window.expected_support_of_item(item), horizon, min_sup
             )
             if bound <= pft:
                 continue
-            probability = frequent_probability(probabilities, min_sup)
+            probability = frequent_probability(
+                self._window.item_probabilities(item), min_sup
+            )
             if probability > pft:
                 results.append((item, probability))
         results.sort(key=lambda pair: (-pair[1], str(pair[0])))
@@ -159,7 +154,8 @@ class ProbabilisticItemStream:
         rng = rng or random.Random(0)
         n_samples = math.ceil(math.log(2.0 / delta) / (2.0 * epsilon * epsilon))
         results: List[Tuple[Item, float]] = []
-        for item, probabilities in self._probabilities.items():
+        for item in self._window.distinct_items:
+            probabilities = self._window.item_probabilities(item)
             if len(probabilities) < min_sup:
                 continue
             successes = 0

@@ -53,6 +53,90 @@ class TestMineCommand:
             main(["mine", paper_file])
 
 
+class TestStreamMineCommand:
+    @pytest.fixture
+    def quest_file(self, tmp_path):
+        path = tmp_path / "stream.utd"
+        assert (
+            main(
+                ["generate", str(path), "--kind", "quest", "--transactions", "60",
+                 "--items", "10", "--avg-length", "4", "--avg-pattern", "2",
+                 "--seed", "3"]
+            )
+            == 0
+        )
+        return str(path)
+
+    def test_replay_reports_final_window(self, quest_file, capsys):
+        assert (
+            main(
+                ["stream-mine", quest_file, "--window", "20",
+                 "--min-sup", "4", "--pfct", "0.5"]
+            )
+            == 0
+        )
+        output = capsys.readouterr().out
+        assert "PFCIs in the final window" in output
+        assert "window=20" in output
+        assert "60 slides" in output
+
+    def test_relative_min_sup_uses_window(self, quest_file, capsys):
+        assert (
+            main(
+                ["stream-mine", quest_file, "--window", "20",
+                 "--min-sup-ratio", "0.2", "--pfct", "0.5", "--max-slides", "30"]
+            )
+            == 0
+        )
+        output = capsys.readouterr().out
+        assert "min_sup=4" in output  # 0.2 of the 20-row window, not the file
+        assert "30 slides" in output
+
+    def test_matches_batch_miner_on_final_window(self, quest_file, capsys):
+        """The incremental replay's final window equals batch mining the
+        same last-20 transactions from scratch."""
+        import json
+
+        from repro.core.config import MinerConfig
+        from repro.core.database import UncertainDatabase
+        from repro.core.miner import MPFCIMiner
+        from repro.data.io import load_uncertain_database
+
+        assert (
+            main(
+                ["stream-mine", quest_file, "--window", "20",
+                 "--min-sup", "4", "--pfct", "0.5", "--json"]
+            )
+            == 0
+        )
+        payload = json.loads(capsys.readouterr().out)
+        database = load_uncertain_database(quest_file)
+        window = UncertainDatabase(list(database)[-20:])
+        config = MinerConfig(min_sup=4, pfct=0.5)
+        scratch = MPFCIMiner(window, config).mine()
+        assert payload["results"] == [result.to_dict() for result in scratch]
+
+    def test_stats_and_json(self, quest_file, capsys):
+        assert (
+            main(
+                ["stream-mine", quest_file, "--window", "20",
+                 "--min-sup", "4", "--pfct", "0.5", "--json", "--stats"]
+            )
+            == 0
+        )
+        import json
+
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["window"] == 20
+        assert payload["slides"] == 60
+        assert payload["stats"]["slides_processed"] == 60
+        assert "pmf_incremental_fraction" in payload["stats_report"]["derived"]
+
+    def test_window_required(self, quest_file):
+        with pytest.raises(SystemExit):
+            main(["stream-mine", quest_file, "--min-sup", "4"])
+
+
 class TestGenerateAndInspect:
     def test_generate_quest(self, tmp_path, capsys):
         output = tmp_path / "gen.utd"

@@ -274,12 +274,19 @@ class TestOracleEquivalenceHypothesis:
         database = db.draw(uncertain_databases(max_transactions=7, max_items=4))
         min_sup = db.draw(st.integers(min_value=1, max_value=len(database)))
         pfct = db.draw(st.sampled_from([0.0, 0.25, 0.5, 0.75, 0.9]))
-        truth = exact_frequent_closed_itemsets(database, min_sup, pfct)
+        # Filter with pfct = -1 to obtain every accumulated Pr_FC: itemsets
+        # whose true probability ties pfct exactly (easy with the round
+        # thresholds above) are decided by float summation order, so the
+        # membership comparison must allow either outcome inside a 1e-9 band.
+        truth = exact_frequent_closed_itemsets(database, min_sup, -1.0)
+        certainly_in = {i for i, p in truth.items() if p > pfct + 1e-9}
+        borderline = {i for i, p in truth.items() if abs(p - pfct) <= 1e-9}
         results = MPFCIMiner(
             database,
             MinerConfig(min_sup=min_sup, pfct=pfct, exact_event_limit=32),
         ).mine()
-        assert {result.itemset for result in results} == set(truth)
+        mined = {result.itemset for result in results}
+        assert certainly_in <= mined <= certainly_in | borderline
         for result in results:
             true_value = truth[result.itemset]
             # Bound-accepted results carry a certified interval (the point

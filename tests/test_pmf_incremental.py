@@ -1,0 +1,121 @@
+"""Property tests for the incremental Poisson-binomial PMF operations.
+
+``pmf_add`` / ``pmf_remove`` are the O(n) convolution-peeling updates the
+streaming monitor maintains per-item support PMFs with; these tests pin
+their algebra (add then remove is the identity, removal matches the DP on
+the remaining probabilities) and the maintained-window invariant: across
+hundreds of random slides, the incrementally maintained PMF never drifts
+from ``support_pmf`` recomputed from scratch.
+"""
+
+import random
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.support import (
+    PMFStabilityError,
+    frequent_probability,
+    pmf_add,
+    pmf_remove,
+    support_pmf,
+)
+
+from .conftest import probability_lists
+
+
+class TestPmfAdd:
+    def test_single_bernoulli(self):
+        assert pmf_add([1.0], 0.3) == pytest.approx([0.7, 0.3])
+
+    def test_matches_support_pmf(self):
+        probabilities = [0.2, 0.9, 0.5]
+        pmf = [1.0]
+        for probability in probabilities:
+            pmf = pmf_add(pmf, probability)
+        assert pmf == pytest.approx(list(support_pmf(probabilities)), abs=1e-12)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            pmf_add([1.0], 1.5)
+        with pytest.raises(ValueError):
+            pmf_add([1.0], -0.1)
+
+
+class TestPmfRemove:
+    @given(probabilities=probability_lists(max_size=12))
+    @settings(max_examples=200, deadline=None)
+    def test_add_then_remove_is_identity(self, probabilities):
+        """Removing the probability just added returns the original PMF
+        to 1e-12 — for any probability, including the p=0 / p=1 edges."""
+        pmf = support_pmf([0.3, 0.8, 0.55])
+        for probability in probabilities:
+            roundtrip = pmf_remove(pmf_add(pmf, probability), probability)
+            assert np.max(np.abs(roundtrip - pmf)) <= 1e-12
+
+    @given(
+        probabilities=probability_lists(max_size=10),
+        extra=st.floats(min_value=0.0, max_value=1.0, allow_nan=False),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_remove_matches_scratch_dp(self, probabilities, extra):
+        """Peeling one probability equals ``support_pmf`` of the remainder."""
+        pmf = support_pmf(probabilities + [extra])
+        try:
+            peeled = pmf_remove(pmf, extra)
+        except PMFStabilityError:
+            # Legal outcome for numerically hopeless deconvolutions; the
+            # caller falls back to the full DP.
+            return
+        assert np.max(np.abs(peeled - support_pmf(probabilities))) <= 1e-9
+
+    def test_certain_transaction_removal(self):
+        # p = 1 shifts the PMF; deconvolution must shift it back exactly.
+        pmf = support_pmf([1.0, 0.4, 0.7])
+        assert pmf_remove(pmf, 1.0) == pytest.approx(
+            list(support_pmf([0.4, 0.7])), abs=1e-12
+        )
+
+    def test_impossible_transaction_removal(self):
+        pmf = support_pmf([0.0, 0.4])
+        assert pmf_remove(pmf, 0.0) == pytest.approx(
+            list(support_pmf([0.4])), abs=1e-12
+        )
+
+    def test_stability_error_on_inconsistent_pmf(self):
+        # A PMF claiming support >= 1 always cannot lose a p=1 row it never
+        # contained consistently: pmf[0] must be ~0 for a certain removal.
+        with pytest.raises(PMFStabilityError):
+            pmf_remove([0.5, 0.5], 1.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            pmf_remove([1.0], 0.5)  # nothing left to remove
+        with pytest.raises(ValueError):
+            pmf_remove([0.5, 0.5], 1.5)
+
+
+class TestMaintainedWindowPmf:
+    def test_hundred_random_slides_match_scratch(self):
+        """The streaming invariant: a PMF maintained by add/remove peeling
+        over >= 100 random slides matches the scratch DP at every step."""
+        rng = random.Random(20120401)
+        window = []
+        pmf = np.array([1.0])
+        capacity = 12
+        for slide in range(120):
+            probability = round(rng.uniform(0.01, 1.0), 3)
+            window.append(probability)
+            pmf = pmf_add(pmf, probability)
+            if len(window) > capacity:
+                oldest = window.pop(0)
+                pmf = pmf_remove(pmf, oldest)
+            scratch = support_pmf(window)
+            assert np.max(np.abs(pmf - scratch)) <= 1e-9, f"slide {slide}"
+            # The derived tail (Pr_F) stays equally tight.
+            for min_sup in (1, len(window) // 2, len(window)):
+                assert float(np.sum(pmf[min_sup:])) == pytest.approx(
+                    frequent_probability(window, min_sup), abs=1e-9
+                )

@@ -37,6 +37,28 @@ class TestMaintenance:
         assert stream.items() == ["b"]
         assert stream.expected_count("a") == 0.0
 
+    def test_long_run_matches_naive_tail_window(self):
+        """Sliding eviction over many wraparounds: the maintained per-item
+        state always equals a naive last-W tail of the arrival list."""
+        rng = random.Random(4)
+        stream = ProbabilisticItemStream(window=5)
+        tail = []
+        for _ in range(200):
+            item = rng.choice("abc")
+            probability = round(rng.uniform(0.1, 1.0), 3)
+            stream.append(item, probability)
+            tail = (tail + [(item, probability)])[-5:]
+            for candidate in "abc":
+                probabilities = [p for it, p in tail if it == candidate]
+                assert stream.expected_count(candidate) == pytest.approx(
+                    sum(probabilities)
+                )
+                assert stream.frequent_probability(candidate, 2) == pytest.approx(
+                    frequent_probability(probabilities, 2)
+                )
+        assert len(stream) == 5
+        assert stream.total_arrivals == 200
+
     def test_validation(self):
         with pytest.raises(ValueError):
             ProbabilisticItemStream(window=0)
