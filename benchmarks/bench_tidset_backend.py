@@ -1,0 +1,139 @@
+"""Tidset backend speedup: packed-bitmap engine vs the tuple oracle.
+
+The tidset backend is stressed hardest where the miner's time goes into raw
+tidset algebra rather than bound arithmetic: the ``MPFCI-NoBound`` variant of
+the fig. 6 mushroom min_sup sweep replaces the Lemma 4.4 interval with exact
+inclusion–exclusion, whose recursion performs one engine intersection, one
+absent-factor gather and one support DP per surviving subset term.  That
+sweep is therefore the acceptance config for the bitmap engine: the packed
+backend must mine it at least :data:`MIN_SPEEDUP` times faster than the tuple
+backend while producing the field-for-field identical result list (the
+backends are bit-exact by construction — see ``docs/performance.md``).
+
+Timing protocol: the two backends are interleaved round by round and each
+side keeps its best round, so a machine-load swing during the measurement
+hits both backends rather than silently inflating (or deflating) the ratio.
+
+``benchmarks/check_tidset_regression.py`` reuses :func:`measure_backend_speedup`
+to compare a fresh smoke measurement against the committed
+``BENCH_tidset_backend.json`` baseline in CI.
+"""
+
+import time
+
+from repro.core.miner import MPFCIMiner
+from repro.eval.experiments import default_config, miner_variants
+
+from .conftest import record_bench_json
+
+#: Ratios of the mushroom min_sup sweep timed here (the fig. 6 mushroom point
+#: plus the next sweep step up, which keeps the exact-recursion runtimes CI
+#: friendly).
+SWEEP_RATIOS = (0.3, 0.25)
+
+#: The sweep variant that isolates tidset-engine work (see module docstring).
+VARIANT = "MPFCI-NoBound"
+
+#: Acceptance floor for the aggregate bitmap-over-tuple speedup.
+MIN_SPEEDUP = 3.0
+
+#: Every field of a mining result that the parity check compares.  The two
+#: backends must agree on all of them exactly — not approximately.
+RESULT_FIELDS = (
+    "itemset",
+    "probability",
+    "lower",
+    "upper",
+    "method",
+    "frequent_probability",
+)
+
+
+def result_table(results):
+    """Results as plain tuples, one entry per RESULT_FIELDS, order preserved."""
+    return [
+        tuple(getattr(result, field) for field in RESULT_FIELDS)
+        for result in results
+    ]
+
+
+def measure_backend_speedup(database, ratios=SWEEP_RATIOS, rounds=2):
+    """Interleaved best-of-``rounds`` backend comparison over the sweep.
+
+    Returns a JSON-ready payload: one entry per sweep point carrying both
+    backends' best wall-clock, the per-point speedup and the parity verdict,
+    plus the aggregate speedup (total tuple seconds over total bitmap
+    seconds) the acceptance assertion and the CI regression check read.
+    """
+    points = []
+    for ratio in ratios:
+        config = miner_variants(default_config(database, ratio))[VARIANT]
+        timings = {"bitmap": [], "tuple": []}
+        tables = {}
+        counters = {}
+        for _round in range(rounds):
+            for backend in ("bitmap", "tuple"):
+                miner = MPFCIMiner(
+                    database, config.variant(tidset_backend=backend)
+                )
+                started = time.perf_counter()
+                results = miner.mine()
+                timings[backend].append(time.perf_counter() - started)
+                tables[backend] = result_table(results)
+                stats = miner.stats
+                counters[backend] = {
+                    "tidset_intersections": stats.tidset_intersections,
+                    "tidset_words_anded": stats.tidset_words_anded,
+                    "tidset_popcounts": stats.tidset_popcounts,
+                    "tidset_gathers": stats.tidset_gathers,
+                    "dp_invocations": stats.dp_invocations,
+                    "dp_batch_invocations": stats.dp_batch_invocations,
+                }
+        bitmap_seconds = min(timings["bitmap"])
+        tuple_seconds = min(timings["tuple"])
+        points.append(
+            {
+                "ratio": ratio,
+                "min_sup": config.min_sup,
+                "results": len(tables["bitmap"]),
+                "results_identical": tables["bitmap"] == tables["tuple"],
+                "bitmap_seconds": round(bitmap_seconds, 4),
+                "tuple_seconds": round(tuple_seconds, 4),
+                "speedup": round(tuple_seconds / bitmap_seconds, 3),
+                "engine_counters": counters,
+            }
+        )
+    bitmap_total = sum(point["bitmap_seconds"] for point in points)
+    tuple_total = sum(point["tuple_seconds"] for point in points)
+    return {
+        "dataset": "mushroom",
+        "scale": "ci",
+        "variant": VARIANT,
+        "rounds": rounds,
+        "points": points,
+        "bitmap_seconds": round(bitmap_total, 4),
+        "tuple_seconds": round(tuple_total, 4),
+        "speedup": round(tuple_total / bitmap_total, 3),
+        "results_identical": all(point["results_identical"] for point in points),
+    }
+
+
+def test_bitmap_backend_speedup(benchmark, mushroom_db):
+    """Acceptance: bitmap >= 3x over tuple on the sweep, identical results."""
+    payloads = []
+
+    def run():
+        payloads.append(measure_backend_speedup(mushroom_db))
+        return payloads[-1]
+
+    # The pedantic wrapper times one full interleaved comparison; the
+    # interesting numbers (per-backend seconds, speedups) live in the payload.
+    payload = benchmark.pedantic(run, rounds=1, iterations=1, warmup_rounds=0)
+    benchmark.extra_info["backend_sweep"] = payload
+    record_bench_json("tidset_backend", payload)
+    for point in payload["points"]:
+        assert point["results_identical"], (
+            "backends diverged at ratio "
+            f"{point['ratio']}: {point}"
+        )
+    assert payload["speedup"] >= MIN_SPEEDUP, payload

@@ -1,0 +1,123 @@
+#!/usr/bin/env python
+"""CI smoke guard for the packed-bitmap tidset backend speedup.
+
+Re-measures the backend comparison of ``benchmarks/bench_tidset_backend.py``
+on one sweep point and compares the fresh speedup against the committed
+repo-root ``BENCH_tidset_backend.json`` baseline.  The check fails when
+
+* either backend's result list diverges from the other (parity is the
+  correctness half of the acceptance criterion), or
+* the measured speedup regresses by more than ``TOLERANCE`` (20%) relative
+  to the baseline's speedup for the same sweep point.
+
+Comparing speedups — a ratio of two timings taken interleaved on the same
+machine — rather than absolute seconds makes the gate robust to how fast the
+CI runner happens to be.
+
+Usage:
+    python benchmarks/check_tidset_regression.py            # CI smoke gate
+    python benchmarks/check_tidset_regression.py --update   # rewrite baseline
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+for entry in (REPO_ROOT, REPO_ROOT / "src"):
+    if str(entry) not in sys.path:
+        sys.path.insert(0, str(entry))
+
+from benchmarks.bench_tidset_backend import (  # noqa: E402
+    MIN_SPEEDUP,
+    SWEEP_RATIOS,
+    measure_backend_speedup,
+)
+from repro.eval.datasets import ExperimentScale, mushroom_database  # noqa: E402
+
+BASELINE_PATH = REPO_ROOT / "BENCH_tidset_backend.json"
+
+#: The single sweep point the smoke gate re-measures (the fastest one; the
+#: full sweep is the benchmark suite's job).
+SMOKE_RATIOS = (0.3,)
+
+#: Allowed relative speedup regression versus the committed baseline.
+TOLERANCE = 0.20
+
+
+def baseline_point(baseline: dict, ratio: float) -> dict:
+    for point in baseline["points"]:
+        if point["ratio"] == ratio:
+            return point
+    raise SystemExit(
+        f"baseline {BASELINE_PATH.name} has no point for ratio {ratio}; "
+        "re-run with --update"
+    )
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--update",
+        action="store_true",
+        help="re-measure the full sweep and rewrite the committed baseline",
+    )
+    parser.add_argument(
+        "--rounds",
+        type=int,
+        default=2,
+        help="interleaved timing rounds per backend (best round is kept)",
+    )
+    args = parser.parse_args(argv)
+
+    database = mushroom_database(ExperimentScale.CI)
+
+    if args.update:
+        payload = measure_backend_speedup(
+            database, ratios=SWEEP_RATIOS, rounds=args.rounds
+        )
+        if not payload["results_identical"]:
+            print("REFUSING to write baseline: backends disagree", payload)
+            return 1
+        if payload["speedup"] < MIN_SPEEDUP:
+            print(
+                f"REFUSING to write baseline: sweep speedup "
+                f"{payload['speedup']}x is below the {MIN_SPEEDUP}x acceptance floor"
+            )
+            return 1
+        BASELINE_PATH.write_text(
+            json.dumps(payload, indent=2, sort_keys=True) + "\n"
+        )
+        print(f"wrote {BASELINE_PATH} (sweep speedup {payload['speedup']}x)")
+        return 0
+
+    baseline = json.loads(BASELINE_PATH.read_text())
+    smoke = measure_backend_speedup(
+        database, ratios=SMOKE_RATIOS, rounds=args.rounds
+    )
+    point = smoke["points"][0]
+    expected = baseline_point(baseline, point["ratio"])
+    floor = (1.0 - TOLERANCE) * expected["speedup"]
+    print(
+        f"ratio={point['ratio']} bitmap={point['bitmap_seconds']}s "
+        f"tuple={point['tuple_seconds']}s speedup={point['speedup']}x "
+        f"(baseline {expected['speedup']}x, floor {floor:.3f}x)"
+    )
+    if not point["results_identical"]:
+        print("FAIL: backends produced different result sets")
+        return 1
+    if point["speedup"] < floor:
+        print(
+            f"FAIL: speedup {point['speedup']}x regressed more than "
+            f"{TOLERANCE:.0%} below the committed baseline {expected['speedup']}x"
+        )
+        return 1
+    print("OK: bitmap backend speedup within tolerance of the baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -14,11 +14,43 @@ points), run ``python -m repro.eval.experiments --scale ci`` — its output is
 recorded in EXPERIMENTS.md.
 """
 
+import json
+from pathlib import Path
+
 import pytest
 
 from repro.eval.datasets import ExperimentScale, mushroom_database, quest_database
 
 SCALE = ExperimentScale.CI
+
+#: Machine-readable per-benchmark payloads land here (gitignored; the one
+#: committed artifact is the repo-root ``BENCH_tidset_backend.json`` baseline
+#: maintained by ``benchmarks/check_tidset_regression.py --update``).
+RESULTS_DIR = Path(__file__).resolve().parent / "results"
+
+_recorded_payloads = {}
+
+
+def record_bench_json(name, payload):
+    """Write one benchmark's machine-readable payload to ``RESULTS_DIR``.
+
+    Each payload is written immediately as ``results/<name>.json`` (so a
+    crashed session still leaves the finished benchmarks' numbers behind) and
+    aggregated into ``results/summary.json`` at session end.
+    """
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / f"{name}.json"
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    _recorded_payloads[name] = payload
+    return path
+
+
+def pytest_sessionfinish(session, exitstatus):
+    if _recorded_payloads:
+        RESULTS_DIR.mkdir(exist_ok=True)
+        (RESULTS_DIR / "summary.json").write_text(
+            json.dumps(_recorded_payloads, indent=2, sort_keys=True) + "\n"
+        )
 
 
 @pytest.fixture(scope="session")

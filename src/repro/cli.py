@@ -60,6 +60,12 @@ def _add_mine_parser(subparsers) -> None:
         help="pruning rules to disable (Table VII variants)",
     )
     parser.add_argument(
+        "--tidset-backend",
+        choices=["tuple", "bitmap"],
+        default="bitmap",
+        help="tidset engine (bitmap = packed words; tuple = oracle backend)",
+    )
+    parser.add_argument(
         "--stats",
         action="store_true",
         help="print work counters (summary line + JSON report) after mining",
@@ -119,6 +125,12 @@ def _add_stream_mine_parser(subparsers) -> None:
         help="force a full support-PMF rebuild after K incremental updates",
     )
     parser.add_argument(
+        "--tidset-backend",
+        choices=["tuple", "bitmap"],
+        default="bitmap",
+        help="tidset engine (bitmap = packed words; tuple = oracle backend)",
+    )
+    parser.add_argument(
         "--stats",
         action="store_true",
         help="print cumulative work counters after the replay",
@@ -165,6 +177,13 @@ def _add_experiments_parser(subparsers) -> None:
     parser.add_argument(
         "--export-format", choices=["json", "csv"], default="json"
     )
+    parser.add_argument(
+        "--tidset-backend",
+        choices=["tuple", "bitmap"],
+        default="bitmap",
+        help="tidset engine (bitmap = packed words; tuple = oracle backend)",
+    )
+
 
 
 def _command_mine(args: argparse.Namespace) -> int:
@@ -192,6 +211,7 @@ def _command_mine(args: argparse.Namespace) -> int:
         use_subset_pruning="sub" not in args.disable,
         use_probability_bounds="bound" not in args.disable,
         max_itemset_size=args.max_size,
+        tidset_backend=args.tidset_backend,
     )
     if args.processes is not None and args.framework != "dfs":
         print("--processes is only supported with --framework dfs", file=sys.stderr)
@@ -289,6 +309,7 @@ def _command_stream_mine(args: argparse.Namespace) -> int:
             delta=args.delta,
             seed=args.seed,
         )
+    config = config.variant(tidset_backend=args.tidset_backend)
     monitor = PFCIMonitor(
         config, window=args.window, refresh_interval=args.refresh_interval
     )
@@ -393,8 +414,9 @@ def _command_inspect(args: argparse.Namespace) -> int:
 
 
 def _command_experiments(args: argparse.Namespace) -> int:
-    from .eval.experiments import ExperimentScale, iter_reports
+    from .eval.experiments import ExperimentScale, iter_reports, set_default_tidset_backend
 
+    set_default_tidset_backend(args.tidset_backend)
     scale = ExperimentScale(args.scale)
     reports = []
     for report in iter_reports(scale, args.only):

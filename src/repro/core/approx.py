@@ -46,7 +46,7 @@ from .cache import SupportDPCache
 from .database import UncertainDatabase
 from .events import ExtensionEventSystem
 from .itemsets import Item
-from .support import sample_conditional_presence
+from .support import sample_conditional_presence, sample_conditional_presence_batch
 
 __all__ = [
     "ApproxFCPResult",
@@ -114,6 +114,55 @@ def approx_union_probability(
     tail_tables = [None] * len(events.events)
     item_of_event = [event.item for event in events.events]
     transaction_items = [set(txn.items) for txn in database.transactions]
+    engine = events.engine
+    event_positions = [engine.positions(event.tidset) for event in events.events]
+
+    if getattr(engine, "vectorized", False):
+        # Vectorized path: pre-draw every uniform in the exact order the
+        # per-sample loop consumes them (one index pick, then one uniform per
+        # transaction of the chosen event), group the samples by event, and
+        # run each group through the batched conditional sampler.  The
+        # estimate is bit-identical to the serial loop below — same uniforms,
+        # same conditional probabilities, same integer success count.
+        groups: dict = {}
+        for _ in range(n_samples):
+            pick = rng.random() * z
+            index = min(bisect.bisect_left(cumulative, pick), len(events.events) - 1)
+            width = len(event_probabilities[index])
+            groups.setdefault(index, []).append(
+                [rng.random() for _ in range(width)]
+            )
+        successes = 0
+        for index, uniform_rows in groups.items():
+            if index == 0:
+                # The first event is always its own first cover.
+                successes += len(uniform_rows)
+                continue
+            if tail_tables[index] is None:
+                tail_tables[index] = cache.tail_table_of_tidset(
+                    events.events[index].tidset
+                )
+            bits = sample_conditional_presence_batch(
+                np.asarray(event_probabilities[index], dtype=np.float64),
+                events.min_sup,
+                np.asarray(uniform_rows, dtype=np.float64),
+                tail_tables[index],
+            )
+            positions = event_positions[index]
+            covered = np.zeros(len(uniform_rows), dtype=bool)
+            for j in range(index):
+                item = item_of_event[j]
+                member = np.fromiter(
+                    (item in transaction_items[position] for position in positions),
+                    dtype=bool,
+                    count=len(positions),
+                )
+                # Event j covers a sample iff e_j appears in every present
+                # transaction of that sample.
+                covered |= np.all(member | ~bits, axis=1)
+            successes += int(np.count_nonzero(~covered))
+        estimate = z * successes / n_samples
+        return min(estimate, 1.0), n_samples
 
     successes = 0
     for _ in range(n_samples):
@@ -133,7 +182,7 @@ def approx_union_probability(
         )
         present = [
             position
-            for position, bit in zip(events.events[index].tidset, bits)
+            for position, bit in zip(event_positions[index], bits)
             if bit
         ]
         # First-cover test: is some earlier event also satisfied?  Event j is
@@ -203,6 +252,9 @@ def paper_ratio_union_estimator(
     tail_tables = [None] * len(events.events)
     item_of_event = [event.item for event in events.events]
     transaction_items = [set(txn.items) for txn in database.transactions]
+    engine = events.engine
+    event_positions = [engine.positions(event.tidset) for event in events.events]
+    base_positions = engine.positions(events.base_tidset)
 
     u_total = v_total = 0.0
     for _ in range(n_samples):
@@ -220,13 +272,13 @@ def paper_ratio_union_estimator(
         )
         present = [
             position
-            for position, bit in zip(events.events[index].tidset, bits)
+            for position, bit in zip(event_positions[index], bits)
             if bit
         ]
         # The sampled world over T(X): `present` kept, the rest absent.
         world_probability = 1.0
         present_set = set(present)
-        for position in events.base_tidset:
+        for position in base_positions:
             p = database.probability_of(position)
             world_probability *= p if position in present_set else 1.0 - p
         v_total += world_probability

@@ -24,7 +24,7 @@ from .bounds import (
 )
 from .cache import SupportDPCache
 from .config import MinerConfig
-from .database import Tidset, UncertainDatabase, intersect_tidsets
+from .database import Tidset, UncertainDatabase
 from .events import ExtensionEventSystem
 from .itemsets import Item, Itemset
 from .miner import ProbabilisticFrequentClosedItemset
@@ -44,12 +44,14 @@ class MPFCIBreadthFirstMiner:
         )
         self.stats = MiningStats()
         self._rng = random.Random(config.seed)
+        self._engine = database.tidset_engine(self.config.tidset_backend)
         self._cache = self._new_cache()
 
     def _new_cache(self) -> SupportDPCache:
         return SupportDPCache(
             self.database, self.config.min_sup,
             max_entries=self.config.dp_cache_size,
+            engine=self._engine,
         )
 
     def mine(self) -> List[ProbabilisticFrequentClosedItemset]:
@@ -57,11 +59,12 @@ class MPFCIBreadthFirstMiner:
         self.stats = MiningStats()
         self._rng = random.Random(self.config.seed)
         self._cache = self._new_cache()
+        engine_before = self._engine.counters()
         results: List[ProbabilisticFrequentClosedItemset] = []
 
         level: Dict[Itemset, Tidset] = {}
-        for item in self.database.items:
-            tidset = self.database.tidset_of_item(item)
+        for item in self._engine.items:
+            tidset = self._engine.item_tidset(item)
             self.stats.candidates_generated += 1
             if self._passes_frequency_pruning(tidset):
                 level[(item,)] = tidset
@@ -83,6 +86,12 @@ class MPFCIBreadthFirstMiner:
             - self.stats.check_phase_seconds,
         )
         self._cache.apply_to(self.stats)
+        for name, value in self._engine.counters().items():
+            setattr(
+                self.stats,
+                name,
+                getattr(self.stats, name) + value - engine_before[name],
+            )
         return results
 
     def _next_level(self, level: Dict[Itemset, Tidset]) -> Dict[Itemset, Tidset]:
@@ -94,7 +103,7 @@ class MPFCIBreadthFirstMiner:
                     break
                 joined = first + (second[-1],)
                 self.stats.candidates_generated += 1
-                tidset = intersect_tidsets(level[first], level[second])
+                tidset = self._engine.intersect(level[first], level[second])
                 if self._passes_frequency_pruning(tidset):
                     next_level[joined] = tidset
         return next_level

@@ -98,12 +98,20 @@ def union_lower_bound(
     if not positive:
         return 0.0
     if method == "de_caen":
+        # One bulk read of the pairwise matrix instead of m² probability
+        # calls; each denominator is an fsum (exactly rounded, so the bound
+        # does not depend on the enumeration order of the events).
+        matrix = events.pairwise_matrix()
         bound = 0.0
         for index, p in positive:
-            denominator = p
-            for other, q in positive:
-                if other != index:
-                    denominator += events.pairwise_probability(index, other)
+            denominator = math.fsum(
+                [p]
+                + [
+                    float(matrix[index, other])
+                    for other, _q in positive
+                    if other != index
+                ]
+            )
             bound += p * p / denominator
         return min(bound, 1.0)
     if method == "dawson_sankoff":

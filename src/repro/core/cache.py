@@ -27,6 +27,7 @@ object:
 
 from __future__ import annotations
 
+import math
 from collections import OrderedDict
 from typing import Dict, Optional, Tuple
 
@@ -73,6 +74,7 @@ class SupportDPCache:
         max_entries: int = DEFAULT_CACHE_SIZE,
         max_tables: int = DEFAULT_TABLE_CACHE_SIZE,
         generation: Optional[int] = None,
+        engine=None,
     ):
         if max_entries < 1:
             raise ValueError(f"max_entries must be >= 1, got {max_entries}")
@@ -80,6 +82,10 @@ class SupportDPCache:
             raise ValueError(f"max_tables must be >= 1, got {max_tables}")
         self._database = database
         self._min_sup = min_sup
+        # Optional tidset engine (repro.core.tidsets): when set, probability
+        # tuples are gathered through it, so bitmap tidsets resolve in one
+        # vectorized gather instead of per-position indexing.
+        self._engine = engine
         self.generation = generation
         self.max_entries = max_entries
         self.max_tables = max_tables
@@ -106,6 +112,7 @@ class SupportDPCache:
         self.table_misses = 0
         self.table_evictions = 0
         self.dp_invocations = 0
+        self.batch_invocations = 0
         self.generation_invalidations = 0
         self.cross_generation_hits = 0
 
@@ -120,11 +127,26 @@ class SupportDPCache:
     def min_sup(self) -> int:
         return self._min_sup
 
+    @property
+    def engine(self):
+        """The tidset engine lookups go through (``None`` = raw database)."""
+        return self._engine
+
+    def adopt_engine(self, engine) -> None:
+        """Bind an engine to an engine-less cache (miners adopting external
+        caches use this); rebinding to a *different* engine is an error —
+        that would mean two miners over different databases share the cache.
+        """
+        if self._engine is None:
+            self._engine = engine
+        elif self._engine is not engine:
+            raise ValueError("support cache is already bound to another engine")
+
     def __len__(self) -> int:
         """Number of cached ``Pr_F`` values (the primary table)."""
         return len(self._values)
 
-    def rebind(self, database, generation: Optional[int] = None) -> bool:
+    def rebind(self, database, generation: Optional[int] = None, engine=None) -> bool:
         """Adopt a new backing database (e.g. a fresh window snapshot).
 
         Position-keyed entries are invalidated: positions are renumbered by
@@ -140,6 +162,7 @@ class SupportDPCache:
         if database is self._database and generation == self.generation:
             return False
         self._database = database
+        self._engine = engine
         self.generation = generation
         self.generation_invalidations += 1
         self._values.clear()
@@ -165,15 +188,22 @@ class SupportDPCache:
         if cached is not None:
             self._probabilities.move_to_end(tidset)
             return cached
-        value = self._database.tidset_probabilities(tidset)
+        if self._engine is not None:
+            value = self._engine.probabilities(tidset)
+        else:
+            value = self._database.tidset_probabilities(tidset)
         self._probabilities[tidset] = value
         if len(self._probabilities) > self.max_entries:
             self._probabilities.popitem(last=False)
         return value
 
     def expected_support_of_tidset(self, tidset: Tuple[int, ...]) -> float:
-        """Expected support (the Lemma 4.1 input) from the cached tuple."""
-        return float(sum(self.probabilities_of_tidset(tidset)))
+        """Expected support (the Lemma 4.1 input) from the cached tuple.
+
+        ``math.fsum`` is exactly rounded (order-independent), so the value
+        is identical across tidset backends and free of accumulation drift.
+        """
+        return math.fsum(self.probabilities_of_tidset(tidset))
 
     def frequent_probability_of_tidset(self, tidset: Tuple[int, ...]) -> float:
         """``Pr_F`` of the tidset, memoized under LRU eviction."""
@@ -204,6 +234,70 @@ class SupportDPCache:
 
     def frequent_probability_of_itemset(self, itemset) -> float:
         return self.frequent_probability_of_tidset(self._database.tidset(itemset))
+
+    def seed_frequent_probabilities(self, base_tidset, candidates) -> int:
+        """Batch-fill the ``Pr_F`` memo for tidsets that refine ``base_tidset``.
+
+        ``candidates`` are tidsets obtained by intersecting ``base_tidset``
+        with sibling item tidsets, so each is a sub-mask of the base.  Their
+        already-memoized probability tuples are packed into one left-aligned
+        zero-padded matrix and evaluated as ONE batched DP
+        (:func:`repro.core.support.frequent_probability_padded_batch`) —
+        bit-for-bit identical to running
+        :func:`~repro.core.support.frequent_probability` per tidset, but
+        with the Python-level column loop amortized across the batch.
+
+        Seeding is a supply-side operation: it fills ``_values`` (and the
+        probability-keyed second level) without touching ``hits``/``misses``,
+        so the ``hits + misses == requests`` invariant still describes
+        demand-side lookups only.  Each DP actually run counts toward both
+        ``dp_invocations`` and ``batch_invocations``.  Requires a vectorized
+        engine; returns the number of DP values computed.
+        """
+        engine = self._engine
+        if engine is None or not getattr(engine, "vectorized", False):
+            raise ValueError("seed_frequent_probabilities needs a vectorized engine")
+        pending = []
+        pending_probs = []
+        seen = set()
+        for tidset in candidates:
+            if tidset in self._values or tidset in seen:
+                continue
+            seen.add(tidset)
+            probabilities = self.probabilities_of_tidset(tidset)
+            value = self._values_by_probs.get(probabilities)
+            if value is not None:
+                self.cross_generation_hits += 1
+                self._values_by_probs.move_to_end(probabilities)
+                self._store_value(tidset, value)
+                continue
+            pending.append(tidset)
+            pending_probs.append(probabilities)
+        if not pending:
+            return 0
+        from .support import frequent_probability_padded_batch
+
+        padded = np.zeros(
+            (len(pending), max(len(probs) for probs in pending_probs))
+        )
+        for row, probabilities in enumerate(pending_probs):
+            padded[row, : len(probabilities)] = probabilities
+        values = frequent_probability_padded_batch(padded, self._min_sup)
+        self.dp_invocations += len(pending)
+        self.batch_invocations += len(pending)
+        for tidset, probabilities, value in zip(pending, pending_probs, values):
+            value = float(value)
+            self._values_by_probs[probabilities] = value
+            if len(self._values_by_probs) > self.max_entries:
+                self._values_by_probs.popitem(last=False)
+            self._store_value(tidset, value)
+        return len(pending)
+
+    def _store_value(self, tidset, value: float) -> None:
+        self._values[tidset] = value
+        if len(self._values) > self.max_entries:
+            self._values.popitem(last=False)
+            self.evictions += 1
 
     def tail_table_of_tidset(self, tidset: Tuple[int, ...]) -> np.ndarray:
         """The suffix tail table of the tidset (ApproxFCP's sampler input)."""
@@ -255,6 +349,7 @@ class SupportDPCache:
             "dp_tail_table_misses": self.table_misses,
             "dp_tail_table_evictions": self.table_evictions,
             "dp_invocations": self.dp_invocations,
+            "dp_batch_invocations": self.batch_invocations,
             "dp_generation_invalidations": self.generation_invalidations,
             "dp_cross_generation_hits": self.cross_generation_hits,
         }

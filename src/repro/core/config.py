@@ -56,6 +56,11 @@ class MinerConfig:
         dp_cache_size: entry bound of the shared support-DP cache (LRU
             eviction beyond it).  Purely a memory/speed trade-off — cached
             and uncached runs return identical results.
+        tidset_backend: tidset engine used by the miners ("bitmap" packs
+            tidsets into ``numpy.uint64`` words with vectorized probability
+            gathers; "tuple" is the original sorted-tuple engine, kept as
+            the cross-check oracle).  Both produce identical results; see
+            ``docs/performance.md``.
     """
 
     min_sup: int
@@ -72,6 +77,7 @@ class MinerConfig:
     upper_bound: str = "kwerel"
     max_itemset_size: Optional[int] = None
     dp_cache_size: int = 65536
+    tidset_backend: str = "bitmap"
 
     def __post_init__(self) -> None:
         if self.dp_cache_size < 1:
@@ -94,6 +100,8 @@ class MinerConfig:
             raise ValueError(f"unknown lower bound {self.lower_bound!r}")
         if self.upper_bound not in ("kwerel", "boole"):
             raise ValueError(f"unknown upper bound {self.upper_bound!r}")
+        if self.tidset_backend not in ("tuple", "bitmap"):
+            raise ValueError(f"unknown tidset backend {self.tidset_backend!r}")
 
     @classmethod
     def with_relative_min_sup(
@@ -126,7 +134,8 @@ class MinerConfig:
             if not enabled
         ]
         suffix = "" if not disabled else " -" + ",-".join(disabled)
+        engine = "" if self.tidset_backend == "bitmap" else f" engine={self.tidset_backend}"
         return (
             f"min_sup={self.min_sup} pfct={self.pfct} "
-            f"eps={self.epsilon} delta={self.delta}{suffix}"
+            f"eps={self.epsilon} delta={self.delta}{suffix}{engine}"
         )

@@ -18,8 +18,11 @@ intersect in linear time.
 from __future__ import annotations
 
 import itertools
+import math
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+import numpy as np
 
 from .itemsets import Item, Itemset, canonical
 
@@ -81,6 +84,18 @@ class UncertainDatabase:
         self._probabilities: Tuple[float, ...] = tuple(
             txn.probability for txn in self._transactions
         )
+        self._init_derived_state()
+
+    def _init_derived_state(self, bitmap_parts: Optional[dict] = None) -> None:
+        """Probability arrays and tidset-engine slots (shared ctor tail)."""
+        self._probability_array = np.asarray(self._probabilities, dtype=np.float64)
+        self._probability_array.setflags(write=False)
+        # Per-item probability vectors, built lazily and kept for the life of
+        # the (immutable) database so repeated expected-support reads stop
+        # rebuilding tuples.
+        self._item_probability_arrays: Dict[Item, np.ndarray] = {}
+        self._engines: Dict[str, object] = {}
+        self._bitmap_parts = bitmap_parts
 
     # ------------------------------------------------------------------
     # construction helpers
@@ -115,6 +130,7 @@ class UncertainDatabase:
         cls,
         transactions: Sequence[UncertainTransaction],
         vertical: Dict[Item, Tidset],
+        bitmap_parts: Optional[dict] = None,
     ) -> "UncertainDatabase":
         """Build a database from rows plus an already-computed vertical index.
 
@@ -123,6 +139,12 @@ class UncertainDatabase:
         the duplicate-tid scan) of the regular constructor.  The caller is
         responsible for the index being exactly what
         ``_build_vertical_index`` would produce and for tid uniqueness.
+
+        ``bitmap_parts`` optionally hands over incrementally maintained
+        packed bitmaps (``{"words": {item: uint64 words}, "probabilities":
+        float64 layout, "offset": dead leading bits}``); when present, the
+        bitmap tidset engine is built from them instead of re-packing the
+        vertical index (see :mod:`repro.core.tidsets`).
         """
         database = cls.__new__(cls)
         database._transactions = tuple(transactions)
@@ -130,6 +152,7 @@ class UncertainDatabase:
         database._probabilities = tuple(
             txn.probability for txn in database._transactions
         )
+        database._init_derived_state(bitmap_parts)
         return database
 
     def _build_vertical_index(self) -> Dict[Item, Tidset]:
@@ -202,9 +225,61 @@ class UncertainDatabase:
         """Existence probabilities of the transactions at the given positions."""
         return tuple(self._probabilities[position] for position in tidset)
 
+    @property
+    def probability_array(self) -> np.ndarray:
+        """Per-position existence probabilities as a read-only float64 array."""
+        return self._probability_array
+
+    def item_probability_array(self, item: Item) -> np.ndarray:
+        """``item``'s transactions' probabilities as a cached float64 array.
+
+        One contiguous gather per item for the life of the database, so the
+        Chernoff–Hoeffding screening inputs (expected supports) stop
+        rebuilding per-position tuples on every read.
+        """
+        cached = self._item_probability_arrays.get(item)
+        if cached is None:
+            tidset = self._vertical.get(item, ())
+            cached = self._probability_array[list(tidset)]
+            cached.setflags(write=False)
+            self._item_probability_arrays[item] = cached
+        return cached
+
+    def expected_support_of_item(self, item: Item) -> float:
+        """``E[support(item)]`` from the cached per-item probability array.
+
+        Summed with :func:`math.fsum`, which is exactly rounded and therefore
+        independent of accumulation order — the same value the tuple and
+        bitmap tidset backends compute, bit for bit.
+        """
+        return math.fsum(self.item_probability_array(item).tolist())
+
     def expected_support(self, itemset: Iterable[Item]) -> float:
-        """Expected support of ``itemset`` (the expected-support model of [9])."""
-        return sum(self.tidset_probabilities(self.tidset(itemset)))
+        """Expected support of ``itemset`` (the expected-support model of [9]).
+
+        Uses :func:`math.fsum` so long windows / large databases do not
+        accumulate float drift.
+        """
+        return math.fsum(self.tidset_probabilities(self.tidset(itemset)))
+
+    # ------------------------------------------------------------------
+    # tidset backends
+    # ------------------------------------------------------------------
+    def tidset_engine(self, backend: str = "tuple"):
+        """The tidset engine for ``backend``, cached per database.
+
+        ``"tuple"`` is the sorted-tuple oracle; ``"bitmap"`` the packed
+        uint64 engine of :mod:`repro.core.tidsets`.  Engines are built on
+        first request and shared by every miner over this database (their
+        work counters are therefore monotonic; miners snapshot deltas).
+        """
+        engine = self._engines.get(backend)
+        if engine is None:
+            from .tidsets import make_engine
+
+            engine = make_engine(self, backend, bitmap_parts=self._bitmap_parts)
+            self._engines[backend] = engine
+        return engine
 
     # ------------------------------------------------------------------
     # projections
@@ -252,14 +327,19 @@ class UncertainDatabase:
 def intersect_tidsets(first: Tidset, second: Tidset) -> Tidset:
     """Intersect two sorted position tuples.
 
-    Set intersection runs in C and beats a hand-written merge by ~3x at the
-    tidset sizes the miner handles; this is the hottest function in the
-    whole system (every extension, event and pairwise bound goes through
-    it), so the constant factor matters.
+    The shorter tuple is walked in order and filtered through a set built
+    from the longer one — both steps run in C, and because the walk
+    preserves the (already sorted) order of ``first``, no re-sort is
+    needed.  This is the hottest function of the tuple backend (every
+    extension, event and pairwise bound goes through it), so the constant
+    factor matters; the packed-bitmap backend in :mod:`repro.core.tidsets`
+    replaces it entirely with word-wise ``&``.
     """
     if len(second) < len(first):
         first, second = second, first
-    return tuple(sorted(set(first).intersection(second)))
+    if not first:
+        return ()
+    return tuple(filter(set(second).__contains__, first))
 
 
 def difference_tidsets(first: Tidset, second: Tidset) -> Tidset:

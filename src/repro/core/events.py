@@ -28,9 +28,12 @@ import math
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
+import numpy as np
+
 from .cache import SupportDPCache
-from .database import Tidset, UncertainDatabase, intersect_tidsets
+from .database import Tidset, UncertainDatabase
 from .itemsets import Item, Itemset, canonical
+from .tidsets import BitmapTidset
 
 __all__ = ["ExtensionEvent", "ExtensionEventSystem"]
 
@@ -73,28 +76,47 @@ class ExtensionEventSystem:
         database: UncertainDatabase,
         itemset: Sequence[Item],
         min_sup: int,
-        base_tidset: Optional[Tidset] = None,
+        base_tidset=None,
         support_cache: Optional[SupportDPCache] = None,
+        engine=None,
     ):
         self.database = database
         self.itemset = canonical(itemset)
         self.min_sup = min_sup
-        self.base_tidset: Tidset = (
-            database.tidset(self.itemset) if base_tidset is None else base_tidset
+        # Engine resolution: explicit argument, then the cache's engine, then
+        # whichever backend matches the supplied base tidset (tuple when in
+        # doubt — the historical default for direct construction).
+        if engine is None:
+            if support_cache is not None and support_cache.engine is not None:
+                engine = support_cache.engine
+            elif isinstance(base_tidset, BitmapTidset):
+                engine = database.tidset_engine("bitmap")
+            else:
+                engine = database.tidset_engine("tuple")
+        self._engine = engine
+        self.base_tidset = (
+            engine.tidset_of(self.itemset) if base_tidset is None else base_tidset
         )
-        self._cache = support_cache or SupportDPCache(database, min_sup)
-        # Every absent factor reads the base tidset's probabilities; one
-        # cached tuple serves construction and all conjunction queries.
+        self._cache = support_cache or SupportDPCache(database, min_sup, engine=engine)
+        # Warm the base tidset's probability tuple; every conjunction query
+        # and DP below reads it through the cache.
         self._base_probabilities = self._cache.probabilities_of_tidset(
             self.base_tidset
         )
         self.events: List[ExtensionEvent] = self._build_events()
         self._pairwise: Dict[Tuple[int, int], float] = {}
+        self._pairwise_seeded = False
+        self._pairwise_matrix: Optional[np.ndarray] = None
 
     @property
     def support_cache(self) -> SupportDPCache:
         """The run-shared support-DP cache this system computes through."""
         return self._cache
+
+    @property
+    def engine(self):
+        """The tidset engine the event tidsets live in."""
+        return self._engine
 
     # ------------------------------------------------------------------
     # construction
@@ -102,15 +124,32 @@ class ExtensionEventSystem:
     def _build_events(self) -> List[ExtensionEvent]:
         item_set = set(self.itemset)
         base = self.base_tidset
-        base_probabilities = self._base_probabilities
+        engine = self._engine
+        if engine.vectorized:
+            # One matrix AND extends the base by every item at once; the
+            # survivors' Pr_F values are then computed as one batched DP.
+            extended = [
+                (item, with_item)
+                for item, with_item in engine.extend_all_items(base)
+                if item not in item_set and len(with_item) >= self.min_sup
+            ]
+            if len(extended) > 1:
+                self._cache.seed_frequent_probabilities(
+                    base, [with_item for _, with_item in extended]
+                )
+        else:
+            extended = []
+            for item in engine.items:
+                if item in item_set:
+                    continue
+                with_item = engine.intersect(base, engine.item_tidset(item))
+                if len(with_item) >= self.min_sup:
+                    extended.append((item, with_item))
+        absent_factors = engine.absent_factors(
+            base, [with_item for _, with_item in extended]
+        )
         events: List[ExtensionEvent] = []
-        for item in self.database.items:
-            if item in item_set:
-                continue
-            with_item = intersect_tidsets(base, self.database.tidset_of_item(item))
-            if len(with_item) < self.min_sup:
-                continue
-            absent_factor = self._absent_factor(base, base_probabilities, with_item)
+        for (item, with_item), absent_factor in zip(extended, absent_factors):
             freq = self._cache.frequent_probability_of_tidset(with_item)
             if freq <= 0.0:
                 continue
@@ -123,17 +162,6 @@ class ExtensionEventSystem:
                 )
             )
         return events
-
-    @staticmethod
-    def _absent_factor(
-        base: Tidset, base_probabilities: Sequence[float], with_item: Tidset
-    ) -> float:
-        with_set = set(with_item)
-        factor = 1.0
-        for position, probability in zip(base, base_probabilities):
-            if position not in with_set:
-                factor *= 1.0 - probability
-        return factor
 
     # ------------------------------------------------------------------
     # basic properties
@@ -165,23 +193,64 @@ class ExtensionEventSystem:
             raise ValueError("conjunction over no events is undefined")
         tidset = self.events[indices[0]].tidset
         for index in indices[1:]:
-            tidset = intersect_tidsets(tidset, self.events[index].tidset)
+            tidset = self._engine.intersect(tidset, self.events[index].tidset)
             if len(tidset) < self.min_sup:
                 return 0.0
         return self._conjunction_from_tidset(tidset)
 
-    def _conjunction_from_tidset(self, tidset: Tidset) -> float:
+    def _conjunction_from_tidset(self, tidset) -> float:
         if len(tidset) < self.min_sup:
             return 0.0
-        absent = self._absent_factor(
-            self.base_tidset, self._base_probabilities, tidset
-        )
+        absent = self._engine.absent_factor(self.base_tidset, tidset)
         return absent * self._cache.frequent_probability_of_tidset(tidset)
+
+    def _seed_pairwise(self) -> None:
+        """One-time batch fill of the pairwise matrix on vectorized engines.
+
+        All ``m·(m−1)/2`` conjunction tidsets come from one stacked matrix
+        AND, every surviving ``Pr_F`` from one batched DP, and every absent
+        factor from one batched gather — value-wise identical to the lazy
+        per-pair path (0.0 below ``min_sup``, the factored formula
+        otherwise).  The values land directly in the symmetric pairwise
+        matrix the bound evaluations bulk-read.
+        """
+        if self._pairwise_seeded:
+            return
+        self._pairwise_seeded = True
+        engine = self._engine
+        if not getattr(engine, "vectorized", False) or len(self.events) < 2:
+            return
+        conjunctions = engine.pairwise_conjunctions(
+            [event.tidset for event in self.events]
+        )
+        eligible = [ts for ts in conjunctions if len(ts) >= self.min_sup]
+        if len(eligible) > 1:
+            self._cache.seed_frequent_probabilities(self.base_tidset, eligible)
+        absent_factors = iter(engine.absent_factors(self.base_tidset, eligible))
+        count = len(self.events)
+        frequent = self._cache.frequent_probability_of_tidset
+        matrix = np.empty((count, count))
+        for index, event in enumerate(self.events):
+            matrix[index, index] = event.probability
+        index = 0
+        for first in range(count):
+            for second in range(first + 1, count):
+                tidset = conjunctions[index]
+                index += 1
+                if len(tidset) < self.min_sup:
+                    value = 0.0
+                else:
+                    value = next(absent_factors) * frequent(tidset)
+                matrix[first, second] = matrix[second, first] = value
+        self._pairwise_matrix = matrix
 
     def pairwise_probability(self, first: int, second: int) -> float:
         """``Pr(C_i ∧ C_j)`` with memoization (Lemma 4.4 needs all pairs)."""
         if first == second:
             return self.events[first].probability
+        self._seed_pairwise()
+        if self._pairwise_matrix is not None:
+            return float(self._pairwise_matrix[first, second])
         key = (first, second) if first < second else (second, first)
         cached = self._pairwise.get(key)
         if cached is None:
@@ -189,13 +258,46 @@ class ExtensionEventSystem:
             self._pairwise[key] = cached
         return cached
 
+    def pairwise_matrix(self) -> np.ndarray:
+        """All pairwise probabilities as one symmetric ``(m, m)`` matrix.
+
+        Entry ``(i, j)`` is ``Pr(C_i ∧ C_j)``; the diagonal holds the
+        singleton probabilities (``Pr(C_i ∧ C_i) = Pr(C_i)``).  Built once
+        and cached, this is the bulk-read view the Lemma 4.4 bound
+        evaluations consume — the same memoized values
+        :meth:`pairwise_probability` serves, without one Python call per
+        matrix cell per bound.
+        """
+        if self._pairwise_matrix is None:
+            self._seed_pairwise()
+        if self._pairwise_matrix is None:
+            # Non-vectorized engine (or fewer than two events): build from
+            # the lazy per-pair path once and cache.
+            count = len(self.events)
+            matrix = np.empty((count, count))
+            for index, event in enumerate(self.events):
+                matrix[index, index] = event.probability
+            for first in range(count):
+                for second in range(first + 1, count):
+                    matrix[first, second] = matrix[second, first] = (
+                        self.pairwise_probability(first, second)
+                    )
+            self._pairwise_matrix = matrix
+        return self._pairwise_matrix
+
     def pairwise_sum(self) -> float:
-        """``S2 = Σ_{i<j} Pr(C_i ∧ C_j)`` (input of Kwerel / Dawson–Sankoff)."""
-        total = 0.0
-        for first in range(len(self.events)):
-            for second in range(first + 1, len(self.events)):
-                total += self.pairwise_probability(first, second)
-        return total
+        """``S2 = Σ_{i<j} Pr(C_i ∧ C_j)`` (input of Kwerel / Dawson–Sankoff).
+
+        Summed with :func:`math.fsum` over the cached pairwise matrix —
+        exactly rounded, so the value is independent of enumeration order
+        and identical across tidset backends.
+        """
+        count = len(self.events)
+        if count < 2:
+            return 0.0
+        matrix = self.pairwise_matrix()
+        first, second = np.triu_indices(count, k=1)
+        return math.fsum(matrix[first, second].tolist())
 
     # ------------------------------------------------------------------
     # exact union probability (inclusion–exclusion)
@@ -210,11 +312,12 @@ class ExtensionEventSystem:
         """
         total = 0.0
         events = self.events
+        intersect = self._engine.intersect
 
-        def recurse(start: int, tidset: Tidset, depth: int) -> None:
+        def recurse(start: int, tidset, depth: int) -> None:
             nonlocal total
             for index in range(start, len(events)):
-                intersection = intersect_tidsets(tidset, events[index].tidset)
+                intersection = intersect(tidset, events[index].tidset)
                 if len(intersection) < self.min_sup:
                     continue
                 term = self._conjunction_from_tidset(intersection)

@@ -42,7 +42,7 @@ from .bounds import (
 )
 from .cache import SupportDPCache
 from .config import MinerConfig
-from .database import Tidset, UncertainDatabase, intersect_tidsets
+from .database import Tidset, UncertainDatabase
 from .events import ExtensionEventSystem
 from .itemsets import Item, Itemset
 from .stats import MiningStats
@@ -110,6 +110,9 @@ class MPFCIMiner:
         self.config = config
         self.stats = MiningStats()
         self._rng = random.Random(config.seed)
+        # The tidset engine is cached per backend on the database, so every
+        # miner over the same database shares one packed representation.
+        self._engine = database.tidset_engine(config.tidset_backend)
         if support_cache is not None:
             # An externally owned cache (the streaming monitor's, which
             # persists across window slides) must already be bound to this
@@ -125,18 +128,20 @@ class MPFCIMiner:
                     f"support_cache min_sup={support_cache.min_sup} does not "
                     f"match config min_sup={config.min_sup}"
                 )
+            support_cache.adopt_engine(self._engine)
         self._external_cache = support_cache is not None
         self._cache: SupportDPCache = (
             support_cache if support_cache is not None else self._new_cache()
         )
         self._item_tidsets: Dict[Item, Tidset] = {
-            item: database.tidset_of_item(item) for item in database.items
+            item: self._engine.item_tidset(item) for item in self._engine.items
         }
 
     def _new_cache(self) -> SupportDPCache:
         return SupportDPCache(
             self.database, self.config.min_sup,
             max_entries=self.config.dp_cache_size,
+            engine=self._engine,
         )
 
     # ------------------------------------------------------------------
@@ -151,6 +156,7 @@ class MPFCIMiner:
             self._cache.clear()
         else:
             self._cache = self._new_cache()
+        engine_before = self._engine.counters()
         results: List[ProbabilisticFrequentClosedItemset] = []
 
         candidates = self._candidate_items()
@@ -173,6 +179,7 @@ class MPFCIMiner:
             - self.stats.check_phase_seconds,
         )
         self._cache.apply_to(self.stats)
+        self._apply_engine_delta(engine_before)
         return results
 
     def mine_branch(
@@ -192,6 +199,7 @@ class MPFCIMiner:
         sorted the same way :meth:`mine` sorts.
         """
         started = time.perf_counter()
+        engine_before = self._engine.counters()
         results: List[ProbabilisticFrequentClosedItemset] = []
         self._dfs(
             itemset=(item,),
@@ -210,14 +218,30 @@ class MPFCIMiner:
             - self.stats.check_phase_seconds,
         )
         self._cache.apply_to(self.stats)
+        self._apply_engine_delta(engine_before)
         return results
+
+    def _apply_engine_delta(self, before: Dict[str, int]) -> None:
+        """Accumulate the engine's work since ``before`` into the stats.
+
+        The engine is shared per database (its counters are monotonic), so
+        each run/branch records only its own delta.
+        """
+        for name, value in self._engine.counters().items():
+            setattr(self.stats, name, getattr(self.stats, name) + value - before[name])
 
     # ------------------------------------------------------------------
     # phase 1: single-item candidates
     # ------------------------------------------------------------------
     def _candidate_items(self) -> List[Item]:
+        items = self._engine.items
+        if self._engine.vectorized and len(items) > 1:
+            self._seed_extensions(
+                self._engine.universe(),
+                [self._item_tidsets[item] for item in items],
+            )
         candidates: List[Item] = []
-        for item in self.database.items:
+        for item in items:
             tidset = self._item_tidsets[item]
             if not self._passes_frequency_pruning(tidset):
                 continue
@@ -269,12 +293,24 @@ class MPFCIMiner:
             [] if max_size is not None and len(itemset) >= max_size
             else list(extensions)
         )
+        prepared = None
+        if self._engine.vectorized and len(remaining) > 1:
+            # One matrix AND yields every same-level extension tidset; the
+            # survivors' Pr_F values are then seeded as one batched DP.
+            prepared = self._engine.intersect_many(
+                tidset, [self._item_tidsets[item] for item in remaining]
+            )
+            self._seed_extensions(tidset, prepared)
         position = 0
         while position < len(remaining):
             item = remaining[position]
+            extended_tidset = (
+                prepared[position]
+                if prepared is not None
+                else self._engine.intersect(tidset, self._item_tidsets[item])
+            )
             position += 1
             self.stats.candidates_generated += 1
-            extended_tidset = intersect_tidsets(tidset, self._item_tidsets[item])
             if not self._passes_frequency_pruning(extended_tidset):
                 continue
             subset_prune_fires = (
@@ -300,21 +336,33 @@ class MPFCIMiner:
         else:
             self._check(itemset, tidset, results)
 
+    def _seed_extensions(self, base: Tidset, candidates: Sequence[Tidset]) -> None:
+        """Batch the surviving extensions' ``Pr_F`` DPs into one masked run.
+
+        Applies the same zero-cost screens ``_passes_frequency_pruning`` will
+        apply (count, then the Chernoff–Hoeffding bound when enabled) so the
+        batched DP only covers tidsets whose exact ``Pr_F`` is actually
+        needed — without touching the pruning statistics, which the real
+        per-candidate pass still owns.
+        """
+        config = self.config
+        survivors = []
+        for extended in candidates:
+            if len(extended) < config.min_sup:
+                continue
+            if config.use_chernoff_pruning:
+                bound = chernoff_hoeffding_bound_for_tidset(
+                    self._cache, len(self.database), extended
+                )
+                if bound <= config.pfct:
+                    continue
+            survivors.append(extended)
+        if len(survivors) > 1:
+            self._cache.seed_frequent_probabilities(base, survivors)
+
     def _superset_pruned(self, itemset: Itemset, tidset: Tidset) -> bool:
         """Lemma 4.2: an item before the branch item co-occurs in every world."""
-        last_item = itemset[-1]
-        item_set = set(itemset)
-        tid_count = len(tidset)
-        tid_set = set(tidset)
-        for item in self.database.items:
-            if item >= last_item:
-                break
-            if item in item_set:
-                continue
-            other = self._item_tidsets[item]
-            if len(other) >= tid_count and tid_set.issubset(other):
-                return True
-        return False
+        return self._engine.superset_covered(itemset, tidset)
 
     # ------------------------------------------------------------------
     # phase 3: checking (bounds, exact inclusion–exclusion, ApproxFCP)

@@ -80,9 +80,11 @@ def mine_pfci_parallel(
     # the serial miner does (phase 1 of the framework).
     planner = MPFCIMiner(database, config)
     planner_started = time.perf_counter()
+    engine_before = planner._engine.counters()
     candidates = planner._candidate_items()
     planner.stats.candidate_phase_seconds = time.perf_counter() - planner_started
     planner._cache.apply_to(planner.stats)
+    planner._apply_engine_delta(engine_before)
 
     merged = MiningStats()
     merged.merge(planner.stats)

@@ -69,8 +69,14 @@ class MiningStats:
     fcp_sampled_evaluations: int = 0
     monte_carlo_samples: int = 0
     frequent_probability_evaluations: int = 0
+    # --- tidset engine (repro.core.tidsets) -----------------------------
+    tidset_intersections: int = 0
+    tidset_words_anded: int = 0
+    tidset_popcounts: int = 0
+    tidset_gathers: int = 0
     # --- support-DP cache ----------------------------------------------
     dp_invocations: int = 0
+    dp_batch_invocations: int = 0
     dp_cache_hits: int = 0
     dp_cache_misses: int = 0
     dp_cache_evictions: int = 0
@@ -205,7 +211,12 @@ class MiningStats:
             f"sampled={self.fcp_sampled_evaluations}, "
             f"samples={self.monte_carlo_samples}) "
             f"dp(requests={self.dp_requests}, "
-            f"hit_rate={self.dp_cache_hit_rate:.2f}) "
+            f"hit_rate={self.dp_cache_hit_rate:.2f}, "
+            f"batched={self.dp_batch_invocations}) "
+            f"engine(intersect={self.tidset_intersections}, "
+            f"words={self.tidset_words_anded}, "
+            f"popcount={self.tidset_popcounts}, "
+            f"gather={self.tidset_gathers}) "
             f"time={self.elapsed_seconds:.3f}s"
         )
 

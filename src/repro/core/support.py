@@ -29,6 +29,9 @@ import numpy as np
 __all__ = [
     "frequent_probability",
     "frequent_probability_python",
+    "frequent_probability_masked_batch",
+    "frequent_probability_padded_batch",
+    "sample_conditional_presence_batch",
     "support_pmf",
     "pmf_add",
     "pmf_remove",
@@ -230,6 +233,100 @@ def frequent_probability(probabilities: Sequence[float], min_sup: int) -> float:
     return float(state[min_sup])
 
 
+def frequent_probability_padded_batch(
+    padded: np.ndarray, min_sup: int
+) -> np.ndarray:
+    """Batched capped DP over left-aligned, zero-padded probability rows.
+
+    ``padded[s]`` holds sub-tidset ``s``'s probabilities in ascending
+    position order, right-padded with zeros to the longest row.  A zero
+    probability is an *exact identity* transition (``x * 1.0`` returns ``x``
+    and ``y * 0.0`` contributes ``+0.0`` bit-for-bit, all state masses being
+    non-negative), so the padded walk performs the identical IEEE-754
+    operations the serial DP performs on the compacted row — while every
+    column advances the whole batch at once.  This is what makes batching
+    actually amortize: the column count is the longest *member* width, not
+    the base width, exactly as in the serial evaluation.
+
+    Bit-exactness contract: ``result[s] == frequent_probability(row s's
+    nonzero prefix, min_sup)`` exactly (the backend-parity tests assert
+    ``==``, not ``approx``), which is what lets the bitmap tidset engine
+    seed the support-DP cache in bulk without perturbing any pruning
+    decision.
+    """
+    padded = np.asarray(padded, dtype=np.float64)
+    batch, width = padded.shape
+    if min_sup <= 0:
+        return np.ones(batch)
+    if batch == 0 or width == 0:
+        return np.zeros(batch)
+    # Rows are processed sorted by extent (index of the last nonzero, i.e.
+    # the row's true probability count), longest first, and the active slice
+    # shrinks as rows finish — total work is Σ row widths, exactly what the
+    # serial evaluations would do, with the batch amortizing every column.
+    nonzero = padded != 0.0
+    extents = np.where(
+        nonzero.any(axis=1), width - np.argmax(nonzero[:, ::-1], axis=1), 0
+    )
+    order = np.argsort(-extents, kind="stable")
+    padded = padded[order]
+    extents = extents[order]
+    complements = 1.0 - padded
+    state = np.zeros((batch, min_sup + 1))
+    state[:, 0] = 1.0
+    buffer = np.empty_like(state)
+    present = np.empty_like(state)
+    active = batch
+    for column in range(int(extents[0])):
+        while active and extents[active - 1] <= column:
+            # This row is done; freeze its state in both swap buffers.
+            active -= 1
+            buffer[active] = state[active]
+        live = state[:active]
+        out = buffer[:active]
+        column_probs = padded[:active, column : column + 1]
+        # Same per-cell transition as frequent_probability: old*absent +
+        # shifted*present, with the absorbing cap refunded from the old cap.
+        # One full-width present-mass product serves both the shift (its
+        # first min_sup entries) and the cap refund (its last entry).
+        np.multiply(live, complements[:active, column : column + 1], out=out)
+        np.multiply(live, column_probs, out=present[:active])
+        out[:, 1:] += present[:active, :-1]
+        out[:, min_sup] += present[:active, min_sup]
+        state, buffer = buffer, state
+    result = np.empty(batch)
+    result[order] = state[:, min_sup]
+    return result
+
+
+def frequent_probability_masked_batch(
+    probabilities: np.ndarray, membership: np.ndarray, min_sup: int
+) -> np.ndarray:
+    """Batched capped DP: ``Pr[support >= min_sup]`` for many sub-tidsets.
+
+    ``probabilities`` is the probability vector of a *base* tidset (length
+    ``k``, ascending position order) and ``membership`` a boolean ``(batch,
+    k)`` matrix whose rows mark which base positions each sub-tidset
+    contains.  Each row is compacted to its member probabilities and the
+    batch evaluated by :func:`frequent_probability_padded_batch`, so the
+    column loop runs over the longest member width rather than the base
+    width (rows shorter than ``min_sup`` end with exactly 0.0 mass at the
+    cap, matching the serial early return bit-for-bit).
+    """
+    membership = np.asarray(membership, dtype=bool)
+    batch = membership.shape[0]
+    if min_sup <= 0:
+        return np.ones(batch)
+    probabilities = np.asarray(probabilities, dtype=np.float64)
+    widths = membership.sum(axis=1)
+    max_width = int(widths.max()) if batch else 0
+    padded = np.zeros((batch, max_width))
+    rows, cols = np.nonzero(membership)
+    slots = (membership.cumsum(axis=1) - 1)[rows, cols]
+    padded[rows, slots] = probabilities[cols]
+    return frequent_probability_padded_batch(padded, min_sup)
+
+
 def frequent_probability_python(probabilities: Sequence[float], min_sup: int) -> float:
     """Pure-Python reference implementation of :func:`frequent_probability`."""
     if min_sup <= 0:
@@ -318,6 +415,55 @@ def sample_conditional_presence(
         bits.append(present)
         if present:
             remaining -= 1
+    return bits
+
+
+def sample_conditional_presence_batch(
+    probabilities: Sequence[float],
+    min_sup: int,
+    uniforms: np.ndarray,
+    tail_table: np.ndarray,
+) -> np.ndarray:
+    """Vectorized :func:`sample_conditional_presence` over many uniform rows.
+
+    ``uniforms[s, j]`` is the ``j``-th uniform draw of sample ``s`` — the
+    exact values (in the exact order) the serial sampler would consume from
+    its RNG.  The returned boolean ``(samples, k)`` matrix is bit-for-bit
+    what running the serial sampler once per row would produce: the
+    conditional probability is evaluated with the identical operations
+    (``(p · tail[j+1][r−1]) / tail[j][r]``) and the identical comparison.
+    The ApproxFCP estimator pre-draws its uniforms serially and batches the
+    walks through here, which removes the per-sample Python loop from the
+    sampling hot path for both tidset backends.
+    """
+    probabilities = np.asarray(probabilities, dtype=np.float64)
+    uniforms = np.asarray(uniforms, dtype=np.float64)
+    k = len(probabilities)
+    if min_sup > k:
+        raise ValueError("cannot condition on support >= min_sup with too few rows")
+    if tail_table[0][min_sup] <= 0.0:
+        raise ValueError("conditioning event has zero probability")
+    samples = uniforms.shape[0]
+    if min_sup == 0:
+        # No conditioning: every bit is a plain Bernoulli draw.
+        return uniforms < probabilities[np.newaxis, :]
+    bits = np.zeros((samples, k), dtype=bool)
+    remaining = np.full(samples, min_sup, dtype=np.int64)
+    with np.errstate(divide="ignore", invalid="ignore"):
+        for j in range(k):
+            probability = probabilities[j]
+            active = remaining > 0
+            # Clamp inactive lanes to a valid row index; their quotient is
+            # discarded by the where() (they draw plain Bernoulli bits).
+            clamped = np.where(active, remaining, 1)
+            numerator = tail_table[j + 1][clamped - 1]
+            denominator = tail_table[j][clamped]
+            conditional = np.where(
+                active, (probability * numerator) / denominator, probability
+            )
+            present = uniforms[:, j] < conditional
+            bits[:, j] = present
+            remaining = remaining - (present & active)
     return bits
 
 

@@ -68,6 +68,9 @@ __all__ = [
 # Paper defaults (Section V.A): pfct = 0.8, epsilon = delta = 0.1, and the
 # median min_sup of each sweep as the fixed value when another knob varies.
 DEFAULT_PFCT = 0.8
+# Tidset backend every driver-built config uses; the CLI's --tidset-backend
+# flag overrides it process-wide so ablations are scriptable.
+DEFAULT_TIDSET_BACKEND = "bitmap"
 DEFAULT_EPSILON = 0.1
 DEFAULT_DELTA = 0.1
 
@@ -131,6 +134,7 @@ def default_config(
     **overrides,
 ) -> MinerConfig:
     """Paper-faithful configuration (sampling path only; see module note)."""
+    overrides.setdefault("tidset_backend", DEFAULT_TIDSET_BACKEND)
     return MinerConfig.with_relative_min_sup(
         len(database),
         min_sup_ratio,
@@ -140,6 +144,14 @@ def default_config(
         exact_event_limit=0,
         **overrides,
     )
+
+
+def set_default_tidset_backend(backend: str) -> None:
+    """Process-wide backend override for the experiment drivers (CLI hook)."""
+    global DEFAULT_TIDSET_BACKEND
+    if backend not in ("tuple", "bitmap"):
+        raise ValueError(f"unknown tidset backend {backend!r}")
+    DEFAULT_TIDSET_BACKEND = backend
 
 
 def miner_variants(config: MinerConfig) -> Dict[str, MinerConfig]:

@@ -72,6 +72,7 @@ _CACHE_COUNTER_FIELDS: Tuple[str, ...] = (
     "dp_tail_table_misses",
     "dp_tail_table_evictions",
     "dp_invocations",
+    "dp_batch_invocations",
     "dp_generation_invalidations",
     "dp_cross_generation_hits",
 )
@@ -353,15 +354,17 @@ class PFCIMonitor:
         self, to_mine: Sequence[Item], candidates: Sequence[Item]
     ) -> None:
         snapshot = self.window.snapshot()
+        engine = snapshot.tidset_engine(self.config.tidset_backend)
         if self._cache is None:
             self._cache = SupportDPCache(
                 snapshot,
                 self.config.min_sup,
                 max_entries=self.config.dp_cache_size,
                 generation=self.window.generation,
+                engine=engine,
             )
         else:
-            self._cache.rebind(snapshot, self.window.generation)
+            self._cache.rebind(snapshot, self.window.generation, engine=engine)
         miner = MPFCIMiner(snapshot, self.config, support_cache=self._cache)
         for root in to_mine:
             position = candidates.index(root)

@@ -33,8 +33,11 @@ from __future__ import annotations
 from collections import deque
 from typing import Deque, Dict, Iterable, Iterator, List, Optional, Tuple
 
+import numpy as np
+
 from ..core.database import Tidset, UncertainDatabase, UncertainTransaction
 from ..core.itemsets import Item, Itemset, canonical
+from ..core.tidsets import pack_positions
 
 __all__ = ["WindowedUncertainDatabase"]
 
@@ -69,6 +72,18 @@ class WindowedUncertainDatabase:
         self._generation = 0
         self._snapshot: Optional[UncertainDatabase] = None
         self._snapshot_generation = -1
+        # Incrementally maintained packed bitmaps for the bitmap tidset
+        # engine: per-item uint64 word arrays (all `_bitmap_capacity` words
+        # long) plus one probability layout, where bit ``b`` is the row with
+        # absolute sequence number ``b + _pack_base``.  Appends set one bit
+        # per item, evictions clear it; when too many dead leading bits
+        # accumulate, `_repack()` rebases everything (generation-aware
+        # re-pack) so the arrays stay proportional to the window.
+        self._bitmap_capacity = 1  # words
+        self._bitmap_words: Dict[Item, np.ndarray] = {}
+        self._bitmap_prob = np.zeros(64, dtype=np.float64)
+        self._pack_base = 0
+        self._bitmap_repacks = 0
 
     # ------------------------------------------------------------------
     # maintenance
@@ -84,11 +99,21 @@ class WindowedUncertainDatabase:
         sequence = self._appended_count
         self._rows[sequence] = transaction
         self._appended_count += 1
+        bit = sequence - self._pack_base
+        if bit >= self._bitmap_capacity * 64:
+            self._grow_bitmaps(bit + 1)
+        word, mask = bit >> 6, np.uint64(1 << (bit & 63))
+        self._bitmap_prob[bit] = transaction.probability
         for item in transaction.items:
             self._positions.setdefault(item, deque()).append(sequence)
             self._expected[item] = (
                 self._expected.get(item, 0.0) + transaction.probability
             )
+            words = self._bitmap_words.get(item)
+            if words is None:
+                words = np.zeros(self._bitmap_capacity, dtype=np.uint64)
+                self._bitmap_words[item] = words
+            words[word] |= mask
         evicted = None
         if self._capacity is not None and len(self._rows) > self._capacity:
             evicted = self._evict_oldest()
@@ -116,6 +141,9 @@ class WindowedUncertainDatabase:
         sequence = self._evicted_count
         transaction = self._rows.pop(sequence)
         self._evicted_count += 1
+        bit = sequence - self._pack_base
+        word, mask = bit >> 6, np.uint64(1 << (bit & 63))
+        self._bitmap_prob[bit] = 0.0
         for item in transaction.items:
             bucket = self._positions[item]
             # Sequence numbers are appended in order, so the oldest is
@@ -123,10 +151,59 @@ class WindowedUncertainDatabase:
             bucket.popleft()
             if bucket:
                 self._expected[item] -= transaction.probability
+                self._bitmap_words[item][word] &= ~mask
             else:
                 del self._positions[item]
                 del self._expected[item]
+                del self._bitmap_words[item]
+        dead = self._evicted_count - self._pack_base
+        if dead > max(64, 2 * len(self._rows)):
+            self._repack()
         return transaction
+
+    # ------------------------------------------------------------------
+    # bitmap maintenance
+    # ------------------------------------------------------------------
+    def _grow_bitmaps(self, needed_bits: int) -> None:
+        """Double the shared word capacity until ``needed_bits`` fit."""
+        capacity = self._bitmap_capacity
+        while capacity * 64 < needed_bits:
+            capacity *= 2
+        grown_prob = np.zeros(capacity * 64, dtype=np.float64)
+        grown_prob[: len(self._bitmap_prob)] = self._bitmap_prob
+        self._bitmap_prob = grown_prob
+        for item, words in self._bitmap_words.items():
+            grown = np.zeros(capacity, dtype=np.uint64)
+            grown[: len(words)] = words
+            self._bitmap_words[item] = grown
+        self._bitmap_capacity = capacity
+
+    def _repack(self) -> None:
+        """Rebase bit 0 onto the oldest live row, dropping dead leading bits.
+
+        Amortized O(window) every O(window) evictions, so the per-slide cost
+        stays O(1) while the arrays never exceed ~3x the live window.
+        """
+        self._pack_base = self._evicted_count
+        needed_bits = max(self._appended_count - self._pack_base, 1)
+        self._bitmap_capacity = (needed_bits + 63) // 64
+        n_bits = self._bitmap_capacity * 64
+        self._bitmap_words = {
+            item: pack_positions(
+                [sequence - self._pack_base for sequence in positions], n_bits
+            )
+            for item, positions in self._positions.items()
+        }
+        prob = np.zeros(n_bits, dtype=np.float64)
+        for sequence, transaction in self._rows.items():
+            prob[sequence - self._pack_base] = transaction.probability
+        self._bitmap_prob = prob
+        self._bitmap_repacks += 1
+
+    @property
+    def bitmap_repacks(self) -> int:
+        """How often the packed bitmaps were rebased (observability hook)."""
+        return self._bitmap_repacks
 
     # ------------------------------------------------------------------
     # basic accessors
@@ -233,8 +310,21 @@ class WindowedUncertainDatabase:
                 item: tuple(sequence - offset for sequence in positions)
                 for item, positions in self._positions.items()
             }
+            # Hand the incrementally maintained bitmaps to the snapshot so
+            # its bitmap tidset engine skips the O(rows × items) re-pack.
+            # Bit b of the handed words is window position b - dead_bits.
+            dead_bits = self._evicted_count - self._pack_base
+            n_words = (dead_bits + len(self._rows) + 63) // 64
+            bitmap_parts = {
+                "offset": dead_bits,
+                "words": {
+                    item: words[:n_words].copy()
+                    for item, words in self._bitmap_words.items()
+                },
+                "probabilities": self._bitmap_prob[: max(n_words, 1) * 64].copy(),
+            }
             self._snapshot = UncertainDatabase.from_indexed_parts(
-                list(self), vertical
+                list(self), vertical, bitmap_parts=bitmap_parts
             )
             self._snapshot_generation = self._generation
         return self._snapshot
