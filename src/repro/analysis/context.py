@@ -1,0 +1,120 @@
+"""Per-file analysis context: parsed tree, module identity, ancestry helpers."""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+
+def derive_module_name(parts: Sequence[str]) -> str:
+    """Dotted module name for a file path, anchored at the ``repro`` package.
+
+    Files outside a ``repro`` tree (fixtures, scratch snippets) fall back to
+    their bare stem; fixture corpora instead pin their pretend location with a
+    ``# prolint: module=...`` directive (see :mod:`.suppressions`).
+    """
+    pieces = [part for part in parts if part]
+    if pieces and pieces[-1].endswith(".py"):
+        pieces[-1] = pieces[-1][: -len(".py")]
+    for index, piece in enumerate(pieces):
+        if piece == "repro":
+            tail = pieces[index:]
+            if tail[-1] == "__init__":
+                tail = tail[:-1]
+            return ".".join(tail)
+    return pieces[-1] if pieces else "<unknown>"
+
+
+@dataclass
+class ModuleContext:
+    """Everything a rule needs to inspect one parsed source file."""
+
+    path: str
+    module: str
+    tree: ast.Module
+    source_lines: Tuple[str, ...]
+    _parents: Dict[int, ast.AST] = field(default_factory=dict, repr=False)
+
+    def __post_init__(self) -> None:
+        for parent in ast.walk(self.tree):
+            for child in ast.iter_child_nodes(parent):
+                self._parents[id(child)] = parent
+
+    # -- module identity -------------------------------------------------
+
+    @property
+    def module_parts(self) -> Tuple[str, ...]:
+        return tuple(self.module.split("."))
+
+    def in_package(self, *packages: str) -> bool:
+        """True when the module lives under ``repro.<package>`` for any given."""
+        parts = self.module_parts
+        if len(parts) < 2 or parts[0] != "repro":
+            return False
+        return parts[1] in packages
+
+    @property
+    def module_basename(self) -> str:
+        return self.module_parts[-1]
+
+    # -- tree navigation -------------------------------------------------
+
+    def parent(self, node: ast.AST) -> Optional[ast.AST]:
+        return self._parents.get(id(node))
+
+    def ancestors(self, node: ast.AST) -> Iterator[ast.AST]:
+        current = self.parent(node)
+        while current is not None:
+            yield current
+            current = self.parent(current)
+
+    def enclosing_function(
+        self, node: ast.AST
+    ) -> Optional[ast.FunctionDef | ast.AsyncFunctionDef]:
+        for ancestor in self.ancestors(node):
+            if isinstance(ancestor, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                return ancestor
+        return None
+
+    def inside_loop(self, node: ast.AST) -> bool:
+        """True when ``node`` sits inside a ``for``/``while`` body (or a
+        comprehension), without an intervening function boundary."""
+        for ancestor in self.ancestors(node):
+            if isinstance(ancestor, (ast.For, ast.AsyncFor, ast.While)):
+                return True
+            if isinstance(ancestor, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+                return False
+        return False
+
+    def module_level_mutables(self) -> List[str]:
+        """Names bound at module level to mutable literals/constructors."""
+        mutable: List[str] = []
+        for statement in self.tree.body:
+            targets: List[ast.expr] = []
+            value: Optional[ast.expr] = None
+            if isinstance(statement, ast.Assign):
+                targets, value = statement.targets, statement.value
+            elif isinstance(statement, ast.AnnAssign) and statement.value is not None:
+                targets, value = [statement.target], statement.value
+            if value is None or not _is_mutable_literal(value):
+                continue
+            for target in targets:
+                if isinstance(target, ast.Name):
+                    mutable.append(target.id)
+        return mutable
+
+
+_MUTABLE_CONSTRUCTORS = {"list", "dict", "set", "bytearray", "defaultdict", "deque"}
+
+
+def _is_mutable_literal(value: ast.expr) -> bool:
+    if isinstance(value, (ast.List, ast.Dict, ast.Set, ast.ListComp, ast.DictComp, ast.SetComp)):
+        return True
+    if isinstance(value, ast.Call):
+        callee = value.func
+        if isinstance(callee, ast.Name) and callee.id in _MUTABLE_CONSTRUCTORS:
+            return True
+        if isinstance(callee, ast.Attribute) and callee.attr in _MUTABLE_CONSTRUCTORS:
+            return True
+    return False

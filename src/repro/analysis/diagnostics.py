@@ -1,0 +1,136 @@
+"""Diagnostic records and the aggregate analysis report.
+
+The shapes here deliberately mirror :mod:`repro.core.stats`: one run of the
+analyzer produces one :class:`AnalysisReport` whose :meth:`AnalysisReport.report`
+returns the same ``{"counters", "derived", ...}`` JSON layout as
+``MiningStats.report()``, so diagnostic counts can be trended next to the
+``benchmarks/results/`` artifacts by the same tooling.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Sequence, Tuple
+
+
+class Severity(enum.IntEnum):
+    """Per-rule severity; higher values are more severe."""
+
+    ADVICE = 10
+    WARNING = 20
+    ERROR = 30
+
+    @classmethod
+    def parse(cls, name: str) -> "Severity":
+        try:
+            return cls[name.upper()]
+        except KeyError:
+            valid = ", ".join(member.name.lower() for member in cls)
+            raise ValueError(f"unknown severity {name!r} (expected one of: {valid})")
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One finding: a rule fired at a file/line/column."""
+
+    path: str
+    line: int
+    column: int
+    rule: str
+    severity: Severity
+    message: str
+    suppressed: bool = False
+
+    def format(self) -> str:
+        tag = " (suppressed)" if self.suppressed else ""
+        return (
+            f"{self.path}:{self.line}:{self.column}: "
+            f"{self.severity.name} [{self.rule}] {self.message}{tag}"
+        )
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "path": self.path,
+            "line": self.line,
+            "column": self.column,
+            "rule": self.rule,
+            "severity": self.severity.name,
+            "message": self.message,
+            "suppressed": self.suppressed,
+        }
+
+    def sort_key(self) -> Tuple[str, int, int, str]:
+        return (self.path, self.line, self.column, self.rule)
+
+
+@dataclass
+class AnalysisReport:
+    """Aggregate result of one analyzer run (``MiningStats``-style)."""
+
+    files_scanned: int = 0
+    rules_run: Tuple[str, ...] = ()
+    diagnostics: List[Diagnostic] = field(default_factory=list)
+
+    @property
+    def active(self) -> List[Diagnostic]:
+        """Diagnostics not silenced by a ``# prolint: ignore[...]`` comment."""
+        return [diagnostic for diagnostic in self.diagnostics if not diagnostic.suppressed]
+
+    @property
+    def suppressed(self) -> List[Diagnostic]:
+        return [diagnostic for diagnostic in self.diagnostics if diagnostic.suppressed]
+
+    def by_rule(self) -> Dict[str, int]:
+        counts: Dict[str, int] = {rule: 0 for rule in self.rules_run}
+        for diagnostic in self.active:
+            counts[diagnostic.rule] = counts.get(diagnostic.rule, 0) + 1
+        return counts
+
+    def by_severity(self) -> Dict[str, int]:
+        counts: Dict[str, int] = {member.name: 0 for member in Severity}
+        for diagnostic in self.active:
+            counts[diagnostic.severity.name] += 1
+        return counts
+
+    def exit_code(self, fail_on: Severity = Severity.WARNING) -> int:
+        """0 when no unsuppressed diagnostic reaches ``fail_on``; 1 otherwise."""
+        return 1 if any(d.severity >= fail_on for d in self.active) else 0
+
+    def as_dict(self) -> Dict[str, int]:
+        return {
+            "files_scanned": self.files_scanned,
+            "diagnostics": len(self.active),
+            "suppressed": len(self.suppressed),
+        }
+
+    def report(self) -> Dict[str, Any]:
+        """JSON-ready report, same layout family as ``MiningStats.report()``."""
+        return {
+            "counters": self.as_dict(),
+            "derived": {
+                "by_rule": self.by_rule(),
+                "by_severity": self.by_severity(),
+            },
+            "rules_run": list(self.rules_run),
+            "diagnostics": [
+                diagnostic.as_dict()
+                for diagnostic in sorted(self.diagnostics, key=Diagnostic.sort_key)
+            ],
+        }
+
+    def summary(self) -> str:
+        fired = {rule: count for rule, count in self.by_rule().items() if count}
+        detail = (
+            " ".join(f"{rule}={count}" for rule, count in sorted(fired.items()))
+            or "clean"
+        )
+        return (
+            f"prolint: {self.files_scanned} files, "
+            f"{len(self.active)} diagnostics "
+            f"({len(self.suppressed)} suppressed) — {detail}"
+        )
+
+
+def sorted_diagnostics(diagnostics: Sequence[Diagnostic]) -> List[Diagnostic]:
+    return sorted(diagnostics, key=Diagnostic.sort_key)

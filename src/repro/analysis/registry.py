@@ -1,0 +1,74 @@
+"""Rule protocol and registry.
+
+A rule is a class with ``name`` / ``severity`` / ``description`` /
+``invariant`` class attributes and a :meth:`Rule.check` generator producing
+:class:`Finding` records.  ``@register`` adds it to the global :data:`RULES`
+table the engine and CLI enumerate.  ``invariant`` states the paper/repo
+contract the rule protects — it is surfaced by ``repro-lint --list-rules``
+and in ``docs/static_analysis.md``.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Type
+
+from .context import ModuleContext
+from .diagnostics import Severity
+
+
+@dataclass(frozen=True)
+class Finding:
+    """A rule match before it is stamped into a :class:`Diagnostic`."""
+
+    node: ast.AST
+    message: str
+
+
+class Rule:
+    """Base class for analyzer rules."""
+
+    name: str = ""
+    severity: Severity = Severity.ERROR
+    description: str = ""
+    invariant: str = ""
+
+    def applies_to(self, context: ModuleContext) -> bool:
+        """Path-based scoping hook; default is every module."""
+        return True
+
+    def check(self, context: ModuleContext) -> Iterator[Finding]:
+        raise NotImplementedError
+
+
+RULES: Dict[str, Type[Rule]] = {}
+
+
+def register(rule_class: Type[Rule]) -> Type[Rule]:
+    if not rule_class.name:
+        raise ValueError(f"rule {rule_class.__name__} has no name")
+    if rule_class.name in RULES:
+        raise ValueError(f"duplicate rule name {rule_class.name!r}")
+    RULES[rule_class.name] = rule_class
+    return rule_class
+
+
+def all_rule_names() -> List[str]:
+    return sorted(RULES)
+
+
+def resolve_rules(names: List[str] | None = None) -> List[Rule]:
+    """Instantiate the selected rules (all registered rules by default)."""
+    if names is None:
+        selected = all_rule_names()
+    else:
+        selected = []
+        for name in names:
+            canonical = name.strip().upper()
+            if canonical not in RULES:
+                raise ValueError(
+                    f"unknown rule {name!r} (known: {', '.join(all_rule_names())})"
+                )
+            selected.append(canonical)
+    return [RULES[name]() for name in selected]

@@ -1,0 +1,14 @@
+"""Domain rule implementations; importing this package registers them all."""
+
+from . import backend_seal, cache_pure, determinism, fsum_reduce, prob_range
+from .naming import is_probability_name, is_tidset_name
+
+__all__ = [
+    "backend_seal",
+    "cache_pure",
+    "determinism",
+    "fsum_reduce",
+    "is_probability_name",
+    "is_tidset_name",
+    "prob_range",
+]

@@ -1,0 +1,101 @@
+"""BACKEND-SEAL — core modules must not peek inside tidset representations.
+
+``core/tidsets.py`` makes the tidset representation pluggable: the tuple
+engine stores sorted position tuples, the bitmap engine packs ``uint64``
+word arrays.  Miner-side code that materializes a tidset with ``set()`` /
+``sorted()`` / ``tuple()``, subscripts it, or runs Python set algebra on it
+compiles fine against the tuple backend and silently breaks (or silently
+deoptimizes) the bitmap backend.  Everything above the data model must go
+through the engine protocol (``intersect`` / ``positions`` / ``len``) or
+the database's own tidset helpers.
+
+Exempt modules: ``tidsets`` (the backends themselves), ``database`` (owner
+of the tuple representation and its helpers), ``possible_worlds`` (the
+enumeration oracle never touches engines).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..context import ModuleContext
+from ..diagnostics import Severity
+from ..registry import Finding, Rule, register
+from .naming import identifier_of, is_tidset_expr
+
+_EXEMPT_MODULES = {"tidsets", "database", "possible_worlds"}
+_MATERIALIZERS = {"set", "frozenset", "sorted", "tuple", "list"}
+_SET_METHODS = {"intersection", "union", "difference", "symmetric_difference", "issubset", "issuperset"}
+
+
+@register
+class BackendSealRule(Rule):
+    name = "BACKEND-SEAL"
+    severity = Severity.ERROR
+    description = (
+        "direct tuple-tidset operation in a core module that must route "
+        "through the tidsets.py backend protocol"
+    )
+    invariant = (
+        "tidset representation is backend-private (tuple vs packed bitmap); "
+        "core code above the data model speaks only the engine protocol"
+    )
+
+    def applies_to(self, context: ModuleContext) -> bool:
+        return (
+            context.in_package("core")
+            and context.module_basename not in _EXEMPT_MODULES
+        )
+
+    def check(self, context: ModuleContext) -> Iterator[Finding]:
+        for node in ast.walk(context.tree):
+            if isinstance(node, ast.Call):
+                yield from self._check_call(node)
+            elif isinstance(node, ast.BinOp):
+                yield from self._check_set_algebra(node)
+            elif isinstance(node, ast.Subscript):
+                yield from self._check_subscript(node)
+
+    def _check_call(self, node: ast.Call) -> Iterator[Finding]:
+        if isinstance(node.func, ast.Name) and node.func.id in _MATERIALIZERS:
+            if node.args and is_tidset_expr(node.args[0]):
+                name = identifier_of(node.args[0])
+                yield Finding(
+                    node,
+                    f"{node.func.id}({name}) materializes a tidset and "
+                    f"assumes the tuple representation; route through the "
+                    f"engine (engine.positions / engine.intersect)",
+                )
+        elif isinstance(node.func, ast.Attribute) and node.func.attr in _SET_METHODS:
+            if is_tidset_expr(node.func.value):
+                name = identifier_of(node.func.value)
+                yield Finding(
+                    node,
+                    f"{name}.{node.func.attr}(...) runs Python set algebra "
+                    f"on a tidset; use the engine protocol instead",
+                )
+
+    def _check_set_algebra(self, node: ast.BinOp) -> Iterator[Finding]:
+        if not isinstance(node.op, (ast.BitAnd, ast.BitOr, ast.Sub)):
+            return
+        if is_tidset_expr(node.left) and is_tidset_expr(node.right):
+            left = identifier_of(node.left)
+            right = identifier_of(node.right)
+            yield Finding(
+                node,
+                f"{left!r} and {right!r} combined with raw set/tuple algebra; "
+                f"tidset algebra belongs to the engine (engine.intersect)",
+            )
+
+    def _check_subscript(self, node: ast.Subscript) -> Iterator[Finding]:
+        if not isinstance(node.ctx, ast.Load):
+            return
+        if is_tidset_expr(node.value):
+            name = identifier_of(node.value)
+            yield Finding(
+                node,
+                f"subscripting {name!r} assumes the tuple tidset "
+                f"representation; use engine.positions() to get explicit "
+                f"positions",
+            )

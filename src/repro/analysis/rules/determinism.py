@@ -1,0 +1,108 @@
+"""DETERMINISM — all randomness flows through seeded, injected generators.
+
+The repo's contract (docs/architecture.md): two runs with equal inputs
+produce equal outputs.  Every sampler — ApproxFCP's Karp–Luby loop,
+conditional presence sampling, the dataset generators — takes an explicit
+``random.Random(config.seed)`` / seeded NumPy ``Generator``.  Module-level
+RNG calls (``random.random()``, ``np.random.*``), unseeded constructors
+(``random.Random()``, ``default_rng()``) and wall-clock reads
+(``time.time``, ``datetime.now``) silently break that contract *and* the
+benchmark shape assertions built on it.  ``time.perf_counter`` /
+``time.monotonic`` are allowed: they feed duration instrumentation
+(``MiningStats`` phases), never results.
+
+``core/possible_worlds`` is exempt by design — it is the enumeration
+oracle; its sampling entry points take an ``rng`` argument anyway.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..context import ModuleContext
+from ..diagnostics import Severity
+from ..registry import Finding, Rule, register
+from .naming import attribute_chain
+
+_EXEMPT_MODULES = {"possible_worlds"}
+
+_MODULE_RNG_CALLS = {
+    "random", "randint", "randrange", "uniform", "choice", "choices",
+    "shuffle", "sample", "gauss", "normalvariate", "betavariate",
+    "expovariate", "triangular", "vonmisesvariate", "getrandbits", "seed",
+}
+_NP_RANDOM_PREFIXES = ("np.random.", "numpy.random.")
+_UNSEEDED_CONSTRUCTORS = {
+    "random.Random",
+    "np.random.default_rng",
+    "numpy.random.default_rng",
+    "np.random.RandomState",
+    "numpy.random.RandomState",
+}
+_WALL_CLOCK = {
+    "time.time",
+    "datetime.now",
+    "datetime.utcnow",
+    "datetime.today",
+    "datetime.datetime.now",
+    "datetime.datetime.utcnow",
+    "datetime.date.today",
+    "date.today",
+}
+
+
+@register
+class DeterminismRule(Rule):
+    name = "DETERMINISM"
+    severity = Severity.ERROR
+    description = (
+        "unseeded/global RNG call or wall-clock read outside the sampling "
+        "entry points; breaks run-for-run reproducibility"
+    )
+    invariant = (
+        "two runs with equal inputs produce equal outputs: all randomness "
+        "flows through seeded generators passed in explicitly"
+    )
+
+    def applies_to(self, context: ModuleContext) -> bool:
+        return context.module_basename not in _EXEMPT_MODULES
+
+    def check(self, context: ModuleContext) -> Iterator[Finding]:
+        for node in ast.walk(context.tree):
+            if isinstance(node, ast.Call):
+                yield from self._check_call(node)
+
+    def _check_call(self, node: ast.Call) -> Iterator[Finding]:
+        chain = attribute_chain(node.func)
+        if chain is None:
+            return
+        if chain in _UNSEEDED_CONSTRUCTORS:
+            if not node.args and not node.keywords:
+                yield Finding(
+                    node,
+                    f"{chain}() without a seed; construct once from "
+                    f"config.seed and pass the generator down",
+                )
+            return
+        parts = chain.split(".")
+        if len(parts) == 2 and parts[0] == "random" and parts[1] in _MODULE_RNG_CALLS:
+            yield Finding(
+                node,
+                f"module-level {chain}() uses the global RNG; take a seeded "
+                f"random.Random as an argument instead",
+            )
+            return
+        if chain.startswith(_NP_RANDOM_PREFIXES):
+            yield Finding(
+                node,
+                f"{chain}() uses NumPy's global RNG state; pass a seeded "
+                f"numpy.random.Generator explicitly",
+            )
+            return
+        if chain in _WALL_CLOCK:
+            yield Finding(
+                node,
+                f"{chain}() reads the wall clock; results must not depend "
+                f"on time (time.perf_counter is fine for durations)",
+            )

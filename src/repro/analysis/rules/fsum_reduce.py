@@ -1,0 +1,79 @@
+"""FSUM-REDUCE — probability reductions in hot packages must use math.fsum.
+
+PR 3's exactness contract: the tuple and bitmap tidset backends produce
+bit-identical results because every probability reduction goes through an
+order-independent, exactly-rounded path — ``math.fsum`` on the scalar side,
+the batched NumPy DP on the vector side.  A plain ``sum()`` (or a bare
+``+=`` loop) over probability floats is order-sensitive left-to-right
+addition: it breaks cross-backend IEEE identity and loses precision on the
+long, tiny-valued sequences the Poisson-binomial DP feeds it.
+
+Scoped to ``repro.core`` and ``repro.streaming`` — the packages under the
+parity contract.  Integer counts (``sum(1 for ...)``) do not mention
+probability names and stay silent.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..context import ModuleContext
+from ..diagnostics import Severity
+from ..registry import Finding, Rule, register
+from .naming import mentions_probability
+
+_SCOPED_PACKAGES = ("core", "streaming")
+
+
+@register
+class FsumReduceRule(Rule):
+    name = "FSUM-REDUCE"
+    severity = Severity.ERROR
+    description = (
+        "plain sum()/+= reduction over probability floats in core/streaming "
+        "where math.fsum or the batched NumPy path is required"
+    )
+    invariant = (
+        "tuple and bitmap tidset backends stay bit-identical because every "
+        "probability reduction is exactly rounded and order-independent "
+        "(math.fsum / batched NumPy DP)"
+    )
+
+    def applies_to(self, context: ModuleContext) -> bool:
+        return context.in_package(*_SCOPED_PACKAGES)
+
+    def check(self, context: ModuleContext) -> Iterator[Finding]:
+        for node in ast.walk(context.tree):
+            if isinstance(node, ast.Call):
+                yield from self._check_sum_call(node)
+            elif isinstance(node, ast.AugAssign):
+                yield from self._check_loop_accumulation(context, node)
+
+    def _check_sum_call(self, node: ast.Call) -> Iterator[Finding]:
+        if not (isinstance(node.func, ast.Name) and node.func.id == "sum"):
+            return
+        if not node.args:
+            return
+        if mentions_probability(node.args[0]):
+            yield Finding(
+                node,
+                "plain sum() over probability values is order-sensitive; "
+                "use math.fsum (scalar path) or the batched NumPy DP "
+                "(IEEE-identity contract, docs/performance.md)",
+            )
+
+    def _check_loop_accumulation(
+        self, context: ModuleContext, node: ast.AugAssign
+    ) -> Iterator[Finding]:
+        if not isinstance(node.op, ast.Add):
+            return
+        if not mentions_probability(node.value):
+            return
+        if not context.inside_loop(node):
+            return
+        yield Finding(
+            node,
+            "+= accumulation of probability values in a loop is "
+            "order-sensitive; collect the terms and math.fsum them",
+        )

@@ -1,0 +1,89 @@
+"""Shared identifier heuristics for the domain rules.
+
+The codebase's naming conventions (enforced by review since PR 1) are what
+make AST-level probability analysis tractable: values in [0, 1] are named
+``p`` / ``q`` / ``pfct`` / ``*prob*`` / ``pr_*``, tidsets are named
+``*tidset*`` / ``tids``.  The rules key off those conventions; a value that
+violates the convention also violates PROB-RANGE's premise and should be
+renamed rather than suppressed.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional, Set
+
+_PROB_EXACT = {"p", "q", "pfct", "pft", "pr"}
+_TID_EXACT = {"tids", "tid_set"}
+
+
+def is_probability_name(name: str) -> bool:
+    lowered = name.lower()
+    return (
+        lowered in _PROB_EXACT
+        or "prob" in lowered
+        or lowered.startswith("pr_")
+        or lowered.endswith("_pr")
+    )
+
+
+def is_tidset_name(name: str) -> bool:
+    lowered = name.lower()
+    if lowered.endswith("tidsets"):
+        # Plural names are collections *of* tidsets (``item_tidsets[i]`` is a
+        # legitimate dict lookup), not tidset values themselves.
+        return False
+    return lowered in _TID_EXACT or "tidset" in lowered or lowered.endswith("_tids")
+
+
+def identifier_of(node: ast.expr) -> Optional[str]:
+    """The trailing identifier of a ``Name`` or ``Attribute`` expression."""
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    return None
+
+
+def probability_names_in(node: ast.AST) -> Set[str]:
+    """All probability-named identifiers mentioned anywhere under ``node``."""
+    names: Set[str] = set()
+    for child in ast.walk(node):
+        candidate = identifier_of(child) if isinstance(child, ast.expr) else None
+        if candidate is not None and is_probability_name(candidate):
+            names.add(candidate)
+    return names
+
+
+def mentions_probability(node: ast.AST) -> bool:
+    return bool(probability_names_in(node))
+
+
+def is_tidset_expr(node: ast.expr) -> bool:
+    candidate = identifier_of(node)
+    return candidate is not None and is_tidset_name(candidate)
+
+
+def attribute_chain(node: ast.expr) -> Optional[str]:
+    """Dotted source form of a ``Name``/``Attribute`` chain, else ``None``."""
+    parts: list[str] = []
+    current: ast.expr = node
+    while isinstance(current, ast.Attribute):
+        parts.append(current.attr)
+        current = current.value
+    if not isinstance(current, ast.Name):
+        return None
+    parts.append(current.id)
+    return ".".join(reversed(parts))
+
+
+def walk_calls(tree: ast.AST) -> Iterator[ast.Call]:
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Call):
+            yield node
+
+
+def float_constant(node: ast.expr) -> Optional[float]:
+    if isinstance(node, ast.Constant) and isinstance(node.value, float):
+        return node.value
+    return None

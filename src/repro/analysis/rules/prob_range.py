@@ -1,0 +1,158 @@
+"""PROB-RANGE — arithmetic on probability-named values that escapes [0, 1].
+
+Every quantity the paper's machinery consumes — per-tuple existence
+probabilities, ``Pr_F`` DP cells, the Lemma 4.4 union-bound terms — is a
+probability in [0, 1]; the DP recurrences and bound formulas silently
+produce garbage outside it.  Three escape patterns are flagged:
+
+* ``math.log`` (or bare ``log``) on a probability value with no positivity
+  guard in the enclosing function — ``Pr = 0`` is a legitimate value
+  (impossible-event short circuits) and must be handled before taking logs;
+* ``==`` / ``!=`` between probability floats, or against a float literal
+  other than the exact sentinels ``0.0`` / ``1.0``.  The boundary sentinels
+  are exact by construction (validated inputs, products of exact values);
+  any interior comparison is an accumulated-rounding bug waiting to happen;
+* ``+=`` / ``-=`` accumulation into a probability-named variable inside a
+  loop — a running *sum* of probabilities is not a probability (it escapes
+  [0, 1]); it is an expectation or a mass and should be named accordingly
+  and reduced with ``math.fsum`` (see FSUM-REDUCE).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Set
+
+from ..context import ModuleContext
+from ..diagnostics import Severity
+from ..registry import Finding, Rule, register
+from .naming import (
+    attribute_chain,
+    float_constant,
+    identifier_of,
+    is_probability_name,
+    probability_names_in,
+)
+
+_LOG_CALLEES = {"math.log", "math.log2", "math.log10", "math.log1p", "log"}
+_SENTINELS = (0.0, 1.0)
+
+
+def _guarded_names(function: ast.AST) -> Set[str]:
+    """Names compared against a numeric literal anywhere in ``function``.
+
+    Deliberately lenient: any ``name < 0``-style comparison (or ``max(name,
+    eps)`` clamp) in the enclosing function counts as a positivity guard.
+    The rule exists to catch the *absence* of any guard.
+    """
+    guarded: Set[str] = set()
+    for node in ast.walk(function):
+        if isinstance(node, ast.Compare):
+            operands = [node.left, *node.comparators]
+            has_literal = any(
+                isinstance(op, ast.Constant) and isinstance(op.value, (int, float))
+                for op in operands
+            )
+            if not has_literal:
+                continue
+            for operand in operands:
+                name = identifier_of(operand)
+                if name is not None:
+                    guarded.add(name)
+        elif isinstance(node, ast.Call):
+            callee = identifier_of(node.func)
+            if callee in {"max", "min", "isclose"}:
+                for argument in node.args:
+                    name = identifier_of(argument)
+                    if name is not None:
+                        guarded.add(name)
+    return guarded
+
+
+@register
+class ProbRangeRule(Rule):
+    name = "PROB-RANGE"
+    severity = Severity.ERROR
+    description = (
+        "arithmetic on probability-named values that can escape [0, 1] "
+        "(unguarded log, exact float comparison, loop accumulation)"
+    )
+    invariant = (
+        "every probability the Poisson-binomial DP and the Lemma 4.1/4.4 "
+        "bounds consume lies in [0, 1]; 0.0/1.0 are the only exact sentinels"
+    )
+
+    def check(self, context: ModuleContext) -> Iterator[Finding]:
+        for node in ast.walk(context.tree):
+            if isinstance(node, ast.Call):
+                yield from self._check_log(context, node)
+            elif isinstance(node, ast.Compare):
+                yield from self._check_equality(node)
+            elif isinstance(node, ast.AugAssign):
+                yield from self._check_accumulation(context, node)
+
+    def _check_log(self, context: ModuleContext, node: ast.Call) -> Iterator[Finding]:
+        callee = attribute_chain(node.func)
+        if callee not in _LOG_CALLEES or not node.args:
+            return
+        argument = node.args[0]
+        prob_names = probability_names_in(argument)
+        if not prob_names:
+            return
+        function = context.enclosing_function(node)
+        guarded = _guarded_names(function) if function is not None else set()
+        unguarded = prob_names - guarded
+        if unguarded:
+            sample = sorted(unguarded)[0]
+            yield Finding(
+                node,
+                f"{callee}() on probability-valued {sample!r} without a "
+                f"positivity guard; Pr = 0 is a legitimate value — guard or "
+                f"clamp before taking logs",
+            )
+
+    def _check_equality(self, node: ast.Compare) -> Iterator[Finding]:
+        if len(node.ops) != 1 or not isinstance(node.ops[0], (ast.Eq, ast.NotEq)):
+            return
+        left, right = node.left, node.comparators[0]
+        left_name = identifier_of(left)
+        right_name = identifier_of(right)
+        left_prob = left_name is not None and is_probability_name(left_name)
+        right_prob = right_name is not None and is_probability_name(right_name)
+        if left_prob and right_prob:
+            yield Finding(
+                node,
+                f"exact float comparison between probabilities {left_name!r} "
+                f"and {right_name!r}; use math.isclose or compare bounds",
+            )
+            return
+        for is_prob, name, other in (
+            (left_prob, left_name, right),
+            (right_prob, right_name, left),
+        ):
+            if not is_prob:
+                continue
+            literal = float_constant(other)
+            if literal is not None and literal not in _SENTINELS:
+                yield Finding(
+                    node,
+                    f"exact float comparison of probability {name!r} against "
+                    f"{literal!r}; only the 0.0/1.0 sentinels are exact",
+                )
+
+    def _check_accumulation(
+        self, context: ModuleContext, node: ast.AugAssign
+    ) -> Iterator[Finding]:
+        if not isinstance(node.op, (ast.Add, ast.Sub)):
+            return
+        target_name = identifier_of(node.target)
+        if target_name is None or not is_probability_name(target_name):
+            return
+        if not context.inside_loop(node):
+            return
+        yield Finding(
+            node,
+            f"probability-named {target_name!r} accumulated with +=/-= in a "
+            f"loop; a running sum of probabilities is not a probability — "
+            f"collect terms and math.fsum them (or rename if it is a count)",
+        )

@@ -1,0 +1,68 @@
+"""``# prolint: ignore[RULE]`` suppression comments.
+
+A suppression names one or more rules and silences their diagnostics on the
+line it sits on, or — when written as a standalone comment — on the line
+immediately below it::
+
+    total = sum(weights)  # prolint: ignore[FSUM-REDUCE] prefix sum, not a reduction
+
+    # prolint: ignore[PROB-RANGE, FSUM-REDUCE] justification text
+    running += probability
+
+Suppressed findings are still collected (and counted in the JSON report) so
+suppression creep is visible; they just do not affect the exit code.
+
+Two directives share the comment namespace:
+
+* ``# prolint: ignore[RULE, ...]`` — the suppression above;
+* ``# prolint: module=dotted.name`` — overrides the module name the engine
+  derives from the file path.  Fixture corpora use this to pretend a snippet
+  lives in ``repro.core`` so path-scoped rules apply to it.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, FrozenSet, Optional, Sequence
+
+_IGNORE_RE = re.compile(r"#\s*prolint:\s*ignore\[([A-Za-z0-9_\-,\s]+)\]")
+_MODULE_RE = re.compile(r"#\s*prolint:\s*module\s*=\s*([A-Za-z0-9_.]+)")
+
+
+def parse_suppressions(source_lines: Sequence[str]) -> Dict[int, FrozenSet[str]]:
+    """Map 1-based line numbers to the rule names suppressed on them."""
+    suppressed: Dict[int, FrozenSet[str]] = {}
+    for index, text in enumerate(source_lines, start=1):
+        match = _IGNORE_RE.search(text)
+        if match is None:
+            continue
+        rules = frozenset(
+            token.strip().upper()
+            for token in match.group(1).split(",")
+            if token.strip()
+        )
+        if not rules:
+            continue
+        lines = [index]
+        # A standalone suppression comment covers the statement below it.
+        if text.lstrip().startswith("#"):
+            lines.append(index + 1)
+        for line in lines:
+            suppressed[line] = suppressed.get(line, frozenset()) | rules
+    return suppressed
+
+
+def parse_module_override(source_lines: Sequence[str]) -> Optional[str]:
+    """Return the ``# prolint: module=...`` override, if any (first wins)."""
+    for text in source_lines:
+        match = _MODULE_RE.search(text)
+        if match is not None:
+            return match.group(1)
+    return None
+
+
+def is_suppressed(
+    suppressions: Dict[int, FrozenSet[str]], line: int, rule: str
+) -> bool:
+    rules = suppressions.get(line)
+    return rules is not None and rule.upper() in rules

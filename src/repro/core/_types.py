@@ -1,0 +1,41 @@
+"""Shared static-typing aliases for the core and streaming packages.
+
+Centralizes the NumPy array aliases ``mypy --strict`` requires
+(``disallow_any_generics`` rejects bare ``np.ndarray``) and the structural
+type of the pluggable tidset engines.  Runtime code imports nothing from
+here except the aliases; there is no behavior in this module.
+"""
+
+from __future__ import annotations
+
+from typing import Any, TypeAlias
+
+import numpy as np
+import numpy.typing as npt
+
+# Probability vectors, DP states, tail tables.
+FloatArray: TypeAlias = npt.NDArray[np.float64]
+# Packed bitmap words (uint64) and other unsigned payloads.
+WordArray: TypeAlias = npt.NDArray[np.uint64]
+# Position/index arrays (dtype varies: intp, int64).
+IntArray: TypeAlias = npt.NDArray[np.signedinteger[Any]]
+# Presence masks.
+BoolArray: TypeAlias = npt.NDArray[np.bool_]
+# Any-dtype escape hatch for mixed-dtype helpers.
+AnyArray: TypeAlias = npt.NDArray[Any]
+
+# The tidset engine protocol is duck-typed over two representations (sorted
+# position tuples vs packed bitmaps) whose tidset value types differ; the
+# engine handle is therefore an explicit ``Any`` — the backend contract is
+# enforced by tests (bit-identical parity) and by prolint's BACKEND-SEAL
+# rule, not by the static type system.
+TidsetEngine: TypeAlias = Any
+
+__all__ = [
+    "AnyArray",
+    "BoolArray",
+    "FloatArray",
+    "IntArray",
+    "TidsetEngine",
+    "WordArray",
+]

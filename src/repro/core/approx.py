@@ -1,5 +1,11 @@
 """ApproxFCP — the FPRAS of Section IV.B.4 (Fig. 2).
 
+Not to be confused with :mod:`repro.core.approximations`: **this** module is
+the paper's Monte-Carlo machinery — the Karp–Luby union estimator behind
+``Pr_FC`` checking — while ``approximations`` holds the closed-form
+Normal/Poisson tail approximations from related work, which the miner never
+uses to decide results.  See ``docs/api.md``.
+
 Computing ``Pr_FC(X)`` exactly is #P-hard, so the paper estimates the
 frequent *non-closed* probability — the probability of the DNF
 ``C_1 ∨ ... ∨ C_m`` — with the Karp–Luby coverage algorithm [14] and
@@ -38,10 +44,11 @@ import bisect
 import math
 import random
 from dataclasses import dataclass
-from typing import List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
+from ._types import FloatArray
 from .cache import SupportDPCache
 from .database import UncertainDatabase
 from .events import ExtensionEventSystem
@@ -87,7 +94,7 @@ def approx_union_probability(
     circuit without sampling.
     """
     singleton = events.singleton_probabilities
-    z = sum(singleton)
+    z = math.fsum(singleton)
     if z <= 0.0 or not events.events:
         return 0.0, 0
 
@@ -99,6 +106,7 @@ def approx_union_probability(
     cumulative: List[float] = []
     running = 0.0
     for probability in singleton:
+        # prolint: ignore[FSUM-REDUCE] inverse-CDF prefix sum, not a reduction
         running += probability
         cumulative.append(running)
 
@@ -111,7 +119,7 @@ def approx_union_probability(
     event_probabilities = [
         cache.probabilities_of_tidset(event.tidset) for event in events.events
     ]
-    tail_tables = [None] * len(events.events)
+    tail_tables: List[Optional[FloatArray]] = [None] * len(events.events)
     item_of_event = [event.item for event in events.events]
     transaction_items = [set(txn.items) for txn in database.transactions]
     engine = events.engine
@@ -124,7 +132,7 @@ def approx_union_probability(
         # run each group through the batched conditional sampler.  The
         # estimate is bit-identical to the serial loop below — same uniforms,
         # same conditional probabilities, same integer success count.
-        groups: dict = {}
+        groups: Dict[int, List[List[float]]] = {}
         for _ in range(n_samples):
             pick = rng.random() * z
             index = min(bisect.bisect_left(cumulative, pick), len(events.events) - 1)
@@ -138,15 +146,15 @@ def approx_union_probability(
                 # The first event is always its own first cover.
                 successes += len(uniform_rows)
                 continue
-            if tail_tables[index] is None:
-                tail_tables[index] = cache.tail_table_of_tidset(
-                    events.events[index].tidset
-                )
+            table = tail_tables[index]
+            if table is None:
+                table = cache.tail_table_of_tidset(events.events[index].tidset)
+                tail_tables[index] = table
             bits = sample_conditional_presence_batch(
                 np.asarray(event_probabilities[index], dtype=np.float64),
                 events.min_sup,
                 np.asarray(uniform_rows, dtype=np.float64),
-                tail_tables[index],
+                table,
             )
             positions = event_positions[index]
             covered = np.zeros(len(uniform_rows), dtype=bool)
@@ -170,15 +178,15 @@ def approx_union_probability(
         index = bisect.bisect_left(cumulative, pick)
         if index >= len(events.events):
             index = len(events.events) - 1
-        if tail_tables[index] is None:
-            tail_tables[index] = cache.tail_table_of_tidset(
-                events.events[index].tidset
-            )
+        table = tail_tables[index]
+        if table is None:
+            table = cache.tail_table_of_tidset(events.events[index].tidset)
+            tail_tables[index] = table
         bits = sample_conditional_presence(
             event_probabilities[index],
             events.min_sup,
             rng,
-            tail_table=tail_tables[index],
+            tail_table=table,
         )
         present = [
             position
@@ -231,7 +239,7 @@ def paper_ratio_union_estimator(
     why the discrepancy is invisible in the paper's own setting.
     """
     singleton = events.singleton_probabilities
-    z = sum(singleton)
+    z = math.fsum(singleton)
     if z <= 0.0 or not events.events:
         return 0.0, 0
     n_samples = sample_count(len(events.events), epsilon, delta)
@@ -241,6 +249,7 @@ def paper_ratio_union_estimator(
     cumulative: List[float] = []
     running = 0.0
     for probability in singleton:
+        # prolint: ignore[FSUM-REDUCE] inverse-CDF prefix sum, not a reduction
         running += probability
         cumulative.append(running)
 
@@ -249,26 +258,27 @@ def paper_ratio_union_estimator(
     event_probabilities = [
         cache.probabilities_of_tidset(event.tidset) for event in events.events
     ]
-    tail_tables = [None] * len(events.events)
+    tail_tables: List[Optional[FloatArray]] = [None] * len(events.events)
     item_of_event = [event.item for event in events.events]
     transaction_items = [set(txn.items) for txn in database.transactions]
     engine = events.engine
     event_positions = [engine.positions(event.tidset) for event in events.events]
     base_positions = engine.positions(events.base_tidset)
 
-    u_total = v_total = 0.0
+    u_terms: List[float] = []
+    v_terms: List[float] = []
     for _ in range(n_samples):
         pick = rng.random() * z
         index = min(bisect.bisect_left(cumulative, pick), len(events.events) - 1)
-        if tail_tables[index] is None:
-            tail_tables[index] = cache.tail_table_of_tidset(
-                events.events[index].tidset
-            )
+        table = tail_tables[index]
+        if table is None:
+            table = cache.tail_table_of_tidset(events.events[index].tidset)
+            tail_tables[index] = table
         bits = sample_conditional_presence(
             event_probabilities[index],
             events.min_sup,
             rng,
-            tail_table=tail_tables[index],
+            tail_table=table,
         )
         present = [
             position
@@ -281,7 +291,7 @@ def paper_ratio_union_estimator(
         for position in base_positions:
             p = database.probability_of(position)
             world_probability *= p if position in present_set else 1.0 - p
-        v_total += world_probability
+        v_terms.append(world_probability)
         if index == 0:
             first_cover = True
         else:
@@ -294,11 +304,12 @@ def paper_ratio_union_estimator(
                 item_of_event[j] in common_items for j in range(index)
             )
         if first_cover:
-            u_total += world_probability
+            u_terms.append(world_probability)
 
+    v_total = math.fsum(v_terms)
     if v_total <= 0.0:
         return 0.0, n_samples
-    return min(u_total * z / v_total, 1.0), n_samples
+    return min(math.fsum(u_terms) * z / v_total, 1.0), n_samples
 
 
 def approx_frequent_closed_probability(

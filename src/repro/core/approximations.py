@@ -1,5 +1,11 @@
 """Closed-form approximations of the frequent probability.
 
+Not to be confused with :mod:`repro.core.approx`: **this** module is the
+deterministic, closed-form estimation toolkit (Normal / Poisson tails, used
+for exploration and ablation only — never to decide results), while
+``approx`` is the paper's ApproxFCP sampling estimator that the miner's
+checking phase actually invokes.  See ``docs/api.md``.
+
 The related work ([23], Wang et al.) accelerates probabilistic frequent
 itemset mining by approximating the Poisson-binomial support distribution
 instead of running the exact DP.  This module provides the two classical
@@ -48,8 +54,8 @@ def normal_frequent_probability(
         return 1.0
     if min_sup > len(probabilities):
         return 0.0
-    mu = sum(probabilities)
-    variance = sum(p * (1.0 - p) for p in probabilities)
+    mu = math.fsum(probabilities)
+    variance = math.fsum(p * (1.0 - p) for p in probabilities)
     if variance <= 0.0:
         # Deterministic support: every probability is 0 or 1.
         return 1.0 if mu >= min_sup else 0.0
@@ -69,7 +75,7 @@ def poisson_frequent_probability(
         return 1.0
     if min_sup > len(probabilities):
         return 0.0
-    mu = sum(probabilities)
+    mu = math.fsum(probabilities)
     if mu == 0.0:
         return 0.0
     # Accumulate the lower tail term-by-term from the mode-free recurrence
@@ -89,4 +95,4 @@ def poisson_tail_error_bound(probabilities: Sequence[float]) -> float:
     Any event probability (in particular the frequentness tail) computed
     from the Poisson approximation is within this radius of the exact value.
     """
-    return min(1.0, 2.0 * sum(p * p for p in probabilities))
+    return min(1.0, 2.0 * math.fsum(p * p for p in probabilities))

@@ -15,7 +15,7 @@ from __future__ import annotations
 
 import random
 import time
-from typing import Dict, List, Tuple
+from typing import Dict, List
 
 from .approx import approx_union_probability
 from .bounds import (
@@ -26,7 +26,7 @@ from .cache import SupportDPCache
 from .config import MinerConfig
 from .database import Tidset, UncertainDatabase
 from .events import ExtensionEventSystem
-from .itemsets import Item, Itemset
+from .itemsets import Itemset
 from .miner import ProbabilisticFrequentClosedItemset
 from .stats import MiningStats
 
@@ -36,7 +36,7 @@ __all__ = ["MPFCIBreadthFirstMiner"]
 class MPFCIBreadthFirstMiner:
     """Breadth-first mining of probabilistic frequent closed itemsets."""
 
-    def __init__(self, database: UncertainDatabase, config: MinerConfig):
+    def __init__(self, database: UncertainDatabase, config: MinerConfig) -> None:
         self.database = database
         # Superset/subset pruning are structurally unavailable here.
         self.config = config.variant(

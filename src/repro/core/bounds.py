@@ -30,8 +30,9 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import List, Sequence
+from typing import Any, List, Sequence
 
+from .cache import SupportDPCache
 from .events import ExtensionEventSystem
 
 __all__ = [
@@ -74,7 +75,7 @@ def chernoff_hoeffding_frequency_bound(
 
 
 def chernoff_hoeffding_bound_for_tidset(
-    cache, database_size: int, tidset
+    cache: SupportDPCache, database_size: int, tidset: Any
 ) -> float:
     """Lemma 4.1 bound for a tidset, reading μ from the support-DP cache.
 
@@ -102,7 +103,7 @@ def union_lower_bound(
         # calls; each denominator is an fsum (exactly rounded, so the bound
         # does not depend on the enumeration order of the events).
         matrix = events.pairwise_matrix()
-        bound = 0.0
+        contributions: List[float] = []
         for index, p in positive:
             denominator = math.fsum(
                 [p]
@@ -112,10 +113,10 @@ def union_lower_bound(
                     if other != index
                 ]
             )
-            bound += p * p / denominator
-        return min(bound, 1.0)
+            contributions.append(p * p / denominator)
+        return min(math.fsum(contributions), 1.0)
     if method == "dawson_sankoff":
-        s1 = sum(p for _index, p in positive)
+        s1 = math.fsum(p for _index, p in positive)
         s2 = events.pairwise_sum()
         k = 1 + int(2.0 * s2 / s1)
         bound = 2.0 * s1 / (k + 1) - 2.0 * s2 / (k * (k + 1))
@@ -129,7 +130,7 @@ def union_upper_bound(
     method: str = "kwerel",
 ) -> float:
     """Upper bound on ``Pr(∪ C_i)``; Boole's bound is always applied on top."""
-    s1 = sum(singletons)
+    s1 = math.fsum(singletons)
     boole = min(s1, 1.0)
     if method == "boole" or not singletons:
         return boole

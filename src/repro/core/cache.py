@@ -29,9 +29,16 @@ from __future__ import annotations
 
 import math
 from collections import OrderedDict
-from typing import Dict, Optional, Tuple
+from typing import TYPE_CHECKING, Dict, Iterable, List, Optional, Set, Tuple
 
 import numpy as np
+
+from ._types import FloatArray, TidsetEngine
+from .itemsets import Itemset
+
+if TYPE_CHECKING:
+    from .database import UncertainDatabase
+    from .stats import MiningStats
 
 __all__ = ["SupportDPCache", "DEFAULT_CACHE_SIZE", "DEFAULT_TABLE_CACHE_SIZE"]
 
@@ -69,13 +76,13 @@ class SupportDPCache:
 
     def __init__(
         self,
-        database,
+        database: "UncertainDatabase",
         min_sup: int,
         max_entries: int = DEFAULT_CACHE_SIZE,
         max_tables: int = DEFAULT_TABLE_CACHE_SIZE,
         generation: Optional[int] = None,
-        engine=None,
-    ):
+        engine: Optional[TidsetEngine] = None,
+    ) -> None:
         if max_entries < 1:
             raise ValueError(f"max_entries must be >= 1, got {max_entries}")
         if max_tables < 1:
@@ -90,7 +97,7 @@ class SupportDPCache:
         self.max_entries = max_entries
         self.max_tables = max_tables
         self._values: "OrderedDict[Tuple[int, ...], float]" = OrderedDict()
-        self._tables: "OrderedDict[Tuple[int, ...], np.ndarray]" = OrderedDict()
+        self._tables: "OrderedDict[Tuple[int, ...], FloatArray]" = OrderedDict()
         self._probabilities: "OrderedDict[Tuple[int, ...], Tuple[float, ...]]" = (
             OrderedDict()
         )
@@ -102,7 +109,7 @@ class SupportDPCache:
         # lookups.  Determinism is preserved: the key is the *ordered* tuple,
         # so a hit returns bit-for-bit what recomputing would.
         self._values_by_probs: "OrderedDict[Tuple[float, ...], float]" = OrderedDict()
-        self._tables_by_probs: "OrderedDict[Tuple[float, ...], np.ndarray]" = (
+        self._tables_by_probs: "OrderedDict[Tuple[float, ...], FloatArray]" = (
             OrderedDict()
         )
         self.hits = 0
@@ -120,7 +127,7 @@ class SupportDPCache:
     # basic accessors
     # ------------------------------------------------------------------
     @property
-    def database(self):
+    def database(self) -> "UncertainDatabase":
         return self._database
 
     @property
@@ -128,11 +135,11 @@ class SupportDPCache:
         return self._min_sup
 
     @property
-    def engine(self):
+    def engine(self) -> Optional[TidsetEngine]:
         """The tidset engine lookups go through (``None`` = raw database)."""
         return self._engine
 
-    def adopt_engine(self, engine) -> None:
+    def adopt_engine(self, engine: TidsetEngine) -> None:
         """Bind an engine to an engine-less cache (miners adopting external
         caches use this); rebinding to a *different* engine is an error —
         that would mean two miners over different databases share the cache.
@@ -146,7 +153,12 @@ class SupportDPCache:
         """Number of cached ``Pr_F`` values (the primary table)."""
         return len(self._values)
 
-    def rebind(self, database, generation: Optional[int] = None, engine=None) -> bool:
+    def rebind(
+        self,
+        database: "UncertainDatabase",
+        generation: Optional[int] = None,
+        engine: Optional[TidsetEngine] = None,
+    ) -> bool:
         """Adopt a new backing database (e.g. a fresh window snapshot).
 
         Position-keyed entries are invalidated: positions are renumbered by
@@ -232,10 +244,14 @@ class SupportDPCache:
             self.evictions += 1
         return value
 
-    def frequent_probability_of_itemset(self, itemset) -> float:
+    def frequent_probability_of_itemset(self, itemset: Itemset) -> float:
         return self.frequent_probability_of_tidset(self._database.tidset(itemset))
 
-    def seed_frequent_probabilities(self, base_tidset, candidates) -> int:
+    def seed_frequent_probabilities(
+        self,
+        base_tidset: Tuple[int, ...],
+        candidates: Iterable[Tuple[int, ...]],
+    ) -> int:
         """Batch-fill the ``Pr_F`` memo for tidsets that refine ``base_tidset``.
 
         ``candidates`` are tidsets obtained by intersecting ``base_tidset``
@@ -257,9 +273,9 @@ class SupportDPCache:
         engine = self._engine
         if engine is None or not getattr(engine, "vectorized", False):
             raise ValueError("seed_frequent_probabilities needs a vectorized engine")
-        pending = []
-        pending_probs = []
-        seen = set()
+        pending: List[Tuple[int, ...]] = []
+        pending_probs: List[Tuple[float, ...]] = []
+        seen: Set[Tuple[int, ...]] = set()
         for tidset in candidates:
             if tidset in self._values or tidset in seen:
                 continue
@@ -285,21 +301,21 @@ class SupportDPCache:
         values = frequent_probability_padded_batch(padded, self._min_sup)
         self.dp_invocations += len(pending)
         self.batch_invocations += len(pending)
-        for tidset, probabilities, value in zip(pending, pending_probs, values):
-            value = float(value)
-            self._values_by_probs[probabilities] = value
+        for tidset, probabilities, raw_value in zip(pending, pending_probs, values):
+            scalar = float(raw_value)
+            self._values_by_probs[probabilities] = scalar
             if len(self._values_by_probs) > self.max_entries:
                 self._values_by_probs.popitem(last=False)
-            self._store_value(tidset, value)
+            self._store_value(tidset, scalar)
         return len(pending)
 
-    def _store_value(self, tidset, value: float) -> None:
+    def _store_value(self, tidset: Tuple[int, ...], value: float) -> None:
         self._values[tidset] = value
         if len(self._values) > self.max_entries:
             self._values.popitem(last=False)
             self.evictions += 1
 
-    def tail_table_of_tidset(self, tidset: Tuple[int, ...]) -> np.ndarray:
+    def tail_table_of_tidset(self, tidset: Tuple[int, ...]) -> FloatArray:
         """The suffix tail table of the tidset (ApproxFCP's sampler input)."""
         cached = self._tables.get(tidset)
         if cached is not None:
@@ -354,7 +370,7 @@ class SupportDPCache:
             "dp_cross_generation_hits": self.cross_generation_hits,
         }
 
-    def apply_to(self, stats) -> None:
+    def apply_to(self, stats: "MiningStats") -> None:
         """Copy (not add) the cache counters into a ``MiningStats``.
 
         Cache counters are cumulative on the cache object, so miners call

@@ -21,8 +21,8 @@ superset/subset pruning "won't show up in BFS's enumeration".)
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field, replace
-from typing import Optional
+from dataclasses import dataclass, replace
+from typing import Any, Optional
 
 
 @dataclass(frozen=True)
@@ -105,7 +105,7 @@ class MinerConfig:
 
     @classmethod
     def with_relative_min_sup(
-        cls, database_size: int, ratio: float, **kwargs
+        cls, database_size: int, ratio: float, **kwargs: Any
     ) -> "MinerConfig":
         """Build a config from a relative support ratio, as the experiments do.
 
@@ -117,7 +117,7 @@ class MinerConfig:
             raise ValueError(f"relative min_sup must be in (0, 1], got {ratio}")
         return cls(min_sup=max(1, math.ceil(ratio * database_size)), **kwargs)
 
-    def variant(self, **overrides) -> "MinerConfig":
+    def variant(self, **overrides: Any) -> "MinerConfig":
         """A copy with some fields replaced (Table VII variants)."""
         return replace(self, **overrides)
 

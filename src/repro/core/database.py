@@ -17,14 +17,14 @@ intersect in linear time.
 
 from __future__ import annotations
 
-import itertools
 import math
-from dataclasses import dataclass, field
-from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Any, Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
+
+from ._types import FloatArray, TidsetEngine
+from .itemsets import Item, Itemset, canonical
 
 import numpy as np
-
-from .itemsets import Item, Itemset, canonical
 
 Tidset = Tuple[int, ...]
 
@@ -73,9 +73,9 @@ class UncertainDatabase:
     the caller-facing ``tid`` strings are preserved for reporting.
     """
 
-    def __init__(self, transactions: Sequence[UncertainTransaction]):
+    def __init__(self, transactions: Sequence[UncertainTransaction]) -> None:
         self._transactions: Tuple[UncertainTransaction, ...] = tuple(transactions)
-        seen_tids = set()
+        seen_tids: Set[str] = set()
         for txn in self._transactions:
             if txn.tid in seen_tids:
                 raise ValueError(f"duplicate transaction id {txn.tid!r}")
@@ -86,15 +86,17 @@ class UncertainDatabase:
         )
         self._init_derived_state()
 
-    def _init_derived_state(self, bitmap_parts: Optional[dict] = None) -> None:
+    def _init_derived_state(
+        self, bitmap_parts: Optional[Dict[str, Any]] = None
+    ) -> None:
         """Probability arrays and tidset-engine slots (shared ctor tail)."""
         self._probability_array = np.asarray(self._probabilities, dtype=np.float64)
         self._probability_array.setflags(write=False)
         # Per-item probability vectors, built lazily and kept for the life of
         # the (immutable) database so repeated expected-support reads stop
         # rebuilding tuples.
-        self._item_probability_arrays: Dict[Item, np.ndarray] = {}
-        self._engines: Dict[str, object] = {}
+        self._item_probability_arrays: Dict[Item, FloatArray] = {}
+        self._engines: Dict[str, TidsetEngine] = {}
         self._bitmap_parts = bitmap_parts
 
     # ------------------------------------------------------------------
@@ -130,7 +132,7 @@ class UncertainDatabase:
         cls,
         transactions: Sequence[UncertainTransaction],
         vertical: Dict[Item, Tidset],
-        bitmap_parts: Optional[dict] = None,
+        bitmap_parts: Optional[Dict[str, Any]] = None,
     ) -> "UncertainDatabase":
         """Build a database from rows plus an already-computed vertical index.
 
@@ -226,11 +228,11 @@ class UncertainDatabase:
         return tuple(self._probabilities[position] for position in tidset)
 
     @property
-    def probability_array(self) -> np.ndarray:
+    def probability_array(self) -> FloatArray:
         """Per-position existence probabilities as a read-only float64 array."""
         return self._probability_array
 
-    def item_probability_array(self, item: Item) -> np.ndarray:
+    def item_probability_array(self, item: Item) -> FloatArray:
         """``item``'s transactions' probabilities as a cached float64 array.
 
         One contiguous gather per item for the life of the database, so the
@@ -265,7 +267,7 @@ class UncertainDatabase:
     # ------------------------------------------------------------------
     # tidset backends
     # ------------------------------------------------------------------
-    def tidset_engine(self, backend: str = "tuple"):
+    def tidset_engine(self, backend: str = "tuple") -> TidsetEngine:
         """The tidset engine for ``backend``, cached per database.
 
         ``"tuple"`` is the sorted-tuple oracle; ``"bitmap"`` the packed

@@ -26,13 +26,14 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from ._types import FloatArray, TidsetEngine
 from .cache import SupportDPCache
 from .database import Tidset, UncertainDatabase
-from .itemsets import Item, Itemset, canonical
+from .itemsets import Item, canonical
 from .tidsets import BitmapTidset
 
 __all__ = ["ExtensionEvent", "ExtensionEventSystem"]
@@ -76,10 +77,10 @@ class ExtensionEventSystem:
         database: UncertainDatabase,
         itemset: Sequence[Item],
         min_sup: int,
-        base_tidset=None,
+        base_tidset: Optional[Any] = None,
         support_cache: Optional[SupportDPCache] = None,
-        engine=None,
-    ):
+        engine: Optional[TidsetEngine] = None,
+    ) -> None:
         self.database = database
         self.itemset = canonical(itemset)
         self.min_sup = min_sup
@@ -106,7 +107,7 @@ class ExtensionEventSystem:
         self.events: List[ExtensionEvent] = self._build_events()
         self._pairwise: Dict[Tuple[int, int], float] = {}
         self._pairwise_seeded = False
-        self._pairwise_matrix: Optional[np.ndarray] = None
+        self._pairwise_matrix: Optional[FloatArray] = None
 
     @property
     def support_cache(self) -> SupportDPCache:
@@ -114,7 +115,7 @@ class ExtensionEventSystem:
         return self._cache
 
     @property
-    def engine(self):
+    def engine(self) -> TidsetEngine:
         """The tidset engine the event tidsets live in."""
         return self._engine
 
@@ -125,6 +126,7 @@ class ExtensionEventSystem:
         item_set = set(self.itemset)
         base = self.base_tidset
         engine = self._engine
+        extended: List[Tuple[Item, Any]]
         if engine.vectorized:
             # One matrix AND extends the base by every item at once; the
             # survivors' Pr_F values are then computed as one batched DP.
@@ -198,7 +200,7 @@ class ExtensionEventSystem:
                 return 0.0
         return self._conjunction_from_tidset(tidset)
 
-    def _conjunction_from_tidset(self, tidset) -> float:
+    def _conjunction_from_tidset(self, tidset: Any) -> float:
         if len(tidset) < self.min_sup:
             return 0.0
         absent = self._engine.absent_factor(self.base_tidset, tidset)
@@ -258,7 +260,7 @@ class ExtensionEventSystem:
             self._pairwise[key] = cached
         return cached
 
-    def pairwise_matrix(self) -> np.ndarray:
+    def pairwise_matrix(self) -> FloatArray:
         """All pairwise probabilities as one symmetric ``(m, m)`` matrix.
 
         Entry ``(i, j)`` is ``Pr(C_i ∧ C_j)``; the diagonal holds the
@@ -314,7 +316,7 @@ class ExtensionEventSystem:
         events = self.events
         intersect = self._engine.intersect
 
-        def recurse(start: int, tidset, depth: int) -> None:
+        def recurse(start: int, tidset: Any, depth: int) -> None:
             nonlocal total
             for index in range(start, len(events)):
                 intersection = intersect(tidset, events[index].tidset)

@@ -15,10 +15,15 @@ sort naturally, and make prefix relationships explicit.
 
 from __future__ import annotations
 
-from typing import Hashable, Iterable, Sequence, Tuple
+from typing import Any, Iterable, Sequence, Tuple, TypeAlias
 
-Item = Hashable
-Itemset = Tuple[Item, ...]
+# An item must be hashable *and* totally ordered (strings and integers in
+# practice).  No static type expresses both without forcing a type variable
+# through every container in the library, so ``Item`` is a documented,
+# explicit ``Any`` alias: the canonical-form invariant is enforced at
+# runtime by :func:`canonical` / :func:`extend` instead.
+Item: TypeAlias = Any
+Itemset: TypeAlias = Tuple[Item, ...]
 
 
 def canonical(items: Iterable[Item]) -> Itemset:

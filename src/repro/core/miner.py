@@ -33,7 +33,7 @@ from __future__ import annotations
 import random
 import time
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Any, Dict, List, Optional, Sequence
 
 from .approx import approx_union_probability
 from .bounds import (
@@ -76,7 +76,7 @@ class ProbabilisticFrequentClosedItemset:
     def __str__(self) -> str:
         return f"{{{', '.join(map(str, self.itemset))}}}: {self.probability:.4f}"
 
-    def to_dict(self) -> dict:
+    def to_dict(self) -> Dict[str, Any]:
         """JSON-friendly form (items stringified), used by the CLI and harness."""
         return {
             "itemset": [str(item) for item in self.itemset],
@@ -105,7 +105,7 @@ class MPFCIMiner:
         database: UncertainDatabase,
         config: MinerConfig,
         support_cache: Optional[SupportDPCache] = None,
-    ):
+    ) -> None:
         self.database = database
         self.config = config
         self.stats = MiningStats()
@@ -346,7 +346,7 @@ class MPFCIMiner:
         per-candidate pass still owns.
         """
         config = self.config
-        survivors = []
+        survivors: List[Tidset] = []
         for extended in candidates:
             if len(extended) < config.min_sup:
                 continue
@@ -501,7 +501,7 @@ def mine_pfci(
     database: UncertainDatabase,
     min_sup: int,
     pfct: float = 0.8,
-    **config_kwargs,
+    **config_kwargs: Any,
 ) -> List[ProbabilisticFrequentClosedItemset]:
     """Convenience wrapper: mine with a freshly built configuration.
 

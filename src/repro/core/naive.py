@@ -33,7 +33,7 @@ class NaiveMiner:
         database: UncertainDatabase,
         config: MinerConfig,
         use_topdown_pfi: bool = True,
-    ):
+    ) -> None:
         self.database = database
         self.config = config
         self.use_topdown_pfi = use_topdown_pfi

@@ -25,7 +25,7 @@ from __future__ import annotations
 
 import time
 from concurrent.futures import ProcessPoolExecutor
-from typing import List, Optional, Sequence, Tuple
+from typing import List, Optional, Tuple
 
 from .config import MinerConfig
 from .database import UncertainDatabase

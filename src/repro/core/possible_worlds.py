@@ -10,7 +10,7 @@ the mining algorithms never touch it.
 
 from __future__ import annotations
 
-import itertools
+import math
 import random
 from typing import Dict, Iterator, List, Sequence, Tuple
 
@@ -117,20 +117,24 @@ def exact_probabilities(
     Exponential — oracle use only.
     """
     itemset = canonical(itemset)
-    frequent = closed = frequent_closed = 0.0
+    frequent_terms: List[float] = []
+    closed_terms: List[float] = []
+    frequent_closed_terms: List[float] = []
     for world, probability in enumerate_worlds(database):
         is_frequent = world_is_frequent(database, world, itemset, min_sup)
         is_closed = world_is_closed(database, world, itemset)
         if is_frequent:
-            frequent += probability
+            frequent_terms.append(probability)
         if is_closed:
-            closed += probability
+            closed_terms.append(probability)
         if is_frequent and is_closed:
-            frequent_closed += probability
+            frequent_closed_terms.append(probability)
+    # fsum: 2^n tiny world masses — the oracle must not lose precision to
+    # left-to-right rounding when the code under test does not.
     return {
-        "frequent": frequent,
-        "closed": closed,
-        "frequent_closed": frequent_closed,
+        "frequent": math.fsum(frequent_terms),
+        "closed": math.fsum(closed_terms),
+        "frequent_closed": math.fsum(frequent_closed_terms),
     }
 
 
@@ -146,13 +150,10 @@ def exact_frequent_closed_itemsets(
     """
     from ..exact.charm import mine_closed_itemsets
 
-    accumulated: Dict[Itemset, float] = {}
+    accumulated: Dict[Itemset, List[float]] = {}
     for world, probability in enumerate_worlds(database):
         transactions = [database[position].items for position in world]
         for itemset, _support in mine_closed_itemsets(transactions, min_sup):
-            accumulated[itemset] = accumulated.get(itemset, 0.0) + probability
-    return {
-        itemset: probability
-        for itemset, probability in accumulated.items()
-        if probability > pfct
-    }
+            accumulated.setdefault(itemset, []).append(probability)
+    totals = {itemset: math.fsum(terms) for itemset, terms in accumulated.items()}
+    return {itemset: total for itemset, total in totals.items() if total > pfct}

@@ -34,7 +34,7 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass
 from itertools import combinations
-from typing import List, Optional, Sequence
+from typing import List, Optional, Sequence, Set, Tuple
 
 import numpy as np
 
@@ -130,8 +130,8 @@ def expected_confidence(
 ) -> float:
     """``E[sup(X∪Y)] / E[sup(X)]`` — the expected-support point summary."""
     both, antecedent_only = _split_tidsets(database, antecedent, consequent)
-    expected_both = sum(database.tidset_probabilities(both))
-    expected_only = sum(database.tidset_probabilities(antecedent_only))
+    expected_both = math.fsum(database.tidset_probabilities(both))
+    expected_only = math.fsum(database.tidset_probabilities(antecedent_only))
     denominator = expected_both + expected_only
     return expected_both / denominator if denominator else 0.0
 
@@ -178,7 +178,7 @@ def generate_probabilistic_rules(
     closed = MPFCIMiner(database, config).mine()
 
     rules: List[ProbabilisticAssociationRule] = []
-    seen = set()
+    seen: Set[Tuple[Itemset, Itemset]] = set()
     for result in closed:
         itemset = result.itemset
         if len(itemset) < 2:

@@ -40,6 +40,7 @@ The class is exported as both ``MiningStats`` (current name) and
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Any, Dict
 
 
 @dataclass
@@ -168,11 +169,11 @@ class MiningStats:
     # ------------------------------------------------------------------
     # reporting API
     # ------------------------------------------------------------------
-    def as_dict(self) -> dict:
+    def as_dict(self) -> Dict[str, Any]:
         """Flat counter dict (one key per dataclass field)."""
         return {name: getattr(self, name) for name in self.__dataclass_fields__}
 
-    def report(self) -> dict:
+    def report(self) -> Dict[str, Any]:
         """Structured, JSON-ready report: counters, derived rates, phases.
 
         This is what the CLI's ``--stats`` flag emits and what the benchmark

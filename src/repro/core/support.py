@@ -22,9 +22,11 @@ from __future__ import annotations
 
 import math
 import random
-from typing import List, Optional, Sequence, Tuple
+from typing import List, Optional, Sequence
 
 import numpy as np
+
+from ._types import BoolArray, FloatArray
 
 __all__ = [
     "frequent_probability",
@@ -51,16 +53,21 @@ def _validate_probabilities(probabilities: Sequence[float]) -> None:
 
 
 def expected_support(probabilities: Sequence[float]) -> float:
-    """Expected support: the sum of the containing transactions' probabilities."""
-    return float(sum(probabilities))
+    """Expected support: the sum of the containing transactions' probabilities.
+
+    ``math.fsum`` keeps this path bit-identical to the cached
+    ``SupportDPCache.expected_support_of_tidset`` reduction regardless of
+    summation order.
+    """
+    return math.fsum(probabilities)
 
 
 def support_variance(probabilities: Sequence[float]) -> float:
     """Variance of the support (sum of independent Bernoulli variances)."""
-    return float(sum(p * (1.0 - p) for p in probabilities))
+    return math.fsum(p * (1.0 - p) for p in probabilities)
 
 
-def support_pmf(probabilities: Sequence[float]) -> np.ndarray:
+def support_pmf(probabilities: Sequence[float]) -> FloatArray:
     """Full probability mass function of the support.
 
     Returns an array ``pmf`` of length ``k + 1`` where ``pmf[s]`` is
@@ -91,7 +98,7 @@ class PMFStabilityError(ArithmeticError):
     """
 
 
-def pmf_add(pmf: Sequence[float], probability: float) -> np.ndarray:
+def pmf_add(pmf: Sequence[float], probability: float) -> FloatArray:
     """Convolve a support PMF with one more Bernoulli(``probability``) row.
 
     The forward update of the :func:`support_pmf` DP, exposed as a single
@@ -105,10 +112,10 @@ def pmf_add(pmf: Sequence[float], probability: float) -> np.ndarray:
     """
     if not 0.0 <= probability <= 1.0:
         raise ValueError(f"probability out of range [0, 1]: {probability}")
-    pmf = np.asarray(pmf, dtype=float)
-    out = np.zeros(len(pmf) + 1)
-    out[:-1] = pmf * (1.0 - probability)
-    out[1:] += pmf * probability
+    masses = np.asarray(pmf, dtype=float)
+    out = np.zeros(len(masses) + 1)
+    out[:-1] = masses * (1.0 - probability)
+    out[1:] += masses * probability
     return out
 
 
@@ -119,7 +126,7 @@ _PMF_MASS_TOLERANCE = 1e-9
 _PMF_SUM_TOLERANCE = 1e-6
 
 
-def pmf_remove(pmf: Sequence[float], probability: float) -> np.ndarray:
+def pmf_remove(pmf: Sequence[float], probability: float) -> FloatArray:
     """Peel one Bernoulli(``probability``) row back off a support PMF.
 
     Inverse of :func:`pmf_add`: given the PMF of ``k`` independent rows, one
@@ -141,34 +148,34 @@ def pmf_remove(pmf: Sequence[float], probability: float) -> np.ndarray:
     """
     if not 0.0 <= probability <= 1.0:
         raise ValueError(f"probability out of range [0, 1]: {probability}")
-    pmf = np.asarray(pmf, dtype=float)
-    if len(pmf) < 2:
+    masses = np.asarray(pmf, dtype=float)
+    if len(masses) < 2:
         raise ValueError("cannot remove a row from an empty PMF")
-    remaining = len(pmf) - 1
+    remaining = len(masses) - 1
     if probability == 1.0:
         # A certain row shifts the PMF by exactly one count.
-        if pmf[0] > _PMF_MASS_TOLERANCE:
+        if masses[0] > _PMF_MASS_TOLERANCE:
             raise PMFStabilityError(
-                f"PMF has mass {pmf[0]} at support 0 but claims a certain row"
+                f"PMF has mass {masses[0]} at support 0 but claims a certain row"
             )
-        return pmf[1:].copy()
+        return masses[1:].copy()
     if probability == 0.0:
-        if pmf[-1] > _PMF_MASS_TOLERANCE:
+        if masses[-1] > _PMF_MASS_TOLERANCE:
             raise PMFStabilityError(
-                f"PMF has mass {pmf[-1]} at full support but claims a null row"
+                f"PMF has mass {masses[-1]} at full support but claims a null row"
             )
-        return pmf[:-1].copy()
+        return masses[:-1].copy()
     out = np.empty(remaining)
     if probability <= 0.5:
         absent = 1.0 - probability
-        out[0] = pmf[0] / absent
+        out[0] = masses[0] / absent
         for count in range(1, remaining):
-            out[count] = (pmf[count] - probability * out[count - 1]) / absent
+            out[count] = (masses[count] - probability * out[count - 1]) / absent
     else:
-        out[remaining - 1] = pmf[remaining] / probability
+        out[remaining - 1] = masses[remaining] / probability
         for count in range(remaining - 1, 0, -1):
             out[count - 1] = (
-                pmf[count] - (1.0 - probability) * out[count]
+                masses[count] - (1.0 - probability) * out[count]
             ) / probability
     if (
         not np.isfinite(out).all()
@@ -218,6 +225,8 @@ def frequent_probability(probabilities: Sequence[float], min_sup: int) -> float:
             for count in range(min_sup, 0, -1):
                 state[count] = state[count] * absent + state[count - 1] * probability
             state[0] *= absent
+            # The sequential recurrence IS the exactness contract here.
+            # prolint: ignore[FSUM-REDUCE] DP transition on a cell, not a reduction
             state[min_sup] += cap_mass * probability
         return state[min_sup]
     state = np.zeros(min_sup + 1)
@@ -229,13 +238,14 @@ def frequent_probability(probabilities: Sequence[float], min_sup: int) -> float:
         state[0] *= absent
         # Absorbing cap: mass at min_sup stays there even when a transaction
         # is present, so add back the part the generic transition dropped.
+        # prolint: ignore[FSUM-REDUCE] DP transition, not a reduction.
         state[min_sup] += cap_mass * probability
     return float(state[min_sup])
 
 
 def frequent_probability_padded_batch(
-    padded: np.ndarray, min_sup: int
-) -> np.ndarray:
+    padded: FloatArray, min_sup: int
+) -> FloatArray:
     """Batched capped DP over left-aligned, zero-padded probability rows.
 
     ``padded[s]`` holds sub-tidset ``s``'s probabilities in ascending
@@ -300,8 +310,8 @@ def frequent_probability_padded_batch(
 
 
 def frequent_probability_masked_batch(
-    probabilities: np.ndarray, membership: np.ndarray, min_sup: int
-) -> np.ndarray:
+    probabilities: FloatArray, membership: BoolArray, min_sup: int
+) -> FloatArray:
     """Batched capped DP: ``Pr[support >= min_sup]`` for many sub-tidsets.
 
     ``probabilities`` is the probability vector of a *base* tidset (length
@@ -346,12 +356,13 @@ def frequent_probability_python(probabilities: Sequence[float], min_sup: int) ->
                 next_state[min_sup] += mass
             else:
                 next_state[count] += mass * absent
+                # prolint: ignore[FSUM-REDUCE] DP transition, not a reduction
                 next_state[count + 1] += mass * probability
         state = next_state
     return state[min_sup]
 
 
-def tail_probability_table(probabilities: Sequence[float], min_sup: int) -> np.ndarray:
+def tail_probability_table(probabilities: Sequence[float], min_sup: int) -> FloatArray:
     """Suffix tail table for conditional sampling.
 
     Returns ``table`` of shape ``(k + 1, min_sup + 1)`` where ``table[j][r]``
@@ -383,7 +394,7 @@ def sample_conditional_presence(
     probabilities: Sequence[float],
     min_sup: int,
     rng: random.Random,
-    tail_table: Optional[np.ndarray] = None,
+    tail_table: Optional[FloatArray] = None,
 ) -> List[bool]:
     """Sample presence bits conditioned on ``sum(bits) >= min_sup``.
 
@@ -421,9 +432,9 @@ def sample_conditional_presence(
 def sample_conditional_presence_batch(
     probabilities: Sequence[float],
     min_sup: int,
-    uniforms: np.ndarray,
-    tail_table: np.ndarray,
-) -> np.ndarray:
+    uniforms: FloatArray,
+    tail_table: FloatArray,
+) -> BoolArray:
     """Vectorized :func:`sample_conditional_presence` over many uniform rows.
 
     ``uniforms[s, j]`` is the ``j``-th uniform draw of sample ``s`` — the
@@ -436,9 +447,9 @@ def sample_conditional_presence_batch(
     walks through here, which removes the per-sample Python loop from the
     sampling hot path for both tidset backends.
     """
-    probabilities = np.asarray(probabilities, dtype=np.float64)
+    probs = np.asarray(probabilities, dtype=np.float64)
     uniforms = np.asarray(uniforms, dtype=np.float64)
-    k = len(probabilities)
+    k = len(probs)
     if min_sup > k:
         raise ValueError("cannot condition on support >= min_sup with too few rows")
     if tail_table[0][min_sup] <= 0.0:
@@ -446,12 +457,12 @@ def sample_conditional_presence_batch(
     samples = uniforms.shape[0]
     if min_sup == 0:
         # No conditioning: every bit is a plain Bernoulli draw.
-        return uniforms < probabilities[np.newaxis, :]
+        return uniforms < probs[np.newaxis, :]
     bits = np.zeros((samples, k), dtype=bool)
     remaining = np.full(samples, min_sup, dtype=np.int64)
     with np.errstate(divide="ignore", invalid="ignore"):
         for j in range(k):
-            probability = probabilities[j]
+            probability = probs[j]
             active = remaining > 0
             # Clamp inactive lanes to a valid row index; their quotient is
             # discarded by the where() (they draw plain Bernoulli bits).

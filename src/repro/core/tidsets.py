@@ -36,11 +36,25 @@ from __future__ import annotations
 
 import math
 from bisect import bisect_left
-from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+from typing import (
+    TYPE_CHECKING,
+    Any,
+    Dict,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
 
 import numpy as np
 
+from ._types import BoolArray, FloatArray, IntArray, TidsetEngine, WordArray
 from .itemsets import Item, Itemset, canonical
+
+if TYPE_CHECKING:
+    from .database import UncertainDatabase
 
 __all__ = [
     "BitmapTidset",
@@ -61,7 +75,7 @@ _POPCOUNT_LUT = np.array(
 )
 
 
-def _popcount_words(words: np.ndarray) -> int:
+def _popcount_words(words: WordArray) -> int:
     """Number of set bits in a packed uint64 word array."""
     if not len(words):
         return 0
@@ -70,7 +84,7 @@ def _popcount_words(words: np.ndarray) -> int:
     return int(_POPCOUNT_LUT[words.view(np.uint8)].sum())
 
 
-def _popcount_rows(matrix: np.ndarray) -> np.ndarray:
+def _popcount_rows(matrix: WordArray) -> IntArray:
     """Per-row popcount of a ``(rows, words)`` uint64 matrix."""
     if matrix.size == 0:
         return np.zeros(matrix.shape[0], dtype=np.int64)
@@ -80,7 +94,7 @@ def _popcount_rows(matrix: np.ndarray) -> np.ndarray:
     return _POPCOUNT_LUT[bytes_view].sum(axis=1, dtype=np.int64)
 
 
-def pack_positions(positions: Sequence[int], n_bits: int) -> np.ndarray:
+def pack_positions(positions: Sequence[int], n_bits: int) -> WordArray:
     """Pack bit indices into a little-endian uint64 word array.
 
     ``n_bits`` is the logical bit width; the result has ``ceil(n_bits / 64)``
@@ -95,7 +109,7 @@ def pack_positions(positions: Sequence[int], n_bits: int) -> np.ndarray:
     return np.ascontiguousarray(packed).view(np.uint64)
 
 
-def _bit_indices(words: np.ndarray) -> np.ndarray:
+def _bit_indices(words: WordArray) -> IntArray:
     """Indices of the set bits of a packed word array, ascending."""
     if not len(words):
         return np.zeros(0, dtype=np.int64)
@@ -125,14 +139,14 @@ class BitmapTidset:
     )
 
     def __init__(
-        self, words: np.ndarray, offset: int = 0, count: Optional[int] = None
-    ):
+        self, words: WordArray, offset: int = 0, count: Optional[int] = None
+    ) -> None:
         self.words = words
         self.offset = offset
         self._count = count
         self._digest: Optional[bytes] = None
         self._hash: Optional[int] = None
-        self._bits: Optional[np.ndarray] = None
+        self._bits: Optional[IntArray] = None
         self._positions: Optional[Tuple[int, ...]] = None
 
     def __len__(self) -> int:
@@ -157,12 +171,12 @@ class BitmapTidset:
             self._hash = hash(self.digest)
         return self._hash
 
-    def __eq__(self, other) -> bool:
+    def __eq__(self, other: object) -> bool:
         if isinstance(other, BitmapTidset):
             return self.digest == other.digest
         return NotImplemented
 
-    def bit_index_array(self) -> np.ndarray:
+    def bit_index_array(self) -> IntArray:
         """Set-bit indices (gather indices into the probability layout)."""
         if self._bits is None:
             self._bits = _bit_indices(self.words)
@@ -182,10 +196,10 @@ class BitmapTidset:
 
     # __slots__ classes need explicit pickle support on Python < 3.11; the
     # compact state is just the word array (lazy caches rebuild on demand).
-    def __getstate__(self):
+    def __getstate__(self) -> Tuple[WordArray, int, Optional[int]]:
         return (self.words, self.offset, self._count)
 
-    def __setstate__(self, state) -> None:
+    def __setstate__(self, state: Tuple[WordArray, int, Optional[int]]) -> None:
         self.words, self.offset, self._count = state
         self._digest = None
         self._hash = None
@@ -199,7 +213,7 @@ class BitmapTidset:
 class _EngineCounters:
     """Shared work counters; snapshotted into ``MiningStats`` per run."""
 
-    def __init__(self):
+    def __init__(self) -> None:
         self.intersections = 0
         self.words_anded = 0
         self.popcounts = 0
@@ -221,7 +235,7 @@ class TupleTidsetEngine(_EngineCounters):
     name = "tuple"
     vectorized = False
 
-    def __init__(self, database):
+    def __init__(self, database: "UncertainDatabase") -> None:
         super().__init__()
         self._database = database
         # database.items sorts on every property read; cache the canonical
@@ -231,7 +245,7 @@ class TupleTidsetEngine(_EngineCounters):
         self._size = len(database)
 
     @property
-    def database(self):
+    def database(self) -> "UncertainDatabase":
         return self._database
 
     @property
@@ -244,7 +258,7 @@ class TupleTidsetEngine(_EngineCounters):
     def universe(self) -> Tuple[int, ...]:
         return tuple(range(self._size))
 
-    def tidset_of(self, items) -> Tuple[int, ...]:
+    def tidset_of(self, items: Iterable[Item]) -> Tuple[int, ...]:
         return self._database.tidset(items)
 
     def intersect(
@@ -261,7 +275,7 @@ class TupleTidsetEngine(_EngineCounters):
     def probabilities(self, tidset: Tuple[int, ...]) -> Tuple[float, ...]:
         return self._database.tidset_probabilities(tidset)
 
-    def probabilities_array(self, tidset: Tuple[int, ...]) -> np.ndarray:
+    def probabilities_array(self, tidset: Tuple[int, ...]) -> FloatArray:
         self.gathers += 1
         return np.asarray(self.probabilities(tidset), dtype=np.float64)
 
@@ -322,11 +336,11 @@ class BitmapTidsetEngine(_EngineCounters):
 
     def __init__(
         self,
-        database,
-        item_words: Optional[Dict[Item, np.ndarray]] = None,
-        probability_layout: Optional[np.ndarray] = None,
+        database: "UncertainDatabase",
+        item_words: Optional[Dict[Item, WordArray]] = None,
+        probability_layout: Optional[FloatArray] = None,
         offset: int = 0,
-    ):
+    ) -> None:
         super().__init__()
         if item_words is None and offset:
             raise ValueError("offset requires pre-packed item words")
@@ -376,7 +390,7 @@ class BitmapTidsetEngine(_EngineCounters):
         self._empty = BitmapTidset(empty_words, offset, count=0)
 
     @property
-    def database(self):
+    def database(self) -> "UncertainDatabase":
         return self._database
 
     @property
@@ -401,11 +415,11 @@ class BitmapTidsetEngine(_EngineCounters):
     def universe(self) -> BitmapTidset:
         return self._universe
 
-    def tidset_of(self, items) -> BitmapTidset:
+    def tidset_of(self, items: Iterable[Item]) -> BitmapTidset:
         items = canonical(items)
         if not items:
             return self._universe
-        rows = []
+        rows: List[int] = []
         for item in items:
             row = self._item_index.get(item)
             if row is None:
@@ -483,12 +497,12 @@ class BitmapTidsetEngine(_EngineCounters):
     def positions(self, tidset: BitmapTidset) -> Tuple[int, ...]:
         return tidset.positions()
 
-    def probabilities_array(self, tidset: BitmapTidset) -> np.ndarray:
+    def probabilities_array(self, tidset: BitmapTidset) -> FloatArray:
         """The tidset's probability vector, one boolean-mask gather."""
         self.gathers += 1
         return self._prob[tidset.bit_index_array()]
 
-    def probabilities(self, tidset) -> Tuple[float, ...]:
+    def probabilities(self, tidset: Any) -> Tuple[float, ...]:
         if not isinstance(tidset, BitmapTidset):
             # Plain position tuples reach the cache through itemset-keyed
             # entry points; serve them straight from the database.
@@ -555,7 +569,7 @@ class BitmapTidsetEngine(_EngineCounters):
 
     def member_mask(
         self, base: BitmapTidset, tidsets: Sequence[BitmapTidset]
-    ) -> np.ndarray:
+    ) -> BoolArray:
         """Boolean ``(len(tidsets), len(base))`` membership matrix.
 
         Row ``i``, column ``j`` is True when ``tidsets[i]`` contains the
@@ -570,10 +584,10 @@ class BitmapTidsetEngine(_EngineCounters):
 
 
 def make_engine(
-    database,
+    database: "UncertainDatabase",
     backend: str,
-    bitmap_parts: Optional[dict] = None,
-):
+    bitmap_parts: Optional[Dict[str, Any]] = None,
+) -> TidsetEngine:
     """Engine factory used by :meth:`UncertainDatabase.tidset_engine`."""
     if backend == "tuple":
         return TupleTidsetEngine(database)

@@ -31,7 +31,7 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 from ..core.bfs import MPFCIBreadthFirstMiner
 from ..core.config import MinerConfig
 from ..core.database import UncertainDatabase
-from ..core.miner import MPFCIMiner, ProbabilisticFrequentClosedItemset
+from ..core.miner import MPFCIMiner
 from ..core.naive import NaiveMiner
 from ..core.stats import MinerStatistics
 from ..exact.charm import mine_closed_itemsets

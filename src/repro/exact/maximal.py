@@ -18,7 +18,7 @@ from __future__ import annotations
 
 from typing import Dict, FrozenSet, Iterable, List, Sequence, Tuple
 
-from ..core.itemsets import Item, Itemset, canonical
+from ..core.itemsets import Item, Itemset
 from .charm import mine_closed_itemsets
 
 __all__ = ["mine_maximal_itemsets", "is_maximal_in"]

@@ -49,6 +49,7 @@ from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple, Union
 
 import numpy as np
 
+from ..core._types import FloatArray
 from ..core.bounds import chernoff_hoeffding_frequency_bound
 from ..core.cache import SupportDPCache
 from ..core.config import MinerConfig
@@ -123,7 +124,7 @@ class _ItemState:
     __slots__ = ("pmf", "pr_f", "candidate", "updates_since_rebuild")
 
     def __init__(self) -> None:
-        self.pmf: Optional[np.ndarray] = None
+        self.pmf: Optional[FloatArray] = None
         self.pr_f = 0.0
         self.candidate = False
         self.updates_since_rebuild = 0
@@ -161,7 +162,7 @@ class PFCIMonitor:
         *,
         refresh_interval: int = 64,
         numeric_slack: float = 1e-9,
-    ):
+    ) -> None:
         if refresh_interval < 1:
             raise ValueError(
                 f"refresh_interval must be >= 1, got {refresh_interval}"
@@ -290,7 +291,9 @@ class PFCIMonitor:
                 state.pr_f = 0.0
                 state.candidate = False
                 return
-        pr_f = float(np.sum(state.pmf[config.min_sup :]))
+        pmf = state.pmf
+        assert pmf is not None  # _update_item_state always rebuilds before screening
+        pr_f = float(np.sum(pmf[config.min_sup :]))
         if abs(pr_f - config.pfct) <= self.numeric_slack:
             pr_f = frequent_probability(
                 self.window.item_probabilities(item), config.min_sup

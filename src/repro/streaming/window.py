@@ -30,11 +30,13 @@ on it unchanged.
 
 from __future__ import annotations
 
+import math
 from collections import deque
 from typing import Deque, Dict, Iterable, Iterator, List, Optional, Tuple
 
 import numpy as np
 
+from ..core._types import WordArray
 from ..core.database import Tidset, UncertainDatabase, UncertainTransaction
 from ..core.itemsets import Item, Itemset, canonical
 from ..core.tidsets import pack_positions
@@ -58,7 +60,7 @@ class WindowedUncertainDatabase:
         database = window.snapshot()         # plain UncertainDatabase
     """
 
-    def __init__(self, capacity: Optional[int] = None):
+    def __init__(self, capacity: Optional[int] = None) -> None:
         if capacity is not None and capacity < 1:
             raise ValueError(f"capacity must be >= 1 when set, got {capacity}")
         self._capacity = capacity
@@ -80,7 +82,7 @@ class WindowedUncertainDatabase:
         # accumulate, `_repack()` rebases everything (generation-aware
         # re-pack) so the arrays stay proportional to the window.
         self._bitmap_capacity = 1  # words
-        self._bitmap_words: Dict[Item, np.ndarray] = {}
+        self._bitmap_words: Dict[Item, WordArray] = {}
         self._bitmap_prob = np.zeros(64, dtype=np.float64)
         self._pack_base = 0
         self._bitmap_repacks = 0
@@ -275,7 +277,7 @@ class WindowedUncertainDatabase:
         """
         if item not in self._positions:
             return 0.0
-        exact = float(sum(self.item_probabilities(item)))
+        exact = math.fsum(self.item_probabilities(item))
         self._expected[item] = exact
         return exact
 
@@ -327,7 +329,9 @@ class WindowedUncertainDatabase:
                 list(self), vertical, bitmap_parts=bitmap_parts
             )
             self._snapshot_generation = self._generation
-        return self._snapshot
+        snapshot = self._snapshot
+        assert snapshot is not None
+        return snapshot
 
     def __repr__(self) -> str:
         capacity = "landmark" if self._capacity is None else self._capacity

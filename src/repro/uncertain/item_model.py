@@ -24,8 +24,6 @@ transfer — and why this module only provides frequency-based mining.
 
 from __future__ import annotations
 
-import itertools
-import math
 from dataclasses import dataclass
 from typing import Dict, Iterable, Iterator, List, Mapping, Sequence, Tuple
 

@@ -18,7 +18,7 @@ from __future__ import annotations
 from typing import Dict, List, Tuple
 
 from ..core.database import Tidset, UncertainDatabase, intersect_tidsets
-from ..core.itemsets import Item, Itemset
+from ..core.itemsets import Itemset
 from ..core.support import SupportDistributionCache
 
 __all__ = ["mine_probabilistic_frequent_itemsets"]

@@ -25,10 +25,10 @@ counts of Fig. 10 are defined in terms of it.
 
 from __future__ import annotations
 
-from typing import Dict, List, Set, Tuple
+from typing import List, Set, Tuple
 
 from ..core.database import UncertainDatabase
-from ..core.itemsets import Item, Itemset
+from ..core.itemsets import Itemset
 from ..core.support import SupportDistributionCache
 from ..exact.maximal import mine_maximal_itemsets
 

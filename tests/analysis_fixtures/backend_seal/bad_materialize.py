@@ -1,0 +1,6 @@
+"""BACKEND-SEAL bad fixture: set() materialization assumes tuple tidsets."""
+# prolint: module=repro.core.fixture
+
+
+def support(tidset):
+    return len(set(tidset))

@@ -1,0 +1,6 @@
+"""BACKEND-SEAL bad fixture: raw set algebra between tidsets."""
+# prolint: module=repro.core.fixture
+
+
+def shared(base_tidset, extension_tidset):
+    return base_tidset & extension_tidset

@@ -1,0 +1,6 @@
+"""BACKEND-SEAL bad fixture: subscripting assumes the tuple representation."""
+# prolint: module=repro.core.fixture
+
+
+def first_tid(tidset):
+    return tidset[0]

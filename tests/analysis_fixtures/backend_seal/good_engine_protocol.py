@@ -1,0 +1,14 @@
+"""BACKEND-SEAL good fixture: tidset algebra routed through the engine."""
+# prolint: module=repro.core.fixture
+
+
+def shared(engine, base_tidset, extension_tidset):
+    return engine.intersect(base_tidset, extension_tidset)
+
+
+def explicit_positions(engine, tidset):
+    return engine.positions(tidset)
+
+
+def support(tidset):
+    return len(tidset)

@@ -1,0 +1,7 @@
+"""BACKEND-SEAL good fixture: the backend module itself is exempt."""
+# prolint: module=repro.core.tidsets
+
+
+def superset_covered(tidset, candidate):
+    tid_set = set(tidset)
+    return all(tid in tid_set for tid in candidate)

@@ -1,0 +1,9 @@
+"""CACHE-PURE bad fixture: a memoized kernel declares global state."""
+
+_CALLS = 0
+
+
+def support_pmf(probabilities):
+    global _CALLS
+    _CALLS = _CALLS + 1
+    return [1.0] + [0.0] * len(probabilities)

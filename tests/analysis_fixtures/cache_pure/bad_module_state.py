@@ -1,0 +1,9 @@
+"""CACHE-PURE bad fixture: a memoized kernel reads module-level mutable state."""
+
+_LAST_RESULTS = {}
+
+
+def tail_probability_table(probabilities, min_sup):
+    if min_sup in _LAST_RESULTS:
+        return _LAST_RESULTS[min_sup]
+    return None

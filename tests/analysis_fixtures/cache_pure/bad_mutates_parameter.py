@@ -1,0 +1,6 @@
+"""CACHE-PURE bad fixture: a memoized kernel mutates its argument."""
+
+
+def frequent_probability(probabilities, min_sup):
+    probabilities.sort()
+    return probabilities[min(min_sup, len(probabilities) - 1)]

@@ -1,0 +1,6 @@
+"""CACHE-PURE bad fixture: a memoized kernel stores into a parameter."""
+
+
+def frequent_probability_padded_batch(padded, min_sup):
+    padded[:, 0] = 1.0
+    return padded

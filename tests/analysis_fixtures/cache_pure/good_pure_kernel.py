@@ -1,0 +1,9 @@
+"""CACHE-PURE good fixture: pure DP kernel, local state only."""
+
+
+def frequent_probability(probabilities, min_sup):
+    state = [0.0] * (min_sup + 1)
+    state[0] = 1.0
+    for probability in probabilities:
+        state[0] *= 1.0 - probability
+    return state[min_sup]

@@ -1,0 +1,10 @@
+"""CACHE-PURE good fixture: rebinding a parameter to a copy is not mutation."""
+
+import numpy as np
+
+
+def support_pmf(probabilities):
+    probabilities = np.asarray(probabilities, dtype=float)
+    out = np.zeros(len(probabilities) + 1)
+    out[0] = 1.0
+    return out

@@ -1,0 +1,8 @@
+"""CACHE-PURE good fixture: non-memoized helpers may mutate freely."""
+
+
+def normalize_in_place(values):
+    values.sort()
+    total = sum(values)
+    for index, value in enumerate(values):
+        values[index] = value / total

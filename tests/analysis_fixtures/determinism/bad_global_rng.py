@@ -1,0 +1,7 @@
+"""DETERMINISM bad fixture: module-level RNG call."""
+
+import random
+
+
+def jitter(values):
+    return [value + random.random() for value in values]

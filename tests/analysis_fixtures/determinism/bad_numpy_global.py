@@ -1,0 +1,8 @@
+"""DETERMINISM bad fixture: NumPy global RNG state."""
+
+import numpy as np
+
+
+def draw(count):
+    np.random.seed(0)
+    return np.random.random(count)

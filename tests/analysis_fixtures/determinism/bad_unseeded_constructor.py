@@ -1,0 +1,13 @@
+"""DETERMINISM bad fixture: unseeded generator constructors."""
+
+import random
+
+import numpy as np
+
+
+def make_rng():
+    return random.Random()
+
+
+def make_np_rng():
+    return np.random.default_rng()

@@ -1,0 +1,7 @@
+"""DETERMINISM bad fixture: wall-clock reads leak time into results."""
+
+import time
+
+
+def stamp(results):
+    return {"at": time.time(), "results": results}

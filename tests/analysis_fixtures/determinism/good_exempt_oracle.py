@@ -1,0 +1,8 @@
+"""DETERMINISM good fixture: the possible-worlds oracle module is exempt."""
+# prolint: module=repro.core.possible_worlds
+
+import random
+
+
+def sample_position(limit):
+    return random.randint(0, limit)

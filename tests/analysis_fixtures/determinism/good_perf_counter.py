@@ -1,0 +1,9 @@
+"""DETERMINISM good fixture: monotonic timers feed durations, not results."""
+
+import time
+
+
+def measure(work):
+    start = time.perf_counter()
+    work()
+    return time.perf_counter() - start

@@ -1,0 +1,11 @@
+"""DETERMINISM good fixture: seeded construction, injected generators."""
+
+import random
+
+
+def make_rng(seed):
+    return random.Random(seed)
+
+
+def draw(rng, count):
+    return [rng.random() for _ in range(count)]

@@ -1,0 +1,9 @@
+"""FSUM-REDUCE bad fixture: += probability accumulation in streaming scope."""
+# prolint: module=repro.streaming.fixture
+
+
+def drifting_total(probabilities):
+    total = 0.0
+    for probability in probabilities:
+        total += probability
+    return total

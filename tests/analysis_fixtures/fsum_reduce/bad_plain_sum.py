@@ -1,0 +1,6 @@
+"""FSUM-REDUCE bad fixture: plain sum() over probabilities in core scope."""
+# prolint: module=repro.core.fixture
+
+
+def expected_support(probabilities):
+    return sum(probabilities)

@@ -1,0 +1,6 @@
+"""FSUM-REDUCE good fixture: integer counts are not probability reductions."""
+# prolint: module=repro.core.fixture
+
+
+def frequent_count(flags):
+    return sum(1 for flag in flags if flag)

@@ -1,0 +1,8 @@
+"""FSUM-REDUCE good fixture: math.fsum is the sanctioned scalar reduction."""
+# prolint: module=repro.core.fixture
+
+import math
+
+
+def expected_support(probabilities):
+    return math.fsum(probabilities)

@@ -1,0 +1,6 @@
+"""FSUM-REDUCE good fixture: the rule is scoped to core/ and streaming/."""
+# prolint: module=repro.eval.fixture
+
+
+def display_average(probabilities):
+    return sum(probabilities) / max(len(probabilities), 1)

@@ -1,0 +1,9 @@
+"""PROB-RANGE bad fixture: exact float comparisons on probabilities."""
+
+
+def same_mass(prob_left: float, prob_right: float) -> bool:
+    return prob_left == prob_right
+
+
+def is_half(probability: float) -> bool:
+    return probability == 0.5

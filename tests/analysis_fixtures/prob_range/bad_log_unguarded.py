@@ -1,0 +1,7 @@
+"""PROB-RANGE bad fixture: math.log on a probability with no positivity guard."""
+
+import math
+
+
+def entropy_term(probability: float) -> float:
+    return -probability * math.log(probability)

@@ -1,0 +1,8 @@
+"""PROB-RANGE bad fixture: probability-named variable accumulated in a loop."""
+
+
+def total_mass(values):
+    probability = 0.0
+    for value in values:
+        probability += value
+    return probability

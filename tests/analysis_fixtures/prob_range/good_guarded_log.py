@@ -1,0 +1,9 @@
+"""PROB-RANGE good fixture: positivity guard before the log."""
+
+import math
+
+
+def log_or_zero(probability: float) -> float:
+    if probability <= 0.0:
+        return 0.0
+    return math.log(probability)

@@ -1,0 +1,9 @@
+"""PROB-RANGE good fixture: 0.0/1.0 boundary sentinels are exact by contract."""
+
+
+def is_certain(probability: float) -> bool:
+    return probability == 1.0
+
+
+def is_impossible(probability: float) -> bool:
+    return probability == 0.0

@@ -12,7 +12,7 @@ from repro.core.approx import (
     approx_union_probability,
     sample_count,
 )
-from repro.core.database import UncertainDatabase, paper_table2_database
+from repro.core.database import UncertainDatabase
 from repro.core.events import ExtensionEventSystem
 from repro.core.possible_worlds import exact_probabilities
 from tests.conftest import uncertain_databases

@@ -6,7 +6,7 @@ import pytest
 
 from repro.core.bfs import MPFCIBreadthFirstMiner
 from repro.core.config import MinerConfig
-from repro.core.database import UncertainDatabase, paper_table2_database
+from repro.core.database import UncertainDatabase
 from repro.core.miner import MPFCIMiner
 from repro.core.naive import NaiveMiner
 from repro.core.closedness import frequent_closed_probability_exact

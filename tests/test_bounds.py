@@ -18,7 +18,6 @@ from repro.core.bounds import (
     union_lower_bound,
     union_upper_bound,
 )
-from repro.core.database import paper_table2_database
 from repro.core.events import ExtensionEventSystem
 from repro.core.possible_worlds import exact_probabilities
 from repro.core.support import SupportDistributionCache, frequent_probability

@@ -12,7 +12,7 @@ from repro.core.closedness import (
     frequent_non_closed_probability_exact,
     frequent_probability_of,
 )
-from repro.core.database import UncertainDatabase, paper_table2_database, paper_table4_database
+from repro.core.database import UncertainDatabase, paper_table4_database
 from repro.core.possible_worlds import exact_probabilities
 from tests.conftest import uncertain_databases
 

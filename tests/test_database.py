@@ -1,6 +1,5 @@
 """Unit and property tests for the uncertain database data model."""
 
-import math
 
 import pytest
 from hypothesis import given, settings

@@ -8,7 +8,6 @@ against a direct possible-world computation of the event semantics:
 import pytest
 from hypothesis import given, settings
 
-from repro.core.database import paper_table2_database
 from repro.core.events import ExtensionEventSystem
 from repro.core.itemsets import canonical
 from repro.core.possible_worlds import enumerate_worlds, world_support

@@ -12,7 +12,6 @@ result families by definition:
 """
 
 import math
-import random
 
 import pytest
 

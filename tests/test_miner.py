@@ -7,7 +7,7 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.core.config import MinerConfig
-from repro.core.database import UncertainDatabase, paper_table2_database
+from repro.core.database import UncertainDatabase
 from repro.core.miner import MPFCIMiner, mine_pfci
 from repro.core.possible_worlds import exact_frequent_closed_itemsets
 

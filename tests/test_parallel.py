@@ -5,7 +5,7 @@ import random
 import pytest
 
 from repro.core.config import MinerConfig
-from repro.core.database import UncertainDatabase, paper_table2_database
+from repro.core.database import UncertainDatabase
 from repro.core.miner import MPFCIMiner
 from repro.core.parallel import mine_pfci_parallel
 

@@ -3,7 +3,7 @@
 import pytest
 from hypothesis import given, settings
 
-from repro.core.database import UncertainDatabase, paper_table2_database
+from repro.core.database import UncertainDatabase
 from repro.core.possible_worlds import (
     MAX_ENUMERABLE_TRANSACTIONS,
     enumerate_worlds,

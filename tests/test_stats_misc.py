@@ -1,6 +1,5 @@
 """Supplementary coverage: statistics accounting and config corner cases."""
 
-import pytest
 
 from repro.core.config import MinerConfig
 from repro.core.database import paper_table2_database

@@ -1,10 +1,7 @@
 """Tests for the Poisson-binomial support machinery."""
 
-import math
-import random
 from collections import Counter
 
-import numpy as np
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.core.config import MinerConfig
-from repro.core.database import UncertainDatabase, paper_table2_database
+from repro.core.database import UncertainDatabase
 from repro.core.possible_worlds import exact_frequent_closed_itemsets
 from repro.core.topk import mine_top_k_pfci
 

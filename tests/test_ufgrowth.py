@@ -3,7 +3,7 @@
 import pytest
 from hypothesis import given, settings
 
-from repro.core.database import UncertainDatabase, paper_table2_database
+from repro.core.database import UncertainDatabase
 from repro.uncertain.expected_support import mine_expected_support_itemsets
 from repro.uncertain.ufgrowth import mine_expected_support_itemsets_ufgrowth
 from tests.conftest import uncertain_databases

@@ -1,12 +1,11 @@
 """Tests for the uncertain frequent-itemset mining substrate."""
 
-import random
 
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.core.database import UncertainDatabase, paper_table2_database
+from repro.core.database import UncertainDatabase
 from repro.uncertain import (
     mine_expected_support_itemsets,
     mine_probabilistic_frequent_itemsets,

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.core.config import MinerConfig
-from repro.core.database import UncertainDatabase, paper_table2_database
+from repro.core.database import UncertainDatabase
 from repro.core.miner import MPFCIMiner, ProbabilisticFrequentClosedItemset, mine_pfci
 from repro.core.verify import verify_results
 
