@@ -1,6 +1,13 @@
 """Domain rule implementations; importing this package registers them all."""
 
-from . import backend_seal, cache_pure, determinism, fsum_reduce, prob_range
+from . import (
+    backend_seal,
+    cache_pure,
+    determinism,
+    fsum_reduce,
+    prob_range,
+    runtime_pickle,
+)
 from .naming import is_probability_name, is_tidset_name
 
 __all__ = [
@@ -11,4 +18,5 @@ __all__ = [
     "is_probability_name",
     "is_tidset_name",
     "prob_range",
+    "runtime_pickle",
 ]

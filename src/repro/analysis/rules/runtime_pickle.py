@@ -1,0 +1,109 @@
+"""RUNTIME-PICKLE — only module-level callables cross process boundaries.
+
+``ProcessPoolExecutor`` pickles submitted callables *by qualified name*: a
+lambda or a function defined inside another function cannot be pickled, and
+the failure surfaces asynchronously — as a ``PicklingError`` raised from the
+future (or, under the supervised runtime, as a branch that burns its whole
+retry budget before failing) far from the ``submit`` call that caused it.
+The supervised runtime (:mod:`repro.runtime.supervisor`) therefore keeps
+every worker entry point at module level, and this rule pins that contract:
+the callable passed to ``.submit(...)`` must not be a lambda literal or a
+name bound to a nested ``def``/``lambda`` in an enclosing function scope.
+
+Names the rule cannot resolve (imports, attributes, parameters, module-level
+functions) are left alone — the rule only fires when the source itself shows
+the callable is local.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional, Union
+
+from ..context import ModuleContext
+from ..diagnostics import Severity
+from ..registry import Finding, Rule, register
+
+_FunctionNode = Union[ast.FunctionDef, ast.AsyncFunctionDef]
+
+
+def _local_binding_kind(scope: _FunctionNode, name: str) -> Optional[str]:
+    """How ``name`` is bound inside ``scope``, if it is a local callable.
+
+    Returns ``"nested def"`` / ``"local lambda"``, or ``None`` when the scope
+    does not bind the name to something visibly unpicklable.  The walk stops
+    at nested function boundaries only for *statements* — a def anywhere in
+    the scope's own body (including under if/for/with) counts as nested.
+    """
+    for node in ast.walk(scope):
+        if node is scope:
+            continue
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            if node.name == name:
+                return "nested def"
+        elif isinstance(node, ast.Assign):
+            if isinstance(node.value, ast.Lambda) and any(
+                isinstance(target, ast.Name) and target.id == name
+                for target in node.targets
+            ):
+                return "local lambda"
+        elif isinstance(node, ast.AnnAssign):
+            if (
+                isinstance(node.value, ast.Lambda)
+                and isinstance(node.target, ast.Name)
+                and node.target.id == name
+            ):
+                return "local lambda"
+    return None
+
+
+@register
+class RuntimePickleRule(Rule):
+    name = "RUNTIME-PICKLE"
+    severity = Severity.ERROR
+    description = (
+        "lambda or nested function submitted to a process pool; worker "
+        "callables must be module-level to be picklable"
+    )
+    invariant = (
+        "every callable crossing a process boundary is importable by "
+        "qualified name, so pool workers never die on PicklingError"
+    )
+
+    def check(self, context: ModuleContext) -> Iterator[Finding]:
+        for node in ast.walk(context.tree):
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr == "submit"
+                and node.args
+            ):
+                yield from self._check_submit(context, node)
+
+    def _check_submit(
+        self, context: ModuleContext, node: ast.Call
+    ) -> Iterator[Finding]:
+        callable_arg = node.args[0]
+        if isinstance(callable_arg, ast.Lambda):
+            yield Finding(
+                callable_arg,
+                "lambda submitted to a process pool cannot be pickled; "
+                "move the worker to a module-level def",
+            )
+            return
+        if not isinstance(callable_arg, ast.Name):
+            return
+        # Resolve the name against every enclosing function scope, innermost
+        # first; a module-level def (or anything unresolvable) is fine.
+        scope = context.enclosing_function(node)
+        while scope is not None:
+            kind = _local_binding_kind(scope, callable_arg.id)
+            if kind is not None:
+                yield Finding(
+                    callable_arg,
+                    f"{kind} {callable_arg.id!r} submitted to a process pool "
+                    f"cannot be pickled by name; define the worker at module "
+                    f"level",
+                )
+                return
+            scope = context.enclosing_function(scope)

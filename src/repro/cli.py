@@ -18,6 +18,7 @@ Subcommands:
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import Optional, Sequence
 
@@ -87,6 +88,52 @@ def _add_mine_parser(subparsers) -> None:
         "--verify",
         action="store_true",
         help="re-check every result against the exact probability after mining",
+    )
+    checkpoint_group = parser.add_mutually_exclusive_group()
+    checkpoint_group.add_argument(
+        "--checkpoint",
+        default=None,
+        metavar="PATH",
+        help="run under the supervised runtime, appending each completed "
+        "branch to this JSONL checkpoint (dfs framework only)",
+    )
+    checkpoint_group.add_argument(
+        "--resume",
+        default=None,
+        metavar="PATH",
+        help="resume an interrupted supervised run from this checkpoint, "
+        "skipping already-completed branches (dfs framework only)",
+    )
+    parser.add_argument(
+        "--branch-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="supervised runtime: wall-clock budget per mining branch",
+    )
+    parser.add_argument(
+        "--max-retries",
+        type=int,
+        default=None,
+        metavar="N",
+        help="supervised runtime: pool retries per branch before the "
+        "inline fallback (default 2)",
+    )
+    parser.add_argument(
+        "--exact-check-budget",
+        type=int,
+        default=None,
+        metavar="TERMS",
+        help="degrade a closedness check to sampling when its exact "
+        "inclusion-exclusion would exceed TERMS terms",
+    )
+    parser.add_argument(
+        "--check-deadline",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="degrade all further closedness checks to sampling once the "
+        "run has spent SECONDS in the checking phase",
     )
 
 
@@ -186,40 +233,95 @@ def _add_experiments_parser(subparsers) -> None:
 
 
 
+def _error(message: str) -> int:
+    """One-line operational error: stderr + exit code 2, no traceback."""
+    print(f"error: {message}", file=sys.stderr)
+    return 2
+
+
 def _command_mine(args: argparse.Namespace) -> int:
-    database = load_uncertain_database(args.input)
-    if args.min_sup is not None:
-        config = MinerConfig(
-            min_sup=args.min_sup,
-            pfct=args.pfct,
-            epsilon=args.epsilon,
-            delta=args.delta,
-            seed=args.seed,
+    try:
+        database = load_uncertain_database(args.input)
+    except (OSError, ValueError) as error:
+        return _error(str(error))
+    try:
+        if args.min_sup is not None:
+            config = MinerConfig(
+                min_sup=args.min_sup,
+                pfct=args.pfct,
+                epsilon=args.epsilon,
+                delta=args.delta,
+                seed=args.seed,
+            )
+        else:
+            config = MinerConfig.with_relative_min_sup(
+                len(database),
+                args.min_sup_ratio,
+                pfct=args.pfct,
+                epsilon=args.epsilon,
+                delta=args.delta,
+                seed=args.seed,
+            )
+        config = config.variant(
+            use_chernoff_pruning="ch" not in args.disable,
+            use_superset_pruning="super" not in args.disable,
+            use_subset_pruning="sub" not in args.disable,
+            use_probability_bounds="bound" not in args.disable,
+            max_itemset_size=args.max_size,
+            tidset_backend=args.tidset_backend,
+            exact_check_budget=args.exact_check_budget,
+            check_deadline_seconds=args.check_deadline,
         )
-    else:
-        config = MinerConfig.with_relative_min_sup(
-            len(database),
-            args.min_sup_ratio,
-            pfct=args.pfct,
-            epsilon=args.epsilon,
-            delta=args.delta,
-            seed=args.seed,
-        )
-    config = config.variant(
-        use_chernoff_pruning="ch" not in args.disable,
-        use_superset_pruning="super" not in args.disable,
-        use_subset_pruning="sub" not in args.disable,
-        use_probability_bounds="bound" not in args.disable,
-        max_itemset_size=args.max_size,
-        tidset_backend=args.tidset_backend,
+    except ValueError as error:
+        return _error(str(error))
+    supervised = (
+        args.checkpoint is not None
+        or args.resume is not None
+        or args.branch_timeout is not None
+        or args.max_retries is not None
     )
-    if args.processes is not None and args.framework != "dfs":
+    if (args.processes is not None or supervised) and args.framework != "dfs":
         print("--processes is only supported with --framework dfs", file=sys.stderr)
         return 2
     if args.processes is not None and args.processes < 1:
         print("--processes must be >= 1", file=sys.stderr)
         return 2
-    if args.processes is not None:
+    if supervised:
+        from .runtime import CheckpointError, SupervisorConfig, run_supervised
+
+        try:
+            supervisor = SupervisorConfig(
+                branch_timeout_seconds=args.branch_timeout,
+                max_retries=args.max_retries if args.max_retries is not None else 2,
+            )
+        except ValueError as error:
+            return _error(str(error))
+        try:
+            report = run_supervised(
+                database,
+                config,
+                processes=args.processes,
+                supervisor=supervisor,
+                checkpoint_path=args.resume or args.checkpoint,
+                resume_from_checkpoint=args.resume is not None,
+            )
+        except (OSError, CheckpointError) as error:
+            return _error(str(error))
+        results = report.results
+        stats = report.stats
+        for outcome in report.failed:
+            print(
+                f"warning: branch {outcome.rank} ({outcome.item!r}) failed "
+                f"after {outcome.attempts} attempt(s): {outcome.error}",
+                file=sys.stderr,
+            )
+        if report.failed:
+            print(
+                f"warning: {len(report.failed)} branch(es) failed; "
+                "results are partial",
+                file=sys.stderr,
+            )
+    elif args.processes is not None:
         from .core.parallel import mine_pfci_parallel
         from .core.stats import MiningStats
 
@@ -236,6 +338,7 @@ def _command_mine(args: argparse.Namespace) -> int:
             miner = NaiveMiner(database, config)
         results = miner.mine()
         stats = miner.stats
+    exit_code = 1 if supervised and report.failed else 0
     if args.json:
         import json
 
@@ -247,7 +350,7 @@ def _command_mine(args: argparse.Namespace) -> int:
             payload["stats"] = stats.as_dict()
             payload["stats_report"] = stats.report()
         print(json.dumps(payload, indent=2))
-        return 0
+        return exit_code
     rows = [
         [
             " ".join(str(item) for item in result.itemset),
@@ -255,12 +358,13 @@ def _command_mine(args: argparse.Namespace) -> int:
             result.lower,
             result.upper,
             result.method,
+            result.provenance,
         ]
         for result in results
     ]
     print(
         format_table(
-            ["itemset", "Pr_FC", "lower", "upper", "method"],
+            ["itemset", "Pr_FC", "lower", "upper", "method", "provenance"],
             rows,
             title=f"{len(results)} probabilistic frequent closed itemsets "
             f"({config.describe()})",
@@ -274,42 +378,48 @@ def _command_mine(args: argparse.Namespace) -> int:
     if args.verify:
         from .core.verify import verify_results
 
-        report = verify_results(
+        verification = verify_results(
             database, results, config.min_sup, pfct=config.pfct
         )
-        print(f"verification: {report.summary()}")
-        if not report.all_sound:
+        print(f"verification: {verification.summary()}")
+        if not verification.all_sound:
             return 1
-    return 0
+    return exit_code
 
 
 def _command_stream_mine(args: argparse.Namespace) -> int:
     from .streaming import PFCIMonitor
 
-    database = load_uncertain_database(args.input)
+    try:
+        database = load_uncertain_database(args.input)
+    except (OSError, ValueError) as error:
+        return _error(str(error))
     if args.window < 1:
         print("--window must be >= 1", file=sys.stderr)
         return 2
-    if args.min_sup is not None:
-        config = MinerConfig(
-            min_sup=args.min_sup,
-            pfct=args.pfct,
-            epsilon=args.epsilon,
-            delta=args.delta,
-            seed=args.seed,
-        )
-    else:
-        # The ratio is relative to the *window*, not the whole file: the
-        # window is the database being mined at any instant.
-        config = MinerConfig.with_relative_min_sup(
-            args.window,
-            args.min_sup_ratio,
-            pfct=args.pfct,
-            epsilon=args.epsilon,
-            delta=args.delta,
-            seed=args.seed,
-        )
-    config = config.variant(tidset_backend=args.tidset_backend)
+    try:
+        if args.min_sup is not None:
+            config = MinerConfig(
+                min_sup=args.min_sup,
+                pfct=args.pfct,
+                epsilon=args.epsilon,
+                delta=args.delta,
+                seed=args.seed,
+            )
+        else:
+            # The ratio is relative to the *window*, not the whole file: the
+            # window is the database being mined at any instant.
+            config = MinerConfig.with_relative_min_sup(
+                args.window,
+                args.min_sup_ratio,
+                pfct=args.pfct,
+                epsilon=args.epsilon,
+                delta=args.delta,
+                seed=args.seed,
+            )
+        config = config.variant(tidset_backend=args.tidset_backend)
+    except ValueError as error:
+        return _error(str(error))
     monitor = PFCIMonitor(
         config, window=args.window, refresh_interval=args.refresh_interval
     )
@@ -395,7 +505,10 @@ def _command_generate(args: argparse.Namespace) -> int:
 
 
 def _command_inspect(args: argparse.Namespace) -> int:
-    database = load_uncertain_database(args.input)
+    try:
+        database = load_uncertain_database(args.input)
+    except (OSError, ValueError) as error:
+        return _error(str(error))
     lengths = [len(txn.items) for txn in database]
     probabilities = database.probabilities
     rows = [
@@ -450,7 +563,14 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "inspect": _command_inspect,
         "experiments": _command_experiments,
     }
-    return handlers[args.command](args)
+    try:
+        return handlers[args.command](args)
+    except BrokenPipeError:
+        # Downstream consumer (e.g. `| head`) closed the pipe; suppress the
+        # traceback and exit with the conventional SIGPIPE status.
+        devnull = os.open(os.devnull, os.O_WRONLY)
+        os.dup2(devnull, sys.stdout.fileno())
+        return 141
 
 
 if __name__ == "__main__":

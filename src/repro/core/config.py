@@ -61,6 +61,18 @@ class MinerConfig:
             gathers; "tuple" is the original sorted-tuple engine, kept as
             the cross-check oracle).  Both produce identical results; see
             ``docs/performance.md``.
+        exact_check_budget: per-itemset budget on the exact
+            inclusion–exclusion check, counted in worst-case IE terms
+            (``2^m - 1`` for ``m`` extension events).  When an itemset
+            qualifies for the exact path but its term count exceeds the
+            budget, the check degrades to the ApproxFCP sampling estimator
+            and the result is tagged ``provenance="approx-degraded"``
+            (see ``docs/robustness.md``).  ``None`` = never degrade.
+        check_deadline_seconds: soft per-run deadline on cumulative checking
+            time.  Once the run has spent this much wall-clock inside the
+            checking phase, subsequent exact-eligible checks degrade to
+            sampling the same way.  Non-deterministic by nature (it reads a
+            monotonic clock); ``None`` = no deadline.
     """
 
     min_sup: int
@@ -78,6 +90,8 @@ class MinerConfig:
     max_itemset_size: Optional[int] = None
     dp_cache_size: int = 65536
     tidset_backend: str = "bitmap"
+    exact_check_budget: Optional[int] = None
+    check_deadline_seconds: Optional[float] = None
 
     def __post_init__(self) -> None:
         if self.dp_cache_size < 1:
@@ -102,6 +116,18 @@ class MinerConfig:
             raise ValueError(f"unknown upper bound {self.upper_bound!r}")
         if self.tidset_backend not in ("tuple", "bitmap"):
             raise ValueError(f"unknown tidset backend {self.tidset_backend!r}")
+        if self.exact_check_budget is not None and self.exact_check_budget < 0:
+            raise ValueError(
+                f"exact_check_budget must be >= 0 when set, "
+                f"got {self.exact_check_budget}"
+            )
+        if self.check_deadline_seconds is not None and not (
+            self.check_deadline_seconds > 0.0
+        ):
+            raise ValueError(
+                f"check_deadline_seconds must be > 0 when set, "
+                f"got {self.check_deadline_seconds}"
+            )
 
     @classmethod
     def with_relative_min_sup(

@@ -64,6 +64,12 @@ class ProbabilisticFrequentClosedItemset:
             (accepted by Lemma 4.4's lower bound alone) or ``"trivial"``
             (no extension events, so ``Pr_FC = Pr_F``).
         frequent_probability: ``Pr_F`` of the itemset (always exact).
+        provenance: ``"exact"`` when the result was produced at the
+            configured fidelity, ``"approx-degraded"`` when the exact
+            inclusion–exclusion check was abandoned for the sampling
+            estimator because a :class:`~repro.core.config.MinerConfig`
+            check budget/deadline was exceeded (``method`` still records
+            which estimator ran; see ``docs/robustness.md``).
     """
 
     itemset: Itemset
@@ -72,6 +78,7 @@ class ProbabilisticFrequentClosedItemset:
     upper: float
     method: str
     frequent_probability: float
+    provenance: str = "exact"
 
     def __str__(self) -> str:
         return f"{{{', '.join(map(str, self.itemset))}}}: {self.probability:.4f}"
@@ -85,6 +92,7 @@ class ProbabilisticFrequentClosedItemset:
             "upper": self.upper,
             "method": self.method,
             "frequent_probability": self.frequent_probability,
+            "provenance": self.provenance,
         }
 
 
@@ -449,17 +457,29 @@ class MPFCIMiner:
                 )
                 return
 
+        provenance = "exact"
         if len(events.events) <= config.exact_event_limit:
-            self.stats.fcp_exact_evaluations += 1
-            probability = min(
-                max(frequent - events.union_probability_exact(), 0.0), frequent
-            )
-            if probability > config.pfct:
-                self._emit(
-                    results, itemset, probability, probability, probability,
-                    "exact", frequent,
+            trigger = self._degradation_trigger(len(events.events))
+            if trigger is None:
+                self.stats.fcp_exact_evaluations += 1
+                probability = min(
+                    max(frequent - events.union_probability_exact(), 0.0), frequent
                 )
-            return
+                if probability > config.pfct:
+                    self._emit(
+                        results, itemset, probability, probability, probability,
+                        "exact", frequent,
+                    )
+                return
+            # Graceful degradation: the exact path would blow its budget (or
+            # the run its deadline), so fall back to the ApproxFCP estimator
+            # and tag the result so consumers can tell it apart.
+            self.stats.degraded_checks += 1
+            if trigger == "budget":
+                self.stats.degraded_by_budget += 1
+            else:
+                self.stats.degraded_by_deadline += 1
+            provenance = "approx-degraded"
 
         union_estimate, samples = approx_union_probability(
             events, config.epsilon, config.delta, self._rng
@@ -473,7 +493,30 @@ class MPFCIMiner:
                 max(probability - config.epsilon, 0.0),
                 min(probability + config.epsilon, 1.0),
                 "sampled", frequent,
+                provenance=provenance,
             )
+
+    def _degradation_trigger(self, num_events: int) -> Optional[str]:
+        """Why an exact-eligible check must degrade, or ``None`` to run it.
+
+        ``"budget"``: the worst-case inclusion–exclusion term count
+        (``2^m - 1``) exceeds ``config.exact_check_budget``.  ``"deadline"``:
+        the run's cumulative checking time (the ``check_phase_seconds``
+        accumulated by every *previous* check) has passed
+        ``config.check_deadline_seconds``.
+        """
+        config = self.config
+        if (
+            config.exact_check_budget is not None
+            and (1 << num_events) - 1 > config.exact_check_budget
+        ):
+            return "budget"
+        if (
+            config.check_deadline_seconds is not None
+            and self.stats.check_phase_seconds > config.check_deadline_seconds
+        ):
+            return "deadline"
+        return None
 
     def _emit(
         self,
@@ -484,6 +527,7 @@ class MPFCIMiner:
         upper: float,
         method: str,
         frequent: float,
+        provenance: str = "exact",
     ) -> None:
         results.append(
             ProbabilisticFrequentClosedItemset(
@@ -493,6 +537,7 @@ class MPFCIMiner:
                 upper=upper,
                 method=method,
                 frequent_probability=frequent,
+                provenance=provenance,
             )
         )
 

@@ -25,7 +25,7 @@ from __future__ import annotations
 
 import time
 from concurrent.futures import ProcessPoolExecutor
-from typing import List, Optional, Tuple
+from typing import List, NamedTuple, Optional, Tuple
 
 from .config import MinerConfig
 from .database import UncertainDatabase
@@ -33,7 +33,41 @@ from .itemsets import Item
 from .miner import MPFCIMiner, ProbabilisticFrequentClosedItemset
 from .stats import MiningStats
 
-__all__ = ["mine_pfci_parallel"]
+__all__ = ["BranchTask", "mine_pfci_parallel", "plan_root_branches"]
+
+
+class BranchTask(NamedTuple):
+    """One root branch of the prefix tree, ready to dispatch to a worker."""
+
+    item: Item
+    extensions: Tuple[Item, ...]
+    rank: int
+
+
+def plan_root_branches(
+    database: UncertainDatabase, config: MinerConfig
+) -> Tuple[List[BranchTask], MiningStats]:
+    """Run phase 1 (candidate filtering) once and split the root branches.
+
+    Returns the per-branch tasks in rank order plus the planner's
+    :class:`MiningStats` (candidate-phase counters and wall-clock), exactly
+    the work :meth:`MPFCIMiner.mine` performs before its DFS loop.  Both the
+    plain parallel driver and the supervised runtime
+    (:mod:`repro.runtime.supervisor`) start from this plan, so their branch
+    decomposition is identical by construction.
+    """
+    planner = MPFCIMiner(database, config)
+    planner_started = time.perf_counter()
+    engine_before = planner._engine.counters()
+    candidates = planner._candidate_items()
+    planner.stats.candidate_phase_seconds = time.perf_counter() - planner_started
+    planner._cache.apply_to(planner.stats)
+    planner._apply_engine_delta(engine_before)
+    tasks = [
+        BranchTask(item, tuple(candidates[position + 1 :]), position)
+        for position, item in enumerate(candidates)
+    ]
+    return tasks, planner.stats
 
 
 def _mine_branch_worker(
@@ -78,22 +112,12 @@ def mine_pfci_parallel(
     started = time.perf_counter()
     # The candidate filter is cheap and must run once, up front, exactly as
     # the serial miner does (phase 1 of the framework).
-    planner = MPFCIMiner(database, config)
-    planner_started = time.perf_counter()
-    engine_before = planner._engine.counters()
-    candidates = planner._candidate_items()
-    planner.stats.candidate_phase_seconds = time.perf_counter() - planner_started
-    planner._cache.apply_to(planner.stats)
-    planner._apply_engine_delta(engine_before)
+    tasks, planner_stats = plan_root_branches(database, config)
 
     merged = MiningStats()
-    merged.merge(planner.stats)
+    merged.merge(planner_stats)
     results: List[ProbabilisticFrequentClosedItemset] = []
-    if candidates:
-        tasks = [
-            (item, tuple(candidates[position + 1 :]), position)
-            for position, item in enumerate(candidates)
-        ]
+    if tasks:
         with ProcessPoolExecutor(max_workers=processes) as executor:
             futures = [
                 executor.submit(

@@ -70,6 +70,10 @@ class MiningStats:
     fcp_sampled_evaluations: int = 0
     monte_carlo_samples: int = 0
     frequent_probability_evaluations: int = 0
+    # --- graceful degradation (repro.runtime / MinerConfig budgets) -----
+    degraded_checks: int = 0
+    degraded_by_budget: int = 0
+    degraded_by_deadline: int = 0
     # --- tidset engine (repro.core.tidsets) -----------------------------
     tidset_intersections: int = 0
     tidset_words_anded: int = 0
@@ -93,6 +97,15 @@ class MiningStats:
     branches_screened_out: int = 0
     pmf_incremental_updates: int = 0
     pmf_full_rebuilds: int = 0
+    # --- supervised parallel runtime (repro.runtime.supervisor) ---------
+    branches_dispatched: int = 0
+    branch_retries: int = 0
+    branch_timeouts: int = 0
+    pool_rebuilds: int = 0
+    branches_recovered_inline: int = 0
+    branches_failed: int = 0
+    checkpoint_branches_written: int = 0
+    checkpoint_branches_skipped: int = 0
     # --- results and wall-clock ----------------------------------------
     results_emitted: int = 0
     elapsed_seconds: float = 0.0
@@ -190,6 +203,19 @@ class MiningStats:
                 "check_outcomes": self.check_outcomes,
                 "pmf_updates": self.pmf_updates,
                 "pmf_incremental_fraction": round(self.pmf_incremental_fraction, 6),
+            },
+            "runtime": {
+                "branches_dispatched": self.branches_dispatched,
+                "branch_retries": self.branch_retries,
+                "branch_timeouts": self.branch_timeouts,
+                "pool_rebuilds": self.pool_rebuilds,
+                "branches_recovered_inline": self.branches_recovered_inline,
+                "branches_failed": self.branches_failed,
+                "checkpoint_branches_written": self.checkpoint_branches_written,
+                "checkpoint_branches_skipped": self.checkpoint_branches_skipped,
+                "degraded_checks": self.degraded_checks,
+                "degraded_by_budget": self.degraded_by_budget,
+                "degraded_by_deadline": self.degraded_by_deadline,
             },
             "phases": {
                 "candidate_seconds": self.candidate_phase_seconds,

@@ -1,0 +1,58 @@
+"""Fault-tolerant mining runtime: supervision, checkpointing, fault injection.
+
+The serial miner (:mod:`repro.core.miner`) and the plain parallel driver
+(:mod:`repro.core.parallel`) assume every branch completes.  This package
+adds the operational layer for long or flaky runs:
+
+* :mod:`repro.runtime.supervisor` — :func:`mine_pfci_supervised` /
+  :func:`run_supervised`: per-branch timeouts, bounded retries with
+  preserved derived seeds, ``BrokenProcessPool`` recovery, and an inline
+  last-resort execution path;
+* :mod:`repro.runtime.checkpoint` — durable append-only JSONL branch
+  checkpoints with config fingerprinting, and :func:`resume` to continue an
+  interrupted run bit-identically;
+* :mod:`repro.runtime.faults` — deterministic fault injection
+  (:class:`FaultPlan`) used by the robustness test suite.
+"""
+
+from .checkpoint import (
+    Checkpoint,
+    CheckpointError,
+    CheckpointMismatchError,
+    CheckpointWriter,
+    config_fingerprint,
+    database_sha256,
+    load_checkpoint,
+    validate_fingerprint,
+)
+from .faults import BranchFault, FaultInjected, FaultPlan
+from .supervisor import (
+    BranchFailedError,
+    BranchOutcome,
+    SupervisorConfig,
+    SupervisorReport,
+    mine_pfci_supervised,
+    resume,
+    run_supervised,
+)
+
+__all__ = [
+    "BranchFailedError",
+    "BranchFault",
+    "BranchOutcome",
+    "Checkpoint",
+    "CheckpointError",
+    "CheckpointMismatchError",
+    "CheckpointWriter",
+    "FaultInjected",
+    "FaultPlan",
+    "SupervisorConfig",
+    "SupervisorReport",
+    "config_fingerprint",
+    "database_sha256",
+    "load_checkpoint",
+    "mine_pfci_supervised",
+    "resume",
+    "run_supervised",
+    "validate_fingerprint",
+]

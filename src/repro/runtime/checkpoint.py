@@ -1,0 +1,297 @@
+"""Append-only JSONL branch checkpoints for long mining runs.
+
+Format: line 1 is a header record carrying the run's *config fingerprint*
+(a SHA-256 of the database contents plus the full
+:class:`~repro.core.config.MinerConfig`); every later line is one completed
+root branch — its rank, branch item, serialized
+:class:`~repro.core.miner.ProbabilisticFrequentClosedItemset` list, and the
+branch's :class:`~repro.core.stats.MiningStats` delta::
+
+    {"kind": "header", "format": 1, "fingerprint": {...}}
+    {"kind": "branch", "rank": 0, "item": "a", "results": [...], "stats": {...}}
+    {"kind": "branch", "rank": 3, "item": "d", "results": [...], "stats": {...}}
+
+Each branch line is written as a single ``write()`` of the full line
+followed by ``flush`` + ``fsync``, so a crash can at worst leave one
+truncated *final* line — which :func:`load_checkpoint` tolerates and
+discards (the branch simply re-runs on resume).  A malformed line anywhere
+*before* the end is corruption and raises :class:`CheckpointError`.
+
+Resume safety rests on the fingerprint: branch decomposition, derived
+seeds, and every pruning decision are functions of (database, config), so a
+checkpoint is only replayable against the exact pair that produced it.
+:func:`validate_fingerprint` raises :class:`CheckpointMismatchError` naming
+the first differing field otherwise.
+
+Floats survive the JSON round-trip bit-for-bit (Python serializes them via
+``repr``, which is shortest-exact), which is what makes resumed runs
+*bit-identical* to uninterrupted ones — asserted in
+``tests/test_runtime_checkpoint.py``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from dataclasses import asdict, dataclass
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Union
+
+from ..core.config import MinerConfig
+from ..core.database import UncertainDatabase
+from ..core.itemsets import Item
+from ..core.miner import ProbabilisticFrequentClosedItemset
+from ..core.stats import MiningStats
+
+__all__ = [
+    "CheckpointError",
+    "CheckpointMismatchError",
+    "CheckpointWriter",
+    "BranchRecord",
+    "Checkpoint",
+    "config_fingerprint",
+    "database_sha256",
+    "load_checkpoint",
+    "validate_fingerprint",
+]
+
+FORMAT_VERSION = 1
+
+PathLike = Union[str, Path]
+
+
+class CheckpointError(ValueError):
+    """A checkpoint file is missing, corrupt, or structurally invalid."""
+
+
+class CheckpointMismatchError(CheckpointError):
+    """A checkpoint's fingerprint does not match the (database, config) pair."""
+
+
+# ----------------------------------------------------------------------
+# fingerprinting
+# ----------------------------------------------------------------------
+def database_sha256(database: UncertainDatabase) -> str:
+    """Stable content hash of an uncertain database.
+
+    Hashes every row's ``(tid, probability, items)`` in position order;
+    probabilities use ``repr`` so the hash is exact, not formatted.
+    """
+    digest = hashlib.sha256()
+    for txn in database:
+        row = "\t".join(
+            [txn.tid, repr(txn.probability), " ".join(str(item) for item in txn.items)]
+        )
+        digest.update(row.encode("utf-8"))
+        digest.update(b"\n")
+    return digest.hexdigest()
+
+
+def config_fingerprint(
+    database: UncertainDatabase, config: MinerConfig
+) -> Dict[str, Any]:
+    """The identity a checkpoint is valid against: database hash + full config."""
+    return {
+        "format": FORMAT_VERSION,
+        "database_sha256": database_sha256(database),
+        "transactions": len(database),
+        "config": asdict(config),
+    }
+
+
+def validate_fingerprint(
+    recorded: Dict[str, Any], expected: Dict[str, Any], path: PathLike
+) -> None:
+    """Raise :class:`CheckpointMismatchError` naming the first differing field."""
+    if recorded == expected:
+        return
+    for key in ("format", "database_sha256", "transactions"):
+        if recorded.get(key) != expected.get(key):
+            raise CheckpointMismatchError(
+                f"{path}: checkpoint {key} {recorded.get(key)!r} does not match "
+                f"this run's {expected.get(key)!r}"
+            )
+    recorded_config = recorded.get("config") or {}
+    expected_config = expected.get("config") or {}
+    for key in sorted(set(recorded_config) | set(expected_config)):
+        if recorded_config.get(key) != expected_config.get(key):
+            raise CheckpointMismatchError(
+                f"{path}: checkpoint was written with {key}="
+                f"{recorded_config.get(key)!r} but this run has "
+                f"{key}={expected_config.get(key)!r}"
+            )
+    raise CheckpointMismatchError(f"{path}: checkpoint fingerprint mismatch")
+
+
+# ----------------------------------------------------------------------
+# result (de)serialization
+# ----------------------------------------------------------------------
+def serialize_result(result: ProbabilisticFrequentClosedItemset) -> Dict[str, Any]:
+    """JSON form preserving item values (unlike ``to_dict``, which stringifies)."""
+    return {
+        "itemset": list(result.itemset),
+        "probability": result.probability,
+        "lower": result.lower,
+        "upper": result.upper,
+        "method": result.method,
+        "frequent_probability": result.frequent_probability,
+        "provenance": result.provenance,
+    }
+
+
+def deserialize_result(payload: Dict[str, Any]) -> ProbabilisticFrequentClosedItemset:
+    return ProbabilisticFrequentClosedItemset(
+        itemset=tuple(payload["itemset"]),
+        probability=payload["probability"],
+        lower=payload["lower"],
+        upper=payload["upper"],
+        method=payload["method"],
+        frequent_probability=payload["frequent_probability"],
+        provenance=payload.get("provenance", "exact"),
+    )
+
+
+def _stats_from_dict(payload: Dict[str, Any]) -> MiningStats:
+    known = MiningStats.__dataclass_fields__
+    return MiningStats(**{name: value for name, value in payload.items() if name in known})
+
+
+# ----------------------------------------------------------------------
+# reading
+# ----------------------------------------------------------------------
+@dataclass
+class BranchRecord:
+    """One completed branch recovered from a checkpoint."""
+
+    rank: int
+    item: Item
+    results: List[ProbabilisticFrequentClosedItemset]
+    stats: MiningStats
+
+
+@dataclass
+class Checkpoint:
+    """A parsed checkpoint: fingerprint plus completed branches by rank."""
+
+    fingerprint: Dict[str, Any]
+    branches: Dict[int, BranchRecord]
+
+
+def load_checkpoint(path: PathLike) -> Checkpoint:
+    """Parse a checkpoint file, tolerating a truncated final line.
+
+    Raises :class:`CheckpointError` when the file is missing, has no valid
+    header, or is corrupt anywhere before its last line.
+    """
+    path = Path(path)
+    if not path.exists():
+        raise CheckpointError(f"{path}: checkpoint file does not exist")
+    lines = path.read_text(encoding="utf-8").splitlines()
+    if not lines:
+        raise CheckpointError(f"{path}: checkpoint file is empty")
+
+    records: List[Dict[str, Any]] = []
+    for number, line in enumerate(lines, start=1):
+        if not line.strip():
+            continue
+        try:
+            records.append(json.loads(line))
+        except json.JSONDecodeError as error:
+            if number == len(lines):
+                # A crash mid-append leaves exactly one partial final line;
+                # the branch it described simply re-runs on resume.
+                break
+            raise CheckpointError(
+                f"{path}:{number}: corrupt checkpoint line: {error}"
+            ) from error
+
+    if not records or records[0].get("kind") != "header":
+        raise CheckpointError(f"{path}: first line is not a checkpoint header")
+    header = records[0]
+    if header.get("format") != FORMAT_VERSION:
+        raise CheckpointError(
+            f"{path}: unsupported checkpoint format {header.get('format')!r}"
+        )
+    fingerprint = header.get("fingerprint")
+    if not isinstance(fingerprint, dict):
+        raise CheckpointError(f"{path}: header carries no fingerprint")
+
+    branches: Dict[int, BranchRecord] = {}
+    for record in records[1:]:
+        if record.get("kind") != "branch":
+            raise CheckpointError(
+                f"{path}: unexpected record kind {record.get('kind')!r}"
+            )
+        rank = record["rank"]
+        branches[rank] = BranchRecord(
+            rank=rank,
+            item=record["item"],
+            results=[deserialize_result(entry) for entry in record["results"]],
+            stats=_stats_from_dict(record["stats"]),
+        )
+    return Checkpoint(fingerprint=fingerprint, branches=branches)
+
+
+# ----------------------------------------------------------------------
+# writing
+# ----------------------------------------------------------------------
+class CheckpointWriter:
+    """Append-only writer; one durable line per completed branch.
+
+    ``fresh=True`` truncates and writes a new header; ``fresh=False``
+    (resume) appends to the existing file, whose header must already have
+    been validated by the caller.
+    """
+
+    def __init__(
+        self, path: PathLike, fingerprint: Dict[str, Any], fresh: bool = True
+    ) -> None:
+        self.path = Path(path)
+        self.fingerprint = fingerprint
+        mode = "w" if fresh else "a"
+        self._handle: Optional[Any] = self.path.open(mode, encoding="utf-8")
+        if fresh:
+            self._write_line(
+                {
+                    "kind": "header",
+                    "format": FORMAT_VERSION,
+                    "fingerprint": fingerprint,
+                }
+            )
+
+    def _write_line(self, payload: Dict[str, Any]) -> None:
+        if self._handle is None:
+            raise CheckpointError(f"{self.path}: writer is closed")
+        self._handle.write(json.dumps(payload, sort_keys=True) + "\n")
+        self._handle.flush()
+        os.fsync(self._handle.fileno())
+
+    def write_branch(
+        self,
+        rank: int,
+        item: Item,
+        results: List[ProbabilisticFrequentClosedItemset],
+        stats: MiningStats,
+    ) -> None:
+        """Durably record one completed branch (results + stats delta)."""
+        self._write_line(
+            {
+                "kind": "branch",
+                "rank": rank,
+                "item": item,
+                "results": [serialize_result(result) for result in results],
+                "stats": stats.as_dict(),
+            }
+        )
+
+    def close(self) -> None:
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+    def __enter__(self) -> "CheckpointWriter":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()

@@ -1,0 +1,105 @@
+"""Deterministic fault injection for the supervised mining runtime.
+
+A :class:`FaultPlan` scripts worker failures by branch rank so the
+supervisor's recovery paths (retry, pool rebuild, inline fallback) can be
+exercised reproducibly in tests: a chosen branch can raise an exception,
+hang past the supervisor's branch timeout, or hard-exit its worker process
+(which surfaces to the parent as ``BrokenProcessPool``).
+
+Faults are keyed on ``(rank, attempt)``: a :class:`BranchFault` with
+``attempts=1`` fires only on the branch's first attempt, so the retry path
+succeeds; ``attempts`` large enough to outlast the retry budget exercises
+the inline fallback and the failure-reporting path.  The plan itself is an
+immutable value object — it travels to worker processes by pickling, and the
+attempt number is passed in by the supervisor, so no cross-process state is
+needed and every run of the same plan fails identically.
+
+When a branch is executed *inline* (the supervisor's in-process last
+resort), process-level faults cannot be allowed to take the whole run down:
+``apply(..., inline=True)`` converts ``"hang"`` and ``"exit"`` faults into
+:class:`FaultInjected` errors instead.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import dataclass, field
+from typing import Mapping, Optional
+
+__all__ = ["BranchFault", "FaultInjected", "FaultPlan"]
+
+_VALID_KINDS = ("raise", "hang", "exit")
+
+# Distinctive worker exit status for injected "exit" faults, so a genuine
+# crash is distinguishable from an injected one in process listings.
+_EXIT_STATUS = 23
+
+
+class FaultInjected(RuntimeError):
+    """Raised by an injected ``"raise"`` fault (or any fault applied inline)."""
+
+
+@dataclass(frozen=True)
+class BranchFault:
+    """One scripted failure mode for a branch.
+
+    Attributes:
+        kind: ``"raise"`` (worker raises :class:`FaultInjected`), ``"hang"``
+            (worker sleeps ``hang_seconds``, tripping the supervisor's
+            branch timeout), or ``"exit"`` (worker process hard-exits,
+            breaking the pool).
+        attempts: the fault fires while ``attempt < attempts``; later
+            attempts run the branch normally.
+        hang_seconds: sleep duration of ``"hang"`` faults.  The supervisor
+            kills hung workers when the branch timeout fires, so this only
+            bounds how long a *leaked* worker could linger.
+    """
+
+    kind: str
+    attempts: int = 1
+    hang_seconds: float = 30.0
+
+    def __post_init__(self) -> None:
+        if self.kind not in _VALID_KINDS:
+            raise ValueError(
+                f"unknown fault kind {self.kind!r} (expected one of {_VALID_KINDS})"
+            )
+        if self.attempts < 1:
+            raise ValueError(f"attempts must be >= 1, got {self.attempts}")
+        if self.hang_seconds <= 0.0:
+            raise ValueError(f"hang_seconds must be > 0, got {self.hang_seconds}")
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """Branch-rank → fault script, applied inside the worker entry point."""
+
+    branch_faults: Mapping[int, BranchFault] = field(default_factory=dict)
+
+    def fault_for(self, rank: int, attempt: int) -> Optional[BranchFault]:
+        """The fault to inject for this ``(rank, attempt)``, if any."""
+        fault = self.branch_faults.get(rank)
+        if fault is not None and attempt < fault.attempts:
+            return fault
+        return None
+
+    def apply(self, rank: int, attempt: int, inline: bool = False) -> None:
+        """Execute the scripted fault for ``(rank, attempt)``, if any.
+
+        Called by the worker entry point before mining starts.  ``inline``
+        marks in-process execution, where process-level faults (``"hang"``,
+        ``"exit"``) degrade to :class:`FaultInjected` so the injected
+        failure cannot stall or kill the supervisor itself.
+        """
+        fault = self.fault_for(rank, attempt)
+        if fault is None:
+            return
+        if fault.kind == "raise" or inline:
+            raise FaultInjected(
+                f"injected {fault.kind!r} fault on branch {rank}, attempt {attempt}"
+            )
+        if fault.kind == "hang":
+            time.sleep(fault.hang_seconds)
+            return
+        os._exit(_EXIT_STATUS)

@@ -1,0 +1,9 @@
+"""RUNTIME-PICKLE bad fixture: lambda literal submitted to a pool."""
+
+from concurrent.futures import ProcessPoolExecutor
+
+
+def run(values):
+    with ProcessPoolExecutor() as pool:
+        futures = [pool.submit(lambda value: value * 2, value) for value in values]
+    return [future.result() for future in futures]

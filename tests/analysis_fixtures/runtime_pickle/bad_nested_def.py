@@ -1,0 +1,19 @@
+"""RUNTIME-PICKLE bad fixture: nested def and local lambda submitted."""
+
+from concurrent.futures import ProcessPoolExecutor
+
+
+def run(values):
+    def double(value):
+        return value * 2
+
+    with ProcessPoolExecutor() as pool:
+        futures = [pool.submit(double, value) for value in values]
+    return [future.result() for future in futures]
+
+
+def run_bound_lambda(values):
+    triple = lambda value: value * 3  # noqa: E731
+    with ProcessPoolExecutor() as pool:
+        futures = [pool.submit(triple, value) for value in values]
+    return [future.result() for future in futures]

@@ -1,0 +1,22 @@
+"""RUNTIME-PICKLE good fixture: module-level workers pickle by name."""
+
+from concurrent.futures import ProcessPoolExecutor
+
+from some_library import imported_worker
+
+
+def double(value):
+    return value * 2
+
+
+def run(values):
+    with ProcessPoolExecutor() as pool:
+        futures = [pool.submit(double, value) for value in values]
+    return [future.result() for future in futures]
+
+
+def run_imported(values):
+    # Unresolvable / imported names are assumed picklable.
+    with ProcessPoolExecutor() as pool:
+        futures = [pool.submit(imported_worker, value) for value in values]
+    return [future.result() for future in futures]

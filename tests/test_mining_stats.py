@@ -225,7 +225,9 @@ class TestStatsObject:
         miner = MPFCIMiner(paper_table2_database(), MinerConfig(min_sup=2))
         miner.mine()
         report = miner.stats.report()
-        assert set(report) == {"counters", "derived", "phases"}
+        assert set(report) == {"counters", "derived", "runtime", "phases"}
+        assert report["runtime"]["branch_retries"] == 0
+        assert report["runtime"]["degraded_checks"] == 0
         assert report["counters"] == miner.stats.as_dict()
         assert report["derived"]["dp_requests"] == miner.stats.dp_requests
         assert report["derived"]["check_outcomes"] == miner.stats.checks_performed

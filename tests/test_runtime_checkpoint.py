@@ -1,0 +1,222 @@
+"""Checkpoint/resume tests: durability, bit-identical continuation, refusal.
+
+The contract under test (docs/robustness.md): interrupting a supervised run
+and resuming from its checkpoint yields the *same* results — bit-identical
+probabilities, same ordering — and merged stats equal to the uninterrupted
+run's on every mining counter; a checkpoint from a different (database,
+config) pair is refused with a named mismatch.
+"""
+
+import json
+
+import pytest
+
+from repro.core.config import MinerConfig
+from repro.core.database import UncertainDatabase, paper_table2_database
+from repro.core.miner import MPFCIMiner, ProbabilisticFrequentClosedItemset
+from repro.core.stats import MiningStats
+from repro.runtime import (
+    BranchFailedError,
+    BranchFault,
+    CheckpointError,
+    CheckpointMismatchError,
+    FaultPlan,
+    SupervisorConfig,
+    config_fingerprint,
+    load_checkpoint,
+    resume,
+    run_supervised,
+    validate_fingerprint,
+)
+from repro.runtime.checkpoint import (
+    CheckpointWriter,
+    deserialize_result,
+    serialize_result,
+)
+
+# Mining counters must merge identically across interrupted and
+# uninterrupted runs; supervision/checkpoint bookkeeping legitimately
+# differs (a resumed run dispatches fewer branches and skips some), and
+# wall-clock floats are never comparable.
+SUPERVISION_FIELDS = {
+    "branches_dispatched",
+    "branch_retries",
+    "branch_timeouts",
+    "pool_rebuilds",
+    "branches_recovered_inline",
+    "branches_failed",
+    "checkpoint_branches_written",
+    "checkpoint_branches_skipped",
+}
+
+
+def mining_counters(stats: MiningStats):
+    return {
+        name: value
+        for name, value in stats.as_dict().items()
+        if isinstance(value, int) and name not in SUPERVISION_FIELDS
+    }
+
+
+def result_key(results):
+    return [
+        (
+            result.itemset,
+            result.probability,
+            result.lower,
+            result.upper,
+            result.method,
+            result.frequent_probability,
+            result.provenance,
+        )
+        for result in results
+    ]
+
+
+@pytest.fixture(scope="module")
+def database():
+    return paper_table2_database()
+
+
+@pytest.fixture(scope="module")
+def config():
+    return MinerConfig(min_sup=2, pfct=0.5, exact_event_limit=12, seed=7)
+
+
+class TestSerialization:
+    def test_result_roundtrip_is_bitwise(self):
+        result = ProbabilisticFrequentClosedItemset(
+            itemset=("a", "c"),
+            probability=0.1 + 0.2,  # 0.30000000000000004: repr-exact roundtrip
+            lower=1.0 / 3.0,
+            upper=2.0 / 3.0,
+            method="sampled",
+            frequent_probability=0.875400000000001,
+            provenance="approx-degraded",
+        )
+        payload = json.loads(json.dumps(serialize_result(result)))
+        assert deserialize_result(payload) == result
+
+    def test_provenance_defaults_to_exact_on_old_records(self):
+        payload = serialize_result(
+            ProbabilisticFrequentClosedItemset(("a",), 0.9, 0.9, 0.9, "exact", 0.9)
+        )
+        del payload["provenance"]
+        assert deserialize_result(payload).provenance == "exact"
+
+
+class TestCheckpointFile:
+    def test_roundtrip(self, tmp_path, database, config):
+        path = tmp_path / "run.ckpt"
+        report = run_supervised(database, config, processes=2, checkpoint_path=path)
+        checkpoint = load_checkpoint(path)
+        assert checkpoint.fingerprint == config_fingerprint(database, config)
+        assert len(checkpoint.branches) == len(report.outcomes)
+        restored = [
+            result
+            for rank in sorted(checkpoint.branches)
+            for result in checkpoint.branches[rank].results
+        ]
+        restored.sort(key=lambda result: (len(result.itemset), result.itemset))
+        assert result_key(restored) == result_key(report.results)
+        assert report.stats.checkpoint_branches_written == len(checkpoint.branches)
+
+    def test_truncated_final_line_is_tolerated(self, tmp_path, database, config):
+        path = tmp_path / "run.ckpt"
+        run_supervised(database, config, processes=2, checkpoint_path=path)
+        complete = load_checkpoint(path)
+        # Simulate a crash mid-append: the last line is half-written.
+        text = path.read_text()
+        path.write_text(text[: text.rindex("\n", 0, len(text) - 1) + 1] + '{"kind": "bra')
+        truncated = load_checkpoint(path)
+        assert len(truncated.branches) == len(complete.branches) - 1
+
+    def test_mid_file_corruption_raises(self, tmp_path, database, config):
+        path = tmp_path / "run.ckpt"
+        run_supervised(database, config, processes=2, checkpoint_path=path)
+        lines = path.read_text().splitlines(True)
+        lines[1] = "NOT JSON\n"
+        path.write_text("".join(lines))
+        with pytest.raises(CheckpointError, match="corrupt"):
+            load_checkpoint(path)
+
+    def test_missing_or_headerless_file_raises(self, tmp_path):
+        with pytest.raises(CheckpointError, match="does not exist"):
+            load_checkpoint(tmp_path / "absent.ckpt")
+        path = tmp_path / "headerless.ckpt"
+        path.write_text('{"kind": "branch", "rank": 0}\n')
+        with pytest.raises(CheckpointError, match="header"):
+            load_checkpoint(path)
+
+    def test_fresh_writer_truncates(self, tmp_path, database, config):
+        path = tmp_path / "run.ckpt"
+        path.write_text("stale content that is not a checkpoint\n")
+        with CheckpointWriter(path, config_fingerprint(database, config)):
+            pass
+        checkpoint = load_checkpoint(path)
+        assert checkpoint.branches == {}
+
+
+class TestResume:
+    def test_interrupted_run_resumes_bit_identically(self, tmp_path, database, config):
+        """The acceptance scenario: a run is killed partway (fail_fast on an
+        always-faulting branch), then resumed without the fault.  Results
+        and merged mining counters equal the uninterrupted run's."""
+        uninterrupted = run_supervised(database, config, processes=2)
+
+        path = tmp_path / "run.ckpt"
+        plan = FaultPlan({3: BranchFault("raise", attempts=99)})
+        with pytest.raises(BranchFailedError):
+            run_supervised(
+                database, config, processes=2, checkpoint_path=path,
+                supervisor=SupervisorConfig(max_retries=0, fail_fast=True),
+                fault_plan=plan,
+            )
+        interrupted = load_checkpoint(path)
+        assert 0 < len(interrupted.branches) < len(uninterrupted.outcomes)
+
+        resumed = resume(database, config, path, processes=2)
+        assert result_key(resumed.results) == result_key(uninterrupted.results)
+        assert mining_counters(resumed.stats) == mining_counters(uninterrupted.stats)
+        assert resumed.stats.checkpoint_branches_skipped == len(interrupted.branches)
+        statuses = {o.rank: o.status for o in resumed.outcomes}
+        for rank in interrupted.branches:
+            assert statuses[rank] == "checkpointed"
+
+        # The checkpoint now holds every branch: resuming again mines nothing.
+        idle = resume(database, config, path, processes=2)
+        assert result_key(idle.results) == result_key(uninterrupted.results)
+        assert idle.stats.branches_dispatched == 0
+
+    def test_resume_refuses_mismatched_config(self, tmp_path, database, config):
+        path = tmp_path / "run.ckpt"
+        run_supervised(database, config, processes=2, checkpoint_path=path)
+        with pytest.raises(CheckpointMismatchError, match="min_sup"):
+            resume(database, config.variant(min_sup=3), path)
+        with pytest.raises(CheckpointMismatchError, match="seed"):
+            resume(database, config.variant(seed=8), path)
+
+    def test_resume_refuses_mismatched_database(self, tmp_path, database, config):
+        path = tmp_path / "run.ckpt"
+        run_supervised(database, config, processes=2, checkpoint_path=path)
+        smaller = UncertainDatabase(list(database)[:-1])
+        with pytest.raises(CheckpointMismatchError, match="database_sha256"):
+            resume(smaller, config, path)
+
+    def test_validate_fingerprint_names_first_difference(self, database, config):
+        fingerprint = config_fingerprint(database, config)
+        other = config_fingerprint(database, config.variant(pfct=0.25))
+        with pytest.raises(CheckpointMismatchError, match="pfct"):
+            validate_fingerprint(other, fingerprint, "x.ckpt")
+        validate_fingerprint(fingerprint, dict(fingerprint), "x.ckpt")  # equal: ok
+
+    def test_resume_after_truncated_tail_remines_that_branch(
+        self, tmp_path, database, config
+    ):
+        path = tmp_path / "run.ckpt"
+        uninterrupted = run_supervised(database, config, processes=2, checkpoint_path=path)
+        text = path.read_text()
+        path.write_text(text[: text.rindex("\n", 0, len(text) - 1) + 1] + '{"kind"')
+        resumed = resume(database, config, path, processes=2)
+        assert result_key(resumed.results) == result_key(uninterrupted.results)
+        assert resumed.stats.branches_dispatched == 1

@@ -171,3 +171,61 @@ class TestConvenienceAPI:
         assert len(deltas) == 6
         assert len(monitor.window) == 7
         assert "PFCIMonitor" in repr(monitor)
+
+
+class TestPMFStabilityFallback:
+    def test_unstable_deconvolution_falls_back_to_full_rebuild(self, monkeypatch):
+        """When eviction-time deconvolution raises PMFStabilityError, the
+        monitor rebuilds the item's PMF from scratch: the state afterwards
+        matches the from-scratch support DP to 1e-12 and the maintained
+        result set stays exact."""
+        import numpy as np
+
+        import repro.streaming.monitor as monitor_module
+        from repro.core.support import PMFStabilityError, support_pmf
+
+        rng = random.Random(29)
+        # refresh_interval large enough that no scheduled rebuild interferes
+        # with the fault-driven one inside the probe slide.
+        monitor = PFCIMonitor(CONFIG, window=20, refresh_interval=10**6)
+        for number in range(25):  # past capacity: every slide now evicts
+            monitor.slide(random_transaction(rng, number))
+
+        real_pmf_remove = monitor_module.pmf_remove
+        failures = []
+
+        def flaky_pmf_remove(pmf, probability):
+            if not failures:
+                failures.append((np.asarray(pmf, dtype=float), probability))
+                raise PMFStabilityError("injected: deconvolution unstable")
+            return real_pmf_remove(pmf, probability)
+
+        monkeypatch.setattr(monitor_module, "pmf_remove", flaky_pmf_remove)
+
+        rebuilds_before = monitor.stats.pmf_full_rebuilds
+        # All-items transaction: the eviction is guaranteed to touch some
+        # tracked item, so the flaky deconvolution actually runs.
+        monitor.slide(UncertainTransaction("PROBE", tuple(ITEMS), 0.7))
+        assert failures, "eviction never reached pmf_remove"
+        assert monitor.stats.pmf_full_rebuilds == rebuilds_before + 1
+
+        # Every maintained per-item PMF — the rebuilt one included — matches
+        # the from-scratch DP over the live window.
+        for item, state in monitor._states.items():
+            scratch = support_pmf(monitor.window.item_probabilities(item))
+            assert state.pmf is not None
+            assert len(state.pmf) == len(scratch)
+            assert float(np.abs(np.asarray(state.pmf) - scratch).max()) <= 1e-12
+
+        # And the result set is still exact against a from-scratch mine.
+        scratch_results = MPFCIMiner(monitor.window.snapshot(), CONFIG).mine()
+        assert [result_key(r) for r in monitor.results()] == [
+            result_key(r) for r in scratch_results
+        ]
+
+        # Later slides keep using the incremental path (the fallback is
+        # per-event, not a permanent downgrade).
+        incremental_before = monitor.stats.pmf_incremental_updates
+        for number in range(26, 30):
+            monitor.slide(random_transaction(rng, number))
+        assert monitor.stats.pmf_incremental_updates > incremental_before
