@@ -274,14 +274,25 @@ def _command_mine(args: argparse.Namespace) -> int:
         )
     except ValueError as error:
         return _error(str(error))
-    supervised = (
-        args.checkpoint is not None
-        or args.resume is not None
-        or args.branch_timeout is not None
-        or args.max_retries is not None
-    )
-    if (args.processes is not None or supervised) and args.framework != "dfs":
-        print("--processes is only supported with --framework dfs", file=sys.stderr)
+    dfs_only_flags = [
+        name
+        for name, value in (
+            ("--processes", args.processes),
+            ("--checkpoint", args.checkpoint),
+            ("--resume", args.resume),
+            ("--branch-timeout", args.branch_timeout),
+            ("--max-retries", args.max_retries),
+        )
+        if value is not None
+    ]
+    supervised = any(flag != "--processes" for flag in dfs_only_flags)
+    if dfs_only_flags and args.framework != "dfs":
+        verb = "is" if len(dfs_only_flags) == 1 else "are"
+        print(
+            f"{'/'.join(dfs_only_flags)} {verb} only supported with "
+            "--framework dfs",
+            file=sys.stderr,
+        )
         return 2
     if args.processes is not None and args.processes < 1:
         print("--processes must be >= 1", file=sys.stderr)

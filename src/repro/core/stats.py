@@ -101,6 +101,7 @@ class MiningStats:
     branches_dispatched: int = 0
     branch_retries: int = 0
     branch_timeouts: int = 0
+    branch_collateral_restarts: int = 0
     pool_rebuilds: int = 0
     branches_recovered_inline: int = 0
     branches_failed: int = 0
@@ -208,6 +209,7 @@ class MiningStats:
                 "branches_dispatched": self.branches_dispatched,
                 "branch_retries": self.branch_retries,
                 "branch_timeouts": self.branch_timeouts,
+                "branch_collateral_restarts": self.branch_collateral_restarts,
                 "pool_rebuilds": self.pool_rebuilds,
                 "branches_recovered_inline": self.branches_recovered_inline,
                 "branches_failed": self.branches_failed,

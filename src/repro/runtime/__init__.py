@@ -22,6 +22,7 @@ from .checkpoint import (
     CheckpointWriter,
     config_fingerprint,
     database_sha256,
+    has_checkpoint_header,
     load_checkpoint,
     validate_fingerprint,
 )
@@ -50,6 +51,7 @@ __all__ = [
     "SupervisorReport",
     "config_fingerprint",
     "database_sha256",
+    "has_checkpoint_header",
     "load_checkpoint",
     "mine_pfci_supervised",
     "resume",

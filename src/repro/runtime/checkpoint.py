@@ -14,8 +14,17 @@ branch's :class:`~repro.core.stats.MiningStats` delta::
 Each branch line is written as a single ``write()`` of the full line
 followed by ``flush`` + ``fsync``, so a crash can at worst leave one
 truncated *final* line — which :func:`load_checkpoint` tolerates and
-discards (the branch simply re-runs on resume).  A malformed line anywhere
+discards (the branch simply re-runs on resume).  A line missing its
+terminating newline is treated as truncated even if its prefix parses as
+JSON, because it was never durably committed.  A malformed line anywhere
 *before* the end is corruption and raises :class:`CheckpointError`.
+
+:func:`load_checkpoint` also reports ``valid_bytes`` — the file offset just
+past the last durable record.  Resume passes it to
+``CheckpointWriter(fresh=False, truncate_to=...)``, which truncates the
+crash-damaged tail before appending; without that, the first re-mined
+branch would be written onto the partial line, merging into one corrupt
+record mid-file and making every later load fail.
 
 Resume safety rests on the fingerprint: branch decomposition, derived
 seeds, and every pruning decision are functions of (database, config), so a
@@ -52,6 +61,7 @@ __all__ = [
     "Checkpoint",
     "config_fingerprint",
     "database_sha256",
+    "has_checkpoint_header",
     "load_checkpoint",
     "validate_fingerprint",
 ]
@@ -172,10 +182,16 @@ class BranchRecord:
 
 @dataclass
 class Checkpoint:
-    """A parsed checkpoint: fingerprint plus completed branches by rank."""
+    """A parsed checkpoint: fingerprint plus completed branches by rank.
+
+    ``valid_bytes`` is the file offset just past the last durable
+    (newline-terminated, valid-JSON) record; anything beyond it is a
+    crash-truncated tail that resume must cut off before appending.
+    """
 
     fingerprint: Dict[str, Any]
     branches: Dict[int, BranchRecord]
+    valid_bytes: int = 0
 
 
 def load_checkpoint(path: PathLike) -> Checkpoint:
@@ -187,24 +203,39 @@ def load_checkpoint(path: PathLike) -> Checkpoint:
     path = Path(path)
     if not path.exists():
         raise CheckpointError(f"{path}: checkpoint file does not exist")
-    lines = path.read_text(encoding="utf-8").splitlines()
-    if not lines:
+    data = path.read_bytes()
+    if not data:
         raise CheckpointError(f"{path}: checkpoint file is empty")
 
+    raw_lines = data.splitlines(keepends=True)
     records: List[Dict[str, Any]] = []
-    for number, line in enumerate(lines, start=1):
-        if not line.strip():
+    valid_bytes = 0
+    consumed = 0
+    for number, raw in enumerate(raw_lines, start=1):
+        consumed += len(raw)
+        final = number == len(raw_lines)
+        terminated = raw.endswith(b"\n")
+        if not raw.strip():
+            if terminated:
+                valid_bytes = consumed
             continue
+        if not terminated:
+            # A line without its newline was never durably committed: a
+            # crash mid-append leaves exactly one such partial final line
+            # (possibly a valid-JSON prefix), and the branch it described
+            # simply re-runs on resume.
+            if final:
+                break
+            raise CheckpointError(f"{path}:{number}: unterminated checkpoint line")
         try:
-            records.append(json.loads(line))
-        except json.JSONDecodeError as error:
-            if number == len(lines):
-                # A crash mid-append leaves exactly one partial final line;
-                # the branch it described simply re-runs on resume.
+            records.append(json.loads(raw.decode("utf-8")))
+        except (json.JSONDecodeError, UnicodeDecodeError) as error:
+            if final:
                 break
             raise CheckpointError(
                 f"{path}:{number}: corrupt checkpoint line: {error}"
             ) from error
+        valid_bytes = consumed
 
     if not records or records[0].get("kind") != "header":
         raise CheckpointError(f"{path}: first line is not a checkpoint header")
@@ -230,7 +261,30 @@ def load_checkpoint(path: PathLike) -> Checkpoint:
             results=[deserialize_result(entry) for entry in record["results"]],
             stats=_stats_from_dict(record["stats"]),
         )
-    return Checkpoint(fingerprint=fingerprint, branches=branches)
+    return Checkpoint(
+        fingerprint=fingerprint, branches=branches, valid_bytes=valid_bytes
+    )
+
+
+def has_checkpoint_header(path: PathLike) -> bool:
+    """True when ``path`` exists and its first line is a checkpoint header.
+
+    Used to refuse starting a *fresh* run onto a path that already holds a
+    previous run's checkpoint — truncating it on a ``--checkpoint`` /
+    ``--resume`` mix-up would destroy exactly the progress the feature
+    exists to preserve.
+    """
+    path = Path(path)
+    try:
+        with path.open("rb") as handle:
+            first = handle.readline()
+    except OSError:
+        return False
+    try:
+        record = json.loads(first.decode("utf-8"))
+    except (json.JSONDecodeError, UnicodeDecodeError):
+        return False
+    return isinstance(record, dict) and record.get("kind") == "header"
 
 
 # ----------------------------------------------------------------------
@@ -241,11 +295,18 @@ class CheckpointWriter:
 
     ``fresh=True`` truncates and writes a new header; ``fresh=False``
     (resume) appends to the existing file, whose header must already have
-    been validated by the caller.
+    been validated by the caller.  On resume, pass the loaded checkpoint's
+    ``valid_bytes`` as ``truncate_to`` so a crash-truncated tail is cut off
+    before the first append — otherwise the new record would merge with the
+    partial line into mid-file corruption that no later load tolerates.
     """
 
     def __init__(
-        self, path: PathLike, fingerprint: Dict[str, Any], fresh: bool = True
+        self,
+        path: PathLike,
+        fingerprint: Dict[str, Any],
+        fresh: bool = True,
+        truncate_to: Optional[int] = None,
     ) -> None:
         self.path = Path(path)
         self.fingerprint = fingerprint
@@ -259,6 +320,12 @@ class CheckpointWriter:
                     "fingerprint": fingerprint,
                 }
             )
+        elif truncate_to is not None:
+            # Append mode writes at EOF regardless of position, so after
+            # the truncate every new record starts on its own line.
+            self._handle.truncate(truncate_to)
+            self._handle.flush()
+            os.fsync(self._handle.fileno())
 
     def _write_line(self, payload: Dict[str, Any]) -> None:
         if self._handle is None:

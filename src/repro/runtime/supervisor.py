@@ -6,11 +6,15 @@ branch.  This module wraps the same branch decomposition
 (:func:`~repro.core.parallel.plan_root_branches`) in a supervision loop that
 treats worker failure as a normal event:
 
-* **per-branch timeouts** — each dispatched branch carries a wall-clock
-  deadline (measured from dispatch, so it covers queue wait too); when a
-  branch overruns it, the pool's worker processes are terminated (a hung
-  worker cannot be cancelled through ``ProcessPoolExecutor``), the pool is
-  rebuilt, and only unfinished branches are re-dispatched;
+* **per-branch timeouts** — each branch's wall-clock deadline starts when
+  it begins *running* on a worker (queued branches cannot time out while
+  they wait for a slot); when a branch overruns it, the pool's worker
+  processes are terminated (a hung worker cannot be cancelled through
+  ``ProcessPoolExecutor``), the pool is rebuilt, and only unfinished
+  branches are re-dispatched.  Only the timed-out branch is charged an
+  attempt — other in-flight branches lost to the kill are collateral and
+  are re-dispatched without consuming their retry budget
+  (``branch_collateral_restarts``);
 * **bounded retries with backoff** — a failed/timed-out branch is retried up
   to ``max_retries`` times with exponential backoff; its derived seed
   (``config.seed + rank``, the same rule the plain parallel driver uses) is
@@ -33,7 +37,8 @@ treats worker failure as a normal event:
 
 Every recovery action increments a ``MiningStats`` counter
 (``branches_dispatched``, ``branch_retries``, ``branch_timeouts``,
-``pool_rebuilds``, ``branches_recovered_inline``, ``branches_failed``,
+``branch_collateral_restarts``, ``pool_rebuilds``,
+``branches_recovered_inline``, ``branches_failed``,
 ``checkpoint_branches_written``, ``checkpoint_branches_skipped``), all
 surfaced in ``MiningStats.report()["runtime"]``.
 
@@ -63,6 +68,7 @@ from .checkpoint import (
     CheckpointError,
     CheckpointWriter,
     config_fingerprint,
+    has_checkpoint_header,
     load_checkpoint,
     validate_fingerprint,
 )
@@ -92,9 +98,11 @@ class SupervisorConfig:
     """Recovery policy of the supervised runtime.
 
     Attributes:
-        branch_timeout_seconds: wall-clock budget per dispatched branch,
-            measured from dispatch (``None`` = no timeout).  An overrun
-            branch is treated as hung: the pool is killed and rebuilt.
+        branch_timeout_seconds: wall-clock budget per branch, measured from
+            the moment it starts running on a worker, so queue wait never
+            counts against it (``None`` = no timeout).  An overrun branch
+            is treated as hung: the pool is killed and rebuilt, and only
+            the overrun branch is charged an attempt.
         max_retries: pool attempts per branch beyond the first; after the
             budget is spent the branch falls back to inline execution.
         backoff_base_seconds / backoff_multiplier / backoff_cap_seconds:
@@ -383,12 +391,9 @@ class _Supervision:
             )
             self.merged.branches_dispatched += 1
             futures[future] = task
-            if supervisor.branch_timeout_seconds is not None:
-                deadlines[future] = (
-                    time.monotonic() + supervisor.branch_timeout_seconds
-                )
 
         pool_broken = False
+        timeout_kill = False
         while futures:
             done, _ = wait(
                 set(futures),
@@ -422,9 +427,17 @@ class _Supervision:
             if pool_broken:
                 break
 
-            # Deadline sweep: any overdue branch means a hung worker that
-            # only a pool kill can dislodge.
+            if supervisor.branch_timeout_seconds is None:
+                continue
+
+            # Deadline sweep: a branch's clock starts when it begins
+            # running on a worker, so queued branches never time out while
+            # they wait for a slot.  Any overdue branch means a hung worker
+            # that only a pool kill can dislodge.
             now = time.monotonic()
+            for future in futures:
+                if future not in deadlines and future.running():
+                    deadlines[future] = now + supervisor.branch_timeout_seconds
             overdue = [
                 future for future, deadline in deadlines.items() if now > deadline
             ]
@@ -437,16 +450,24 @@ class _Supervision:
                     logger.warning(
                         "branch %d (%r) attempt %d timed out after %.3fs",
                         task.rank, task.item, self.attempts[task.rank],
-                        supervisor.branch_timeout_seconds or 0.0,
+                        supervisor.branch_timeout_seconds,
                     )
                 pool_broken = True
+                timeout_kill = True
                 break
 
         if pool_broken:
-            # Unattributable breakage (or a timeout kill): charge every
-            # branch that was in flight, rebuild, re-dispatch the rest.
             for future, task in futures.items():
-                self._charge_attempt(task.rank)
+                if timeout_kill:
+                    # The kill is attributable to the timed-out branch(es),
+                    # already charged above; everything else in flight is
+                    # collateral and keeps its full retry budget.
+                    self.merged.branch_collateral_restarts += 1
+                else:
+                    # Unattributable breakage (BrokenProcessPool): no single
+                    # branch can be blamed, so every in-flight branch is
+                    # charged one attempt.
+                    self._charge_attempt(task.rank)
             _terminate_pool(pool)
             self.merged.pool_rebuilds += 1
             return ProcessPoolExecutor(max_workers=self.processes)
@@ -471,7 +492,10 @@ def run_supervised(
         database / config / processes: as :func:`mine_pfci_parallel`.
         supervisor: recovery policy (defaults to :class:`SupervisorConfig`).
         checkpoint_path: when set, append every completed branch to this
-            JSONL checkpoint.
+            JSONL checkpoint.  Without ``resume_from_checkpoint``, a path
+            that already holds a checkpoint is refused
+            (:class:`~repro.runtime.checkpoint.CheckpointError`) instead of
+            silently truncated.
         resume_from_checkpoint: load ``checkpoint_path`` first, validate its
             config fingerprint against (database, config), skip the branches
             it already holds, and keep appending to the same file.
@@ -507,8 +531,18 @@ def run_supervised(
                     rank=rank, item=record.item, status="checkpointed", attempts=0
                 )
             remaining = [task for task in tasks if task.rank not in completed]
-            writer = CheckpointWriter(checkpoint_path, fingerprint, fresh=False)
+            writer = CheckpointWriter(
+                checkpoint_path,
+                fingerprint,
+                fresh=False,
+                truncate_to=checkpoint.valid_bytes,
+            )
         else:
+            if has_checkpoint_header(checkpoint_path):
+                raise CheckpointError(
+                    f"{checkpoint_path}: already holds a checkpoint; resume "
+                    "from it (CLI: --resume) or delete the file to start over"
+                )
             writer = CheckpointWriter(checkpoint_path, fingerprint, fresh=True)
 
     supervision = _Supervision(

@@ -154,3 +154,19 @@ class TestSupervisedFlags:
         )
         assert proc.returncode == 2
         assert "Traceback" not in proc.stderr
+        # The message names the flag actually passed, not --processes.
+        assert "--checkpoint" in proc.stderr
+        assert "--processes" not in proc.stderr
+
+    def test_fresh_checkpoint_refuses_existing_checkpoint(
+        self, paper_file, tmp_path
+    ):
+        checkpoint = str(tmp_path / "run.ckpt")
+        assert run_cli(
+            "mine", paper_file, "--min-sup", "2", "--checkpoint", checkpoint,
+        ).returncode == 0
+        proc = run_cli(
+            "mine", paper_file, "--min-sup", "2", "--checkpoint", checkpoint,
+        )
+        assert_clean_failure(proc)
+        assert "--resume" in proc.stderr

@@ -42,6 +42,7 @@ SUPERVISION_FIELDS = {
     "branches_dispatched",
     "branch_retries",
     "branch_timeouts",
+    "branch_collateral_restarts",
     "pool_rebuilds",
     "branches_recovered_inline",
     "branches_failed",
@@ -127,9 +128,26 @@ class TestCheckpointFile:
         complete = load_checkpoint(path)
         # Simulate a crash mid-append: the last line is half-written.
         text = path.read_text()
-        path.write_text(text[: text.rindex("\n", 0, len(text) - 1) + 1] + '{"kind": "bra')
+        keep = text.rindex("\n", 0, len(text) - 1) + 1
+        path.write_text(text[:keep] + '{"kind": "bra')
         truncated = load_checkpoint(path)
         assert len(truncated.branches) == len(complete.branches) - 1
+        assert truncated.valid_bytes == keep
+
+    def test_unterminated_final_line_is_discarded_even_if_it_parses(
+        self, tmp_path, database, config
+    ):
+        """A crash can land between the payload write and its newline hitting
+        disk; the line parses but was never durably committed."""
+        path = tmp_path / "run.ckpt"
+        run_supervised(database, config, processes=2, checkpoint_path=path)
+        complete = load_checkpoint(path)
+        assert complete.valid_bytes == path.stat().st_size
+        text = path.read_text()
+        path.write_text(text[:-1])  # strip only the final newline
+        truncated = load_checkpoint(path)
+        assert len(truncated.branches) == len(complete.branches) - 1
+        assert truncated.valid_bytes == text.rindex("\n", 0, len(text) - 1) + 1
 
     def test_mid_file_corruption_raises(self, tmp_path, database, config):
         path = tmp_path / "run.ckpt"
@@ -220,3 +238,36 @@ class TestResume:
         resumed = resume(database, config, path, processes=2)
         assert result_key(resumed.results) == result_key(uninterrupted.results)
         assert resumed.stats.branches_dispatched == 1
+
+        # The resume must have truncated the partial tail before appending:
+        # the healed file parses cleanly, holds every branch, and survives a
+        # *second* crash/resume cycle (this used to merge the re-mined
+        # record onto the partial line, corrupting the file mid-way).
+        healed = load_checkpoint(path)
+        assert len(healed.branches) == len(uninterrupted.outcomes)
+        assert healed.valid_bytes == path.stat().st_size
+        again = resume(database, config, path, processes=2)
+        assert again.stats.branches_dispatched == 0
+        assert result_key(again.results) == result_key(uninterrupted.results)
+
+        text = path.read_text()
+        path.write_text(text[: text.rindex("\n", 0, len(text) - 1) + 1] + '{"ki')
+        twice = resume(database, config, path, processes=2)
+        assert twice.stats.branches_dispatched == 1
+        assert result_key(twice.results) == result_key(uninterrupted.results)
+        assert load_checkpoint(path).valid_bytes == path.stat().st_size
+
+    def test_fresh_checkpoint_refuses_to_overwrite_existing(
+        self, tmp_path, database, config
+    ):
+        """--checkpoint on a path holding a previous run's checkpoint must
+        not truncate it — that flag mix-up is exactly the interrupted-run
+        scenario the feature protects."""
+        path = tmp_path / "run.ckpt"
+        first = run_supervised(database, config, processes=2, checkpoint_path=path)
+        before = path.read_bytes()
+        with pytest.raises(CheckpointError, match="already holds a checkpoint"):
+            run_supervised(database, config, processes=2, checkpoint_path=path)
+        assert path.read_bytes() == before  # untouched
+        resumed = resume(database, config, path, processes=2)  # --resume still works
+        assert result_key(resumed.results) == result_key(first.results)

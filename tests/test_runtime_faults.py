@@ -116,6 +116,35 @@ class TestSupervisedRecovery:
         assert runtime["branch_retries"] == stats.branch_retries
         assert runtime["branch_timeouts"] == stats.branch_timeouts
 
+    def test_timeout_charges_only_the_hung_branch(self, database, config):
+        """A branch that hangs on every attempt must not burn the retry
+        budget of innocent branches: with max_retries=0 and no inline
+        fallback, only the hung branch may end up failed — everything lost
+        to the pool kill is collateral and is re-dispatched for free."""
+        plan = FaultPlan({0: BranchFault("hang", attempts=99, hang_seconds=10.0)})
+        supervisor = SupervisorConfig(
+            branch_timeout_seconds=0.75, max_retries=0, inline_fallback=False
+        )
+        report = run_supervised(
+            database, config, processes=2, supervisor=supervisor, fault_plan=plan
+        )
+        assert report.stats.branches_failed == 1
+        (failed,) = report.failed
+        assert failed.rank == 0
+        statuses = {outcome.rank: outcome.status for outcome in report.outcomes}
+        assert all(
+            status == "completed"
+            for rank, status in statuses.items()
+            if rank != 0
+        )
+        assert report.stats.branch_timeouts == 1
+        # Collateral restarts are tracked separately from retries.
+        runtime = report.stats.report()["runtime"]
+        assert (
+            runtime["branch_collateral_restarts"]
+            == report.stats.branch_collateral_restarts
+        )
+
     def test_worker_exit_breaks_pool_and_recovers(
         self, database, config, serial_results
     ):
