@@ -6,6 +6,7 @@ from . import (
     determinism,
     fsum_reduce,
     prob_range,
+    registry_seal,
     runtime_pickle,
 )
 from .naming import is_probability_name, is_tidset_name
@@ -18,5 +19,6 @@ __all__ = [
     "is_probability_name",
     "is_tidset_name",
     "prob_range",
+    "registry_seal",
     "runtime_pickle",
 ]

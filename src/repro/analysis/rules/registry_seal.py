@@ -1,0 +1,137 @@
+"""REGISTRY-SEAL — concrete engine components resolve through the registry.
+
+The extension seams (tidset backends, uncertainty models, degradation
+policies) are name-keyed registries in :mod:`repro.registry`.  Code that
+imports a concrete component class or instance directly —
+``TupleTidsetEngine``, ``TUPLE_MODEL``, ``budget_deadline_policy`` — wires
+itself to one implementation and silently bypasses validation, aliasing and
+the conformance suite's coverage guarantee.  Consumers must resolve by
+registered name (``TIDSET_BACKENDS.get("bitmap")``,
+``MinerConfig(tidset_backend=...)``).
+
+Allowed importers of a sealed name: its defining module, that module's own
+package ``__init__`` (public re-export), and :mod:`repro.registry` itself
+(bootstrap glue).  Test code is outside the linted tree and may import
+concrete components freely.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional, Tuple
+
+from ..context import ModuleContext
+from ..diagnostics import Severity
+from ..registry import Finding, Rule, register
+
+# sealed name -> (defining module, registry the consumer should use)
+_SEALED = {
+    "TupleTidsetEngine": ("repro.core.tidsets", "TIDSET_BACKENDS"),
+    "BitmapTidsetEngine": ("repro.core.tidsets", "TIDSET_BACKENDS"),
+    "TUPLE_MODEL": ("repro.uncertain.models", "UNCERTAINTY_MODELS"),
+    "ATTRIBUTE_MODEL": ("repro.uncertain.models", "UNCERTAINTY_MODELS"),
+    "budget_deadline_policy": ("repro.runtime.degradation", "DEGRADATION_POLICIES"),
+    "never_degrade_policy": ("repro.runtime.degradation", "DEGRADATION_POLICIES"),
+    "always_approx_policy": ("repro.runtime.degradation", "DEGRADATION_POLICIES"),
+}
+
+
+def _parent_package(module: str) -> str:
+    return module.rsplit(".", 1)[0] if "." in module else ""
+
+
+@register
+class RegistrySealRule(Rule):
+    name = "REGISTRY-SEAL"
+    severity = Severity.ERROR
+    description = (
+        "direct import of a concrete registered component; resolve it by "
+        "name through repro.registry instead"
+    )
+    invariant = (
+        "engine components (tidset backends, uncertainty models, degradation "
+        "policies) are registry-private; consumers select them by registered "
+        "name so validation, aliasing and conformance coverage apply"
+    )
+
+    def applies_to(self, context: ModuleContext) -> bool:
+        parts = context.module_parts
+        if not parts or parts[0] != "repro":
+            return False
+        # The registry package is the one place allowed to touch everything.
+        return not (len(parts) >= 2 and parts[1] == "registry")
+
+    def check(self, context: ModuleContext) -> Iterator[Finding]:
+        for node in ast.walk(context.tree):
+            if isinstance(node, ast.ImportFrom):
+                yield from self._check_import_from(context, node)
+            elif isinstance(node, ast.Attribute):
+                yield from self._check_attribute(context, node)
+
+    # -- imports ----------------------------------------------------------
+    def _check_import_from(
+        self, context: ModuleContext, node: ast.ImportFrom
+    ) -> Iterator[Finding]:
+        source = self._resolve_import(context, node)
+        for alias in node.names:
+            sealed = _SEALED.get(alias.name)
+            if sealed is None:
+                continue
+            owner, registry_name = sealed
+            if self._allowed(context.module, owner, source):
+                continue
+            yield Finding(
+                node,
+                f"direct import of sealed component {alias.name!r}; resolve "
+                f"it via repro.registry.{registry_name}.get(name) (or a "
+                f"MinerConfig field) so registry validation and aliases apply",
+            )
+
+    def _check_attribute(
+        self, context: ModuleContext, node: ast.Attribute
+    ) -> Iterator[Finding]:
+        sealed = _SEALED.get(node.attr)
+        if sealed is None:
+            return
+        owner, registry_name = sealed
+        if self._allowed(context.module, owner, source=None):
+            return
+        yield Finding(
+            node,
+            f"attribute access to sealed component {node.attr!r}; resolve "
+            f"it via repro.registry.{registry_name}.get(name) instead",
+        )
+
+    # -- helpers ----------------------------------------------------------
+    @staticmethod
+    def _allowed(module: str, owner: str, source: Optional[str]) -> bool:
+        """Defining module and its package __init__ may use the name.
+
+        ``source`` (the resolved ``from X import`` module) further restricts
+        re-exports: the package __init__ may only import the name from the
+        defining module itself, not launder it through a third module.
+        """
+        if module == owner:
+            return True
+        if module == _parent_package(owner):
+            return source is None or source == owner
+        return False
+
+    @staticmethod
+    def _resolve_import(
+        context: ModuleContext, node: ast.ImportFrom
+    ) -> Optional[str]:
+        """Absolute dotted source of a ``from X import ...`` statement."""
+        if node.level == 0:
+            return node.module
+        parts: Tuple[str, ...] = context.module_parts
+        is_package = context.path.endswith("__init__.py")
+        base = parts if is_package else parts[:-1]
+        hops = node.level - 1
+        if hops > len(base):
+            return node.module
+        if hops:
+            base = base[:-hops]
+        if node.module:
+            base = base + tuple(node.module.split("."))
+        return ".".join(base)

@@ -31,6 +31,12 @@ from .data.io import load_uncertain_database, save_uncertain_database
 from .data.mushroom import generate_mushroom_like
 from .data.quest import QuestParameters, generate_quest
 from .eval.reporting import format_table
+from .registry import (
+    DEGRADATION_POLICIES,
+    TIDSET_BACKENDS,
+    UNION_LOWER_BOUNDS,
+    UNION_UPPER_BOUNDS,
+)
 
 __all__ = ["main"]
 
@@ -62,9 +68,28 @@ def _add_mine_parser(subparsers) -> None:
     )
     parser.add_argument(
         "--tidset-backend",
-        choices=["tuple", "bitmap"],
+        choices=TIDSET_BACKENDS.names(),
         default="bitmap",
         help="tidset engine (bitmap = packed words; tuple = oracle backend)",
+    )
+    parser.add_argument(
+        "--lower-bound",
+        choices=UNION_LOWER_BOUNDS.names(),
+        default="de_caen",
+        help="Lemma 4.4 union lower bound method",
+    )
+    parser.add_argument(
+        "--upper-bound",
+        choices=UNION_UPPER_BOUNDS.names(),
+        default="kwerel",
+        help="Lemma 4.4 union upper bound method",
+    )
+    parser.add_argument(
+        "--degradation-policy",
+        choices=DEGRADATION_POLICIES.names(),
+        default="budget-deadline",
+        help="when exact closedness checks degrade to sampling "
+        "(see docs/robustness.md)",
     )
     parser.add_argument(
         "--stats",
@@ -173,7 +198,7 @@ def _add_stream_mine_parser(subparsers) -> None:
     )
     parser.add_argument(
         "--tidset-backend",
-        choices=["tuple", "bitmap"],
+        choices=TIDSET_BACKENDS.names(),
         default="bitmap",
         help="tidset engine (bitmap = packed words; tuple = oracle backend)",
     )
@@ -226,7 +251,7 @@ def _add_experiments_parser(subparsers) -> None:
     )
     parser.add_argument(
         "--tidset-backend",
-        choices=["tuple", "bitmap"],
+        choices=TIDSET_BACKENDS.names(),
         default="bitmap",
         help="tidset engine (bitmap = packed words; tuple = oracle backend)",
     )
@@ -269,6 +294,9 @@ def _command_mine(args: argparse.Namespace) -> int:
             use_probability_bounds="bound" not in args.disable,
             max_itemset_size=args.max_size,
             tidset_backend=args.tidset_backend,
+            lower_bound=args.lower_bound,
+            upper_bound=args.upper_bound,
+            degradation_policy=args.degradation_policy,
             exact_check_budget=args.exact_check_budget,
             check_deadline_seconds=args.check_deadline,
         )

@@ -32,6 +32,7 @@ import math
 from dataclasses import dataclass
 from typing import Any, List, Sequence
 
+from ..registry import UNION_LOWER_BOUNDS, UNION_UPPER_BOUNDS
 from .cache import SupportDPCache
 from .events import ExtensionEventSystem
 
@@ -94,34 +95,13 @@ def union_lower_bound(
     events: ExtensionEventSystem,
     method: str = "de_caen",
 ) -> float:
-    """Lower bound on ``Pr(∪ C_i)`` using singleton and pairwise probabilities."""
-    positive = [(index, p) for index, p in enumerate(singletons) if p > 0.0]
-    if not positive:
-        return 0.0
-    if method == "de_caen":
-        # One bulk read of the pairwise matrix instead of m² probability
-        # calls; each denominator is an fsum (exactly rounded, so the bound
-        # does not depend on the enumeration order of the events).
-        matrix = events.pairwise_matrix()
-        contributions: List[float] = []
-        for index, p in positive:
-            denominator = math.fsum(
-                [p]
-                + [
-                    float(matrix[index, other])
-                    for other, _q in positive
-                    if other != index
-                ]
-            )
-            contributions.append(p * p / denominator)
-        return min(math.fsum(contributions), 1.0)
-    if method == "dawson_sankoff":
-        s1 = math.fsum(p for _index, p in positive)
-        s2 = events.pairwise_sum()
-        k = 1 + int(2.0 * s2 / s1)
-        bound = 2.0 * s1 / (k + 1) - 2.0 * s2 / (k * (k + 1))
-        return min(max(bound, 0.0), 1.0)
-    raise ValueError(f"unknown union lower bound method {method!r}")
+    """Lower bound on ``Pr(∪ C_i)`` using singleton and pairwise probabilities.
+
+    ``method`` names a bound registered in
+    :data:`repro.registry.UNION_LOWER_BOUNDS`.
+    """
+    bound: float = UNION_LOWER_BOUNDS.get(method)(singletons, events)
+    return bound
 
 
 def union_upper_bound(
@@ -129,16 +109,78 @@ def union_upper_bound(
     events: ExtensionEventSystem,
     method: str = "kwerel",
 ) -> float:
-    """Upper bound on ``Pr(∪ C_i)``; Boole's bound is always applied on top."""
-    s1 = math.fsum(singletons)
-    boole = min(s1, 1.0)
-    if method == "boole" or not singletons:
+    """Upper bound on ``Pr(∪ C_i)``; Boole's bound is always applied on top.
+
+    ``method`` names a bound registered in
+    :data:`repro.registry.UNION_UPPER_BOUNDS`.
+    """
+    bound: float = UNION_UPPER_BOUNDS.get(method)(singletons, events)
+    return bound
+
+
+def _de_caen_lower(
+    singletons: Sequence[float], events: ExtensionEventSystem
+) -> float:
+    """de Caen's bound: ``Σ_i Pr(C_i)² / Σ_j Pr(C_i ∧ C_j)``."""
+    positive = [(index, p) for index, p in enumerate(singletons) if p > 0.0]
+    if not positive:
+        return 0.0
+    # One bulk read of the pairwise matrix instead of m² probability
+    # calls; each denominator is an fsum (exactly rounded, so the bound
+    # does not depend on the enumeration order of the events).
+    matrix = events.pairwise_matrix()
+    contributions: List[float] = []
+    for index, p in positive:
+        denominator = math.fsum(
+            [p]
+            + [
+                float(matrix[index, other])
+                for other, _q in positive
+                if other != index
+            ]
+        )
+        contributions.append(p * p / denominator)
+    return min(math.fsum(contributions), 1.0)
+
+
+def _dawson_sankoff_lower(
+    singletons: Sequence[float], events: ExtensionEventSystem
+) -> float:
+    """Dawson–Sankoff: ``2 S1/(k+1) − 2 S2/(k(k+1))``, ``k = 1 + ⌊2 S2/S1⌋``."""
+    positive = [p for p in singletons if p > 0.0]
+    if not positive:
+        return 0.0
+    s1 = math.fsum(positive)
+    s2 = events.pairwise_sum()
+    k = 1 + int(2.0 * s2 / s1)
+    bound = 2.0 * s1 / (k + 1) - 2.0 * s2 / (k * (k + 1))
+    return min(max(bound, 0.0), 1.0)
+
+
+def _boole_upper(
+    singletons: Sequence[float], events: ExtensionEventSystem
+) -> float:
+    """Boole/union bound: ``min(Σ Pr(C_i), 1)``."""
+    return min(math.fsum(singletons), 1.0)
+
+
+def _kwerel_upper(
+    singletons: Sequence[float], events: ExtensionEventSystem
+) -> float:
+    """Kwerel's bound ``S1 − 2 S2 / m``, with Boole applied on top."""
+    boole = _boole_upper(singletons, events)
+    if not singletons:
         return boole
-    if method == "kwerel":
-        s2 = events.pairwise_sum()
-        kwerel = s1 - 2.0 * s2 / len(singletons)
-        return min(kwerel, boole)
-    raise ValueError(f"unknown union upper bound method {method!r}")
+    s1 = math.fsum(singletons)
+    s2 = events.pairwise_sum()
+    kwerel = s1 - 2.0 * s2 / len(singletons)
+    return min(kwerel, boole)
+
+
+UNION_LOWER_BOUNDS.register("de_caen", _de_caen_lower)
+UNION_LOWER_BOUNDS.register("dawson_sankoff", _dawson_sankoff_lower)
+UNION_UPPER_BOUNDS.register("kwerel", _kwerel_upper)
+UNION_UPPER_BOUNDS.register("boole", _boole_upper)
 
 
 @dataclass(frozen=True)

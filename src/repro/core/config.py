@@ -73,6 +73,17 @@ class MinerConfig:
             checking phase, subsequent exact-eligible checks degrade to
             sampling the same way.  Non-deterministic by nature (it reads a
             monotonic clock); ``None`` = no deadline.
+        degradation_policy: registered name of the policy deciding when an
+            exact-eligible closedness check degrades to sampling
+            (:data:`repro.registry.DEGRADATION_POLICIES`; the default
+            ``"budget-deadline"`` applies the two knobs above, ``"never"``
+            and ``"always-approx"`` are the ablation endpoints).
+
+    The four component-name fields (``lower_bound``, ``upper_bound``,
+    ``tidset_backend``, ``degradation_policy``) are validated against their
+    :mod:`repro.registry` tables and normalized to canonical spelling at
+    construction, so an unregistered name fails fast with the registry's
+    did-you-mean error instead of deep inside a mining run.
     """
 
     min_sup: int
@@ -92,6 +103,7 @@ class MinerConfig:
     tidset_backend: str = "bitmap"
     exact_check_budget: Optional[int] = None
     check_deadline_seconds: Optional[float] = None
+    degradation_policy: str = "budget-deadline"
 
     def __post_init__(self) -> None:
         if self.dp_cache_size < 1:
@@ -110,12 +122,32 @@ class MinerConfig:
             raise ValueError(f"delta must be in (0, 1), got {self.delta}")
         if self.exact_event_limit < 0:
             raise ValueError("exact_event_limit must be >= 0")
-        if self.lower_bound not in ("de_caen", "dawson_sankoff"):
-            raise ValueError(f"unknown lower bound {self.lower_bound!r}")
-        if self.upper_bound not in ("kwerel", "boole"):
-            raise ValueError(f"unknown upper bound {self.upper_bound!r}")
-        if self.tidset_backend not in ("tuple", "bitmap"):
-            raise ValueError(f"unknown tidset backend {self.tidset_backend!r}")
+        # Component-name fields resolve against the registries; aliases
+        # (including deprecated ones, which warn) normalize to canonical
+        # names here so every downstream lookup is exact.
+        from ..registry import (
+            DEGRADATION_POLICIES,
+            TIDSET_BACKENDS,
+            UNION_LOWER_BOUNDS,
+            UNION_UPPER_BOUNDS,
+        )
+
+        object.__setattr__(
+            self, "lower_bound", UNION_LOWER_BOUNDS.canonicalize(self.lower_bound)
+        )
+        object.__setattr__(
+            self, "upper_bound", UNION_UPPER_BOUNDS.canonicalize(self.upper_bound)
+        )
+        object.__setattr__(
+            self,
+            "tidset_backend",
+            TIDSET_BACKENDS.canonicalize(self.tidset_backend),
+        )
+        object.__setattr__(
+            self,
+            "degradation_policy",
+            DEGRADATION_POLICIES.canonicalize(self.degradation_policy),
+        )
         if self.exact_check_budget is not None and self.exact_check_budget < 0:
             raise ValueError(
                 f"exact_check_budget must be >= 0 when set, "

@@ -33,8 +33,9 @@ from __future__ import annotations
 import random
 import time
 from dataclasses import dataclass
-from typing import Any, Dict, List, Optional, Sequence
+from typing import Any, Callable, Dict, List, Optional, Sequence
 
+from ..registry import DEGRADATION_POLICIES
 from .approx import approx_union_probability
 from .bounds import (
     chernoff_hoeffding_bound_for_tidset,
@@ -121,6 +122,9 @@ class MPFCIMiner:
         # The tidset engine is cached per backend on the database, so every
         # miner over the same database shares one packed representation.
         self._engine = database.tidset_engine(config.tidset_backend)
+        self._degradation_policy: Callable[
+            [MinerConfig, MiningStats, int], Optional[str]
+        ] = DEGRADATION_POLICIES.get(config.degradation_policy)
         if support_cache is not None:
             # An externally owned cache (the streaming monitor's, which
             # persists across window slides) must already be bound to this
@@ -477,8 +481,10 @@ class MPFCIMiner:
             self.stats.degraded_checks += 1
             if trigger == "budget":
                 self.stats.degraded_by_budget += 1
-            else:
+            elif trigger == "deadline":
                 self.stats.degraded_by_deadline += 1
+            else:
+                self.stats.degraded_by_policy += 1
             provenance = "approx-degraded"
 
         union_estimate, samples = approx_union_probability(
@@ -499,24 +505,12 @@ class MPFCIMiner:
     def _degradation_trigger(self, num_events: int) -> Optional[str]:
         """Why an exact-eligible check must degrade, or ``None`` to run it.
 
-        ``"budget"``: the worst-case inclusion–exclusion term count
-        (``2^m - 1``) exceeds ``config.exact_check_budget``.  ``"deadline"``:
-        the run's cumulative checking time (the ``check_phase_seconds``
-        accumulated by every *previous* check) has passed
-        ``config.check_deadline_seconds``.
+        Delegates to the :class:`~repro.core.config.MinerConfig`-selected
+        policy from :data:`repro.registry.DEGRADATION_POLICIES` (the default
+        ``"budget-deadline"`` policy implements the term-budget and
+        checking-deadline triggers of ``docs/robustness.md``).
         """
-        config = self.config
-        if (
-            config.exact_check_budget is not None
-            and (1 << num_events) - 1 > config.exact_check_budget
-        ):
-            return "budget"
-        if (
-            config.check_deadline_seconds is not None
-            and self.stats.check_phase_seconds > config.check_deadline_seconds
-        ):
-            return "deadline"
-        return None
+        return self._degradation_policy(self.config, self.stats, num_events)
 
     def _emit(
         self,

@@ -74,6 +74,7 @@ class MiningStats:
     degraded_checks: int = 0
     degraded_by_budget: int = 0
     degraded_by_deadline: int = 0
+    degraded_by_policy: int = 0
     # --- tidset engine (repro.core.tidsets) -----------------------------
     tidset_intersections: int = 0
     tidset_words_anded: int = 0
@@ -218,6 +219,7 @@ class MiningStats:
                 "degraded_checks": self.degraded_checks,
                 "degraded_by_budget": self.degraded_by_budget,
                 "degraded_by_deadline": self.degraded_by_deadline,
+                "degraded_by_policy": self.degraded_by_policy,
             },
             "phases": {
                 "candidate_seconds": self.candidate_phase_seconds,

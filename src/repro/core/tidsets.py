@@ -50,6 +50,7 @@ from typing import (
 
 import numpy as np
 
+from ..registry import TIDSET_BACKENDS as _BACKEND_REGISTRY
 from ._types import BoolArray, FloatArray, IntArray, TidsetEngine, WordArray
 from .itemsets import Item, Itemset, canonical
 
@@ -588,18 +589,38 @@ def make_engine(
     backend: str,
     bitmap_parts: Optional[Dict[str, Any]] = None,
 ) -> TidsetEngine:
-    """Engine factory used by :meth:`UncertainDatabase.tidset_engine`."""
-    if backend == "tuple":
-        return TupleTidsetEngine(database)
-    if backend == "bitmap":
-        if bitmap_parts:
-            return BitmapTidsetEngine(
-                database,
-                item_words=bitmap_parts["words"],
-                probability_layout=bitmap_parts["probabilities"],
-                offset=bitmap_parts["offset"],
-            )
-        return BitmapTidsetEngine(database)
-    raise ValueError(
-        f"unknown tidset backend {backend!r}; expected one of {TIDSET_BACKENDS}"
-    )
+    """Engine factory used by :meth:`UncertainDatabase.tidset_engine`.
+
+    Resolves the backend by registered name, so engines added through
+    :data:`repro.registry.TIDSET_BACKENDS` are constructible everywhere the
+    built-ins are (miner configs, the CLI, the sliding window).
+    """
+    factory = _BACKEND_REGISTRY.get(backend)
+    return factory(database, bitmap_parts)
+
+
+def _make_tuple_engine(
+    database: "UncertainDatabase",
+    bitmap_parts: Optional[Dict[str, Any]] = None,
+) -> TidsetEngine:
+    """``"tuple"`` backend: the sorted-tuple oracle (ignores bitmap parts)."""
+    return TupleTidsetEngine(database)
+
+
+def _make_bitmap_engine(
+    database: "UncertainDatabase",
+    bitmap_parts: Optional[Dict[str, Any]] = None,
+) -> TidsetEngine:
+    """``"bitmap"`` backend; ``bitmap_parts`` hands over pre-packed words."""
+    if bitmap_parts:
+        return BitmapTidsetEngine(
+            database,
+            item_words=bitmap_parts["words"],
+            probability_layout=bitmap_parts["probabilities"],
+            offset=bitmap_parts["offset"],
+        )
+    return BitmapTidsetEngine(database)
+
+
+_BACKEND_REGISTRY.register("tuple", _make_tuple_engine)
+_BACKEND_REGISTRY.register("bitmap", _make_bitmap_engine)

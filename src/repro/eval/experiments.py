@@ -149,9 +149,9 @@ def default_config(
 def set_default_tidset_backend(backend: str) -> None:
     """Process-wide backend override for the experiment drivers (CLI hook)."""
     global DEFAULT_TIDSET_BACKEND
-    if backend not in ("tuple", "bitmap"):
-        raise ValueError(f"unknown tidset backend {backend!r}")
-    DEFAULT_TIDSET_BACKEND = backend
+    from ..registry import TIDSET_BACKENDS
+
+    DEFAULT_TIDSET_BACKEND = TIDSET_BACKENDS.canonicalize(backend)
 
 
 def miner_variants(config: MinerConfig) -> Dict[str, MinerConfig]:

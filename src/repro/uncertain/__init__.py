@@ -20,8 +20,12 @@ from .item_model import (
     mine_expected_support_item_model,
     mine_probabilistic_frequent_item_model,
 )
+from .models import ATTRIBUTE_MODEL, TUPLE_MODEL, UncertaintyModel
 
 __all__ = [
+    "ATTRIBUTE_MODEL",
+    "TUPLE_MODEL",
+    "UncertaintyModel",
     "ItemUncertainDatabase",
     "ProbabilisticItemStream",
     "ItemUncertainTransaction",

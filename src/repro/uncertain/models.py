@@ -1,0 +1,163 @@
+"""Uncertainty models as registered, interchangeable component bundles.
+
+The repository implements two uncertainty semantics:
+
+* **tuple-level** (the paper's model) — every transaction exists as a whole
+  with one probability; :class:`repro.core.database.UncertainDatabase`;
+* **attribute-level** (Chui et al. [9] / Leung et al. [15]) — every item of
+  every transaction carries its own existence probability;
+  :class:`repro.uncertain.item_model.ItemUncertainDatabase`.
+
+Each model is packaged as an :class:`UncertaintyModel` — a frozen bundle of
+callables closing over the model's own database type — and registered in
+:data:`repro.registry.UNCERTAINTY_MODELS`.  The bundle is the *conformance
+surface*: everything the differential suite (``tests/conformance/``) needs
+to check a model against the possible-worlds oracle without knowing its
+database class:
+
+* ``build(rows)`` constructs a database from the model's row format;
+* ``items_of(db)`` is the canonical item universe;
+* ``support_probabilities(db, itemset)`` are the per-transaction success
+  probabilities of the Poisson-binomial support variable (the PMF input);
+* ``expected_support`` / ``frequent_probability`` are the model's measures;
+* ``enumerate_worlds(db)`` yields ``(materialized transactions,
+  probability)`` pairs — the exponential ground-truth oracle;
+* ``mine_frequent(db, min_sup, pft)`` / ``mine_expected(db, min_esup)``
+  are the model's level-wise miners.
+
+Registering a new model here (or from user code) makes it selectable by
+name and automatically enrolls it in the conformance suite; see
+``docs/extending.md``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Any, Callable, Iterable, Iterator, List, Sequence, Tuple
+
+from ..core.database import UncertainDatabase
+from ..core.itemsets import Item, Itemset, canonical
+from ..core.possible_worlds import enumerate_worlds as _enumerate_tuple_worlds
+from ..core.support import frequent_probability as _frequent_probability
+from ..registry import UNCERTAINTY_MODELS
+from .expected_support import mine_expected_support_itemsets
+from .item_model import (
+    ItemUncertainDatabase,
+    mine_expected_support_item_model,
+    mine_probabilistic_frequent_item_model,
+)
+from .pfim import mine_probabilistic_frequent_itemsets
+
+__all__ = ["ATTRIBUTE_MODEL", "TUPLE_MODEL", "UncertaintyModel"]
+
+# A materialized possible world: the transactions that exist in it, each
+# reduced to its (canonical) itemset.
+MaterializedWorld = List[Itemset]
+
+
+@dataclass(frozen=True)
+class UncertaintyModel:
+    """One uncertainty semantics, packaged behind a model-agnostic surface."""
+
+    name: str
+    description: str
+    build: Callable[[Iterable[Any]], Any]
+    items_of: Callable[[Any], Itemset]
+    support_probabilities: Callable[[Any, Sequence[Item]], List[float]]
+    expected_support: Callable[[Any, Sequence[Item]], float]
+    frequent_probability: Callable[[Any, Sequence[Item], int], float]
+    enumerate_worlds: Callable[[Any], Iterator[Tuple[MaterializedWorld, float]]]
+    mine_frequent: Callable[[Any, int, float], List[Tuple[Itemset, float]]]
+    mine_expected: Callable[[Any, float], List[Tuple[Itemset, float]]]
+
+    def __repr__(self) -> str:
+        return f"UncertaintyModel({self.name!r})"
+
+
+# ----------------------------------------------------------------------
+# tuple-level model (the paper's semantics)
+# ----------------------------------------------------------------------
+def _tuple_support_probabilities(
+    database: UncertainDatabase, itemset: Sequence[Item]
+) -> List[float]:
+    return list(database.tidset_probabilities(database.tidset(itemset)))
+
+
+def _tuple_expected_support(
+    database: UncertainDatabase, itemset: Sequence[Item]
+) -> float:
+    return math.fsum(_tuple_support_probabilities(database, itemset))
+
+
+def _tuple_frequent_probability(
+    database: UncertainDatabase, itemset: Sequence[Item], min_sup: int
+) -> float:
+    return _frequent_probability(
+        _tuple_support_probabilities(database, itemset), min_sup
+    )
+
+
+def _tuple_materialized_worlds(
+    database: UncertainDatabase,
+) -> Iterator[Tuple[MaterializedWorld, float]]:
+    for present, probability in _enumerate_tuple_worlds(database):
+        yield [canonical(database[position].items) for position in present], probability
+
+
+TUPLE_MODEL = UncertaintyModel(
+    name="tuple",
+    description=(
+        "tuple-level uncertainty: each transaction exists as a whole with "
+        "one probability (the paper's model)"
+    ),
+    build=UncertainDatabase.from_rows,
+    items_of=lambda database: database.items,
+    support_probabilities=_tuple_support_probabilities,
+    expected_support=_tuple_expected_support,
+    frequent_probability=_tuple_frequent_probability,
+    enumerate_worlds=_tuple_materialized_worlds,
+    mine_frequent=mine_probabilistic_frequent_itemsets,
+    mine_expected=mine_expected_support_itemsets,
+)
+
+
+# ----------------------------------------------------------------------
+# attribute-level model (U-Apriori's native semantics)
+# ----------------------------------------------------------------------
+def _attribute_support_probabilities(
+    database: ItemUncertainDatabase, itemset: Sequence[Item]
+) -> List[float]:
+    return database.containment_probabilities(itemset)
+
+
+ATTRIBUTE_MODEL = UncertaintyModel(
+    name="attribute",
+    description=(
+        "attribute-level uncertainty: every item occurrence exists "
+        "independently with its own probability (Chui et al. [9])"
+    ),
+    build=ItemUncertainDatabase.from_rows,
+    items_of=lambda database: database.items,
+    support_probabilities=_attribute_support_probabilities,
+    expected_support=lambda database, itemset: database.expected_support(itemset),
+    frequent_probability=(
+        lambda database, itemset, min_sup: database.frequent_probability(
+            itemset, min_sup
+        )
+    ),
+    enumerate_worlds=lambda database: database.enumerate_worlds(),
+    mine_frequent=mine_probabilistic_frequent_item_model,
+    mine_expected=mine_expected_support_item_model,
+)
+
+
+UNCERTAINTY_MODELS.register(
+    "tuple", TUPLE_MODEL, aliases=("tuple-level",)
+)
+UNCERTAINTY_MODELS.register(
+    "attribute",
+    ATTRIBUTE_MODEL,
+    aliases=("attribute-level",),
+    deprecated_aliases=("item",),
+)

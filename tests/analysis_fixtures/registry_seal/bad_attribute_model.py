@@ -1,0 +1,8 @@
+"""REGISTRY-SEAL bad fixture: model singleton reached by attribute access."""
+# prolint: module=repro.eval.fixture
+
+import repro.uncertain.models
+
+
+def pick_model():
+    return repro.uncertain.models.TUPLE_MODEL

@@ -1,0 +1,8 @@
+"""REGISTRY-SEAL bad fixture: concrete engine class imported directly."""
+# prolint: module=repro.core.fixture
+
+from repro.core.tidsets import BitmapTidsetEngine
+
+
+def build(database):
+    return BitmapTidsetEngine(database)

@@ -1,0 +1,8 @@
+"""REGISTRY-SEAL bad fixture: degradation policy hardwired by import."""
+# prolint: module=repro.core.fixture
+
+from repro.runtime.degradation import budget_deadline_policy
+
+
+def decide(config, stats, num_events):
+    return budget_deadline_policy(config, stats, num_events)

@@ -1,0 +1,6 @@
+"""REGISTRY-SEAL good fixture: the owning package __init__ may re-export."""
+# prolint: module=repro.uncertain
+
+from repro.uncertain.models import ATTRIBUTE_MODEL, TUPLE_MODEL
+
+__all__ = ["ATTRIBUTE_MODEL", "TUPLE_MODEL"]

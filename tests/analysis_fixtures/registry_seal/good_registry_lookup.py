@@ -1,0 +1,12 @@
+"""REGISTRY-SEAL good fixture: components resolved by registered name."""
+# prolint: module=repro.core.fixture
+
+from repro.registry import DEGRADATION_POLICIES, TIDSET_BACKENDS, UNCERTAINTY_MODELS
+
+
+def build(database, backend_name):
+    return TIDSET_BACKENDS.get(backend_name)(database)
+
+
+def pick(model_name, policy_name):
+    return UNCERTAINTY_MODELS.get(model_name), DEGRADATION_POLICIES.get(policy_name)

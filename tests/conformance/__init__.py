@@ -1,0 +1,17 @@
+"""Differential conformance suite for registered engine components.
+
+Every test module in this package is parametrized over the *registry*, not
+over a hardcoded list: ``tests/conformance/conftest.py`` expands the
+``tidset_backend`` fixture to every name in
+:data:`repro.registry.TIDSET_BACKENDS` and ``model_name`` to every name in
+:data:`repro.registry.UNCERTAINTY_MODELS`.  Registering a new backend or
+uncertainty model therefore enrolls it here automatically — and a component
+that breaks the contract (bit-identical PFCI output against the tuple
+oracle, PMF mass 1, bound validity, checkpoint/resume equality) fails the
+suite; see ``tests/conformance/test_broken_backend.py`` for the
+demonstration.
+
+Run with more examples via the shared hypothesis profiles::
+
+    REPRO_HYPOTHESIS_PROFILE=ci pytest tests/conformance -q
+"""

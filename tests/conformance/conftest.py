@@ -1,0 +1,20 @@
+"""Registry-driven parametrization for the conformance suite.
+
+Any test function (in this package) that takes a ``tidset_backend`` or
+``model_name`` argument runs once per registered component.  Names are read
+at collection time, so components registered by plugins imported before
+pytest collection are enrolled too.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.registry import TIDSET_BACKENDS, UNCERTAINTY_MODELS
+
+
+def pytest_generate_tests(metafunc: pytest.Metafunc) -> None:
+    if "tidset_backend" in metafunc.fixturenames:
+        metafunc.parametrize("tidset_backend", TIDSET_BACKENDS.names())
+    if "model_name" in metafunc.fixturenames:
+        metafunc.parametrize("model_name", UNCERTAINTY_MODELS.names())

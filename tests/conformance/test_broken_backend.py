@@ -1,0 +1,69 @@
+"""A deliberately broken registered backend must fail the conformance checks.
+
+This is the suite's own fire test: register a demo backend whose engine
+quietly degrades probabilities, confirm it is fully selectable through the
+registry and :class:`MinerConfig` (the seam works), and then confirm that
+the *same* helpers the conformance suite runs reject it.  If this test ever
+passes with the assertion removed, the suite has lost its teeth.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.config import MinerConfig
+from repro.core.database import UncertainDatabase
+from repro.core.tidsets import TupleTidsetEngine
+from repro.registry import TIDSET_BACKENDS, UnknownComponentError
+from tests.strategies import random_uncertain_database
+
+from .checks import assert_backend_conforms
+
+DEMO_NAME = "demo-lossy"
+
+
+class _LossyTupleEngine(TupleTidsetEngine):
+    """Tuple engine that silently quantizes probabilities to one decimal."""
+
+    def probabilities(self, tidset):
+        return tuple(round(p, 1) for p in super().probabilities(tidset))
+
+    def probabilities_array(self, tidset):
+        import numpy as np
+
+        return np.round(super().probabilities_array(tidset), 1)
+
+
+def _make_lossy_engine(database: UncertainDatabase, bitmap_parts=None):
+    return _LossyTupleEngine(database)
+
+
+@pytest.fixture
+def lossy_backend():
+    TIDSET_BACKENDS.register(DEMO_NAME, _make_lossy_engine)
+    try:
+        yield DEMO_NAME
+    finally:
+        TIDSET_BACKENDS.unregister(DEMO_NAME)
+
+
+class TestBrokenBackendIsCaught:
+    def test_registration_makes_it_selectable(self, lossy_backend):
+        assert lossy_backend in TIDSET_BACKENDS.names()
+        config = MinerConfig(min_sup=2, tidset_backend=lossy_backend)
+        assert config.tidset_backend == lossy_backend
+
+    def test_conformance_checks_reject_it(self, lossy_backend):
+        # Three-decimal probabilities, so one-decimal quantization is lossy
+        # (the paper's example database is one-decimal already and would
+        # survive the corruption untouched).
+        database = random_uncertain_database(random.Random(11), 8, items="abcd")
+        with pytest.raises(AssertionError):
+            assert_backend_conforms(database, lossy_backend, min_sup=2)
+
+    def test_unregistered_name_is_gone_again(self):
+        assert DEMO_NAME not in TIDSET_BACKENDS.names()
+        with pytest.raises(UnknownComponentError):
+            TIDSET_BACKENDS.get(DEMO_NAME)

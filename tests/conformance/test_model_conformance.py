@@ -1,0 +1,159 @@
+"""Every registered uncertainty model against the possible-worlds oracle.
+
+Each test takes a ``model_name`` argument and is expanded over
+``UNCERTAINTY_MODELS.names()`` by this package's ``conftest.py``.  All
+checks go through the model's registered surface only
+(:class:`repro.uncertain.models.UncertaintyModel`), so a third-party model
+registered before collection is held to the same contract.
+
+Hypothesis tests here are module-level functions: ``@given`` methods on a
+class would share one inner test across the model parametrization and trip
+the ``differing_executors`` health check.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.bounds import chernoff_hoeffding_frequency_bound
+from repro.core.itemsets import canonical
+from repro.core.support import support_pmf
+from repro.registry import UNCERTAINTY_MODELS
+from tests.strategies import databases_for_model
+
+MASS_TOLERANCE = 1e-12
+
+
+def _model_and_database(data, model_name):
+    model = UNCERTAINTY_MODELS.get(model_name)
+    database = data.draw(databases_for_model(model_name))
+    return model, database
+
+
+def _draw_itemset(data, model, database):
+    items = model.items_of(database)
+    size = data.draw(st.integers(min_value=1, max_value=len(items)))
+    chosen = data.draw(
+        st.lists(st.sampled_from(items), min_size=size, max_size=size, unique=True)
+    )
+    return canonical(chosen)
+
+
+def _world_supports(model, database, itemset):
+    """``[(support of itemset in world, world probability), ...]``."""
+    target = set(itemset)
+    supports = []
+    for world, probability in model.enumerate_worlds(database):
+        support = sum(1 for transaction in world if target <= set(transaction))
+        supports.append((support, probability))
+    return supports
+
+
+def _all_itemsets(items):
+    for size in range(1, len(items) + 1):
+        yield from itertools.combinations(items, size)
+
+
+# ----------------------------------------------------------------------
+# probability mass
+# ----------------------------------------------------------------------
+@given(data=st.data())
+def test_world_mass_is_one(model_name, data):
+    model, database = _model_and_database(data, model_name)
+    mass = math.fsum(p for _, p in model.enumerate_worlds(database))
+    assert abs(mass - 1.0) <= MASS_TOLERANCE
+
+
+@given(data=st.data())
+def test_support_pmf_mass_is_one(model_name, data):
+    model, database = _model_and_database(data, model_name)
+    itemset = _draw_itemset(data, model, database)
+    pmf = support_pmf(model.support_probabilities(database, itemset))
+    assert abs(math.fsum(pmf) - 1.0) <= MASS_TOLERANCE
+
+
+# ----------------------------------------------------------------------
+# measures against the possible-worlds oracle
+# ----------------------------------------------------------------------
+@given(data=st.data())
+def test_expected_support_matches_worlds(model_name, data):
+    model, database = _model_and_database(data, model_name)
+    itemset = _draw_itemset(data, model, database)
+    oracle = math.fsum(s * p for s, p in _world_supports(model, database, itemset))
+    assert math.isclose(model.expected_support(database, itemset), oracle, abs_tol=1e-9)
+
+
+@given(data=st.data())
+def test_frequent_probability_matches_worlds(model_name, data):
+    model, database = _model_and_database(data, model_name)
+    itemset = _draw_itemset(data, model, database)
+    min_sup = data.draw(st.integers(min_value=1, max_value=4))
+    oracle = math.fsum(
+        p for s, p in _world_supports(model, database, itemset) if s >= min_sup
+    )
+    assert math.isclose(
+        model.frequent_probability(database, itemset, min_sup), oracle, abs_tol=1e-9
+    )
+
+
+# ----------------------------------------------------------------------
+# Chernoff–Hoeffding bound validity and monotonicity
+# ----------------------------------------------------------------------
+@given(data=st.data())
+def test_ch_bound_dominates_pr_f_and_is_monotone(model_name, data):
+    """CH(μ, k) ≥ Pr_F(k) for every k, and CH is non-increasing in k."""
+    model, database = _model_and_database(data, model_name)
+    itemset = _draw_itemset(data, model, database)
+    probabilities = model.support_probabilities(database, itemset)
+    mu = math.fsum(probabilities)
+    size = len(probabilities)
+    previous = 1.0
+    for min_sup in range(1, size + 2):
+        bound = chernoff_hoeffding_frequency_bound(mu, size, min_sup)
+        pr_f = model.frequent_probability(database, itemset, min_sup)
+        assert bound >= pr_f - MASS_TOLERANCE, (min_sup, bound, pr_f)
+        assert bound <= previous + MASS_TOLERANCE, (min_sup, bound, previous)
+        previous = bound
+
+
+# ----------------------------------------------------------------------
+# miners against brute force over materialized worlds
+# ----------------------------------------------------------------------
+@given(data=st.data())
+def test_mine_frequent_matches_brute_force(model_name, data):
+    model, database = _model_and_database(data, model_name)
+    min_sup = data.draw(st.integers(min_value=1, max_value=3))
+    # Threshold values deliberately off any sum/product of the rounded
+    # generated probabilities, so strict-vs-close comparisons at the
+    # boundary cannot disagree between miner and oracle.
+    pft = data.draw(st.sampled_from([0.123, 0.321, 0.654]))
+    mined = dict(model.mine_frequent(database, min_sup, pft))
+    expected = {}
+    for itemset in _all_itemsets(model.items_of(database)):
+        pr_f = math.fsum(
+            p for s, p in _world_supports(model, database, itemset) if s >= min_sup
+        )
+        if pr_f > pft:
+            expected[canonical(itemset)] = pr_f
+    assert set(mined) == set(expected)
+    for itemset, pr_f in expected.items():
+        assert math.isclose(mined[itemset], pr_f, abs_tol=1e-9), itemset
+
+
+@given(data=st.data())
+def test_mine_expected_matches_brute_force(model_name, data):
+    model, database = _model_and_database(data, model_name)
+    min_esup = data.draw(st.sampled_from([0.437, 0.893, 1.261]))
+    mined = dict(model.mine_expected(database, min_esup))
+    expected = {}
+    for itemset in _all_itemsets(model.items_of(database)):
+        esup = math.fsum(s * p for s, p in _world_supports(model, database, itemset))
+        if esup >= min_esup:
+            expected[canonical(itemset)] = esup
+    assert set(mined) == set(expected)
+    for itemset, esup in expected.items():
+        assert math.isclose(mined[itemset], esup, abs_tol=1e-9), itemset

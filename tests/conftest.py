@@ -1,8 +1,15 @@
-"""Shared fixtures, hypothesis strategies and brute-force oracles.
+"""Shared fixtures, strategy re-exports, and brute-force oracles.
 
+The hypothesis strategies live in :mod:`tests.strategies` (one package for
+every suite); they are re-exported here so the historical
+``from tests.conftest import uncertain_databases`` imports keep working.
 The oracles here are deliberately naive (exponential enumeration,
 quadratic scans) — independent implementations the optimized library code is
 checked against.
+
+Importing this module also registers and loads the hypothesis settings
+profile named by ``REPRO_HYPOTHESIS_PROFILE`` (``dev`` / ``ci`` /
+``nightly``, default ``dev``).
 """
 
 from __future__ import annotations
@@ -12,74 +19,32 @@ import random
 from typing import Dict, List, Sequence, Tuple
 
 import pytest
-from hypothesis import strategies as st
 
 from repro.core.database import UncertainDatabase
 from repro.core.itemsets import Itemset, canonical
+from tests.strategies import (
+    ITEM_POOL,
+    exact_transactions,
+    item_uncertain_databases,
+    load_profile_from_env,
+    probability_lists,
+    probability_vectors,
+    uncertain_databases,
+)
 
-ITEM_POOL = "abcdef"
+__all__ = [
+    "ITEM_POOL",
+    "brute_force_closed",
+    "brute_force_frequent",
+    "brute_force_frequent_probability",
+    "exact_transactions",
+    "item_uncertain_databases",
+    "probability_lists",
+    "probability_vectors",
+    "uncertain_databases",
+]
 
-
-# ----------------------------------------------------------------------
-# hypothesis strategies
-# ----------------------------------------------------------------------
-@st.composite
-def exact_transactions(draw, max_transactions: int = 8, max_items: int = 5):
-    """A small exact transaction database (list of item tuples)."""
-    num_items = draw(st.integers(min_value=1, max_value=max_items))
-    items = ITEM_POOL[:num_items]
-    num_transactions = draw(st.integers(min_value=0, max_value=max_transactions))
-    transactions = []
-    for _ in range(num_transactions):
-        size = draw(st.integers(min_value=1, max_value=num_items))
-        chosen = draw(
-            st.lists(
-                st.sampled_from(items), min_size=size, max_size=size, unique=True
-            )
-        )
-        transactions.append(canonical(chosen))
-    return transactions
-
-
-@st.composite
-def uncertain_databases(
-    draw,
-    min_transactions: int = 1,
-    max_transactions: int = 8,
-    max_items: int = 5,
-    allow_certain: bool = True,
-):
-    """A small uncertain database suitable for possible-world oracles."""
-    num_items = draw(st.integers(min_value=1, max_value=max_items))
-    items = ITEM_POOL[:num_items]
-    num_transactions = draw(
-        st.integers(min_value=min_transactions, max_value=max_transactions)
-    )
-    rows = []
-    upper = 1.0 if allow_certain else 0.95
-    for index in range(num_transactions):
-        size = draw(st.integers(min_value=1, max_value=num_items))
-        chosen = draw(
-            st.lists(
-                st.sampled_from(items), min_size=size, max_size=size, unique=True
-            )
-        )
-        probability = draw(
-            st.floats(min_value=0.05, max_value=upper, allow_nan=False)
-        )
-        rows.append((f"T{index}", canonical(chosen), round(probability, 3)))
-    return UncertainDatabase.from_rows(rows)
-
-
-@st.composite
-def probability_lists(draw, max_size: int = 10):
-    return draw(
-        st.lists(
-            st.floats(min_value=0.0, max_value=1.0, allow_nan=False),
-            min_size=0,
-            max_size=max_size,
-        )
-    )
+HYPOTHESIS_PROFILE = load_profile_from_env()
 
 
 # ----------------------------------------------------------------------

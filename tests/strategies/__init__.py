@@ -1,0 +1,68 @@
+"""Shared hypothesis strategies, deterministic generators, settings profiles.
+
+One package re-exports every input generator the property-test suites use,
+so new backends/models/policies inherit well-shaped random inputs instead of
+re-pasting ``@st.composite`` blocks per test module:
+
+* :mod:`tests.strategies.databases` — exact transaction lists, tuple-level
+  uncertain databases, attribute-level (item) databases, probability
+  vectors, plus the :func:`databases_for_model` dispatch keyed by
+  registered uncertainty-model name;
+* :mod:`tests.strategies.streams` — uncertain transactions, transaction
+  streams, and windowed streams (``(transactions, capacity)`` pairs) for
+  the sliding-window suites;
+* :mod:`tests.strategies.runtime_plans` — branch faults and fault plans for
+  the supervised-runtime suites;
+* :mod:`tests.strategies.profiles` — the ``dev`` / ``ci`` / ``nightly``
+  hypothesis settings profiles, selected by ``REPRO_HYPOTHESIS_PROFILE``
+  (loaded by ``tests/conftest.py`` at collection time).
+
+The ``random_*`` helpers are the deterministic (``random.Random``-driven)
+counterparts used by non-hypothesis loop tests; they produce the same
+shapes as the strategies so both styles cover the same input space.
+"""
+
+from tests.strategies.databases import (
+    ITEM_POOL,
+    databases_for_model,
+    exact_transactions,
+    item_uncertain_databases,
+    probability_lists,
+    probability_vectors,
+    random_uncertain_database,
+    uncertain_databases,
+)
+from tests.strategies.profiles import (
+    HYPOTHESIS_PROFILES,
+    load_profile_from_env,
+    register_profiles,
+)
+from tests.strategies.runtime_plans import branch_faults, fault_plans
+from tests.strategies.streams import (
+    make_transaction,
+    random_uncertain_transactions,
+    transaction_streams,
+    uncertain_transactions,
+    windowed_streams,
+)
+
+__all__ = [
+    "HYPOTHESIS_PROFILES",
+    "ITEM_POOL",
+    "branch_faults",
+    "databases_for_model",
+    "exact_transactions",
+    "fault_plans",
+    "item_uncertain_databases",
+    "load_profile_from_env",
+    "make_transaction",
+    "probability_lists",
+    "probability_vectors",
+    "random_uncertain_database",
+    "random_uncertain_transactions",
+    "register_profiles",
+    "transaction_streams",
+    "uncertain_databases",
+    "uncertain_transactions",
+    "windowed_streams",
+]

@@ -1,0 +1,157 @@
+"""Database-shaped strategies: exact, tuple-uncertain, attribute-uncertain.
+
+These were historically copy-pasted (with drift) across the support, tidset
+backend, PMF, and item-model test modules; this module is now the single
+source.  All strategies deliberately generate *small* instances — a handful
+of transactions over a short item pool — so exponential possible-world
+oracles stay cheap and hypothesis shrinks to readable counterexamples.
+"""
+
+from __future__ import annotations
+
+import random
+
+from hypothesis import strategies as st
+
+from repro.core.database import UncertainDatabase
+from repro.core.itemsets import canonical
+from repro.uncertain.item_model import ItemUncertainDatabase
+
+ITEM_POOL = "abcdef"
+
+
+@st.composite
+def exact_transactions(draw, max_transactions: int = 8, max_items: int = 5):
+    """A small exact transaction database (list of item tuples)."""
+    num_items = draw(st.integers(min_value=1, max_value=max_items))
+    items = ITEM_POOL[:num_items]
+    num_transactions = draw(st.integers(min_value=0, max_value=max_transactions))
+    transactions = []
+    for _ in range(num_transactions):
+        size = draw(st.integers(min_value=1, max_value=num_items))
+        chosen = draw(
+            st.lists(
+                st.sampled_from(items), min_size=size, max_size=size, unique=True
+            )
+        )
+        transactions.append(canonical(chosen))
+    return transactions
+
+
+@st.composite
+def uncertain_databases(
+    draw,
+    min_transactions: int = 1,
+    max_transactions: int = 8,
+    max_items: int = 5,
+    allow_certain: bool = True,
+):
+    """A small tuple-uncertain database suitable for possible-world oracles."""
+    num_items = draw(st.integers(min_value=1, max_value=max_items))
+    items = ITEM_POOL[:num_items]
+    num_transactions = draw(
+        st.integers(min_value=min_transactions, max_value=max_transactions)
+    )
+    rows = []
+    upper = 1.0 if allow_certain else 0.95
+    for index in range(num_transactions):
+        size = draw(st.integers(min_value=1, max_value=num_items))
+        chosen = draw(
+            st.lists(
+                st.sampled_from(items), min_size=size, max_size=size, unique=True
+            )
+        )
+        probability = draw(
+            st.floats(min_value=0.05, max_value=upper, allow_nan=False)
+        )
+        rows.append((f"T{index}", canonical(chosen), round(probability, 3)))
+    return UncertainDatabase.from_rows(rows)
+
+
+@st.composite
+def item_uncertain_databases(
+    draw,
+    min_transactions: int = 1,
+    max_transactions: int = 4,
+    max_items: int = 3,
+    max_uncertain_occurrences: int = 10,
+):
+    """A tiny attribute-uncertain database within world-enumeration reach.
+
+    The total number of *uncertain* item occurrences (probability < 1) is
+    capped so :meth:`ItemUncertainDatabase.enumerate_worlds` — exponential
+    in that count — stays a usable oracle.
+    """
+    num_items = draw(st.integers(min_value=1, max_value=max_items))
+    items = ITEM_POOL[:num_items]
+    num_transactions = draw(
+        st.integers(min_value=min_transactions, max_value=max_transactions)
+    )
+    uncertain_budget = max_uncertain_occurrences
+    rows = []
+    for index in range(num_transactions):
+        size = draw(st.integers(min_value=1, max_value=num_items))
+        chosen = draw(
+            st.lists(
+                st.sampled_from(items), min_size=size, max_size=size, unique=True
+            )
+        )
+        contents = {}
+        for item in canonical(chosen):
+            if uncertain_budget > 0 and draw(st.booleans()):
+                probability = draw(
+                    st.floats(min_value=0.1, max_value=0.95, allow_nan=False)
+                )
+                contents[item] = round(probability, 2)
+                uncertain_budget -= 1
+            else:
+                contents[item] = 1.0
+        rows.append((f"T{index}", contents))
+    return ItemUncertainDatabase.from_rows(rows)
+
+
+@st.composite
+def probability_lists(draw, max_size: int = 10):
+    """A list of probabilities in [0, 1] (Poisson-binomial success vector)."""
+    return draw(
+        st.lists(
+            st.floats(min_value=0.0, max_value=1.0, allow_nan=False),
+            min_size=0,
+            max_size=max_size,
+        )
+    )
+
+
+# The conformance suite's preferred name; same strategy.
+probability_vectors = probability_lists
+
+
+def databases_for_model(model_name: str):
+    """The database strategy matching a registered uncertainty-model name.
+
+    Lets parametrized conformance tests draw well-shaped inputs for *any*
+    registered model: built-ins dispatch here; third-party models can layer
+    their own dispatch on top.
+    """
+    if model_name in ("tuple", "tuple-level"):
+        return uncertain_databases(min_transactions=1, max_transactions=6)
+    if model_name in ("attribute", "attribute-level", "item"):
+        return item_uncertain_databases()
+    raise ValueError(f"no database strategy for uncertainty model {model_name!r}")
+
+
+def random_uncertain_database(
+    rng: random.Random, rows: int, items: str = "abcdefg"
+) -> UncertainDatabase:
+    """Deterministic tuple-uncertain database (non-hypothesis loop tests)."""
+    data = []
+    for index in range(rows):
+        size = rng.randint(1, len(items))
+        data.append(
+            (
+                f"T{index}",
+                "".join(rng.sample(items, size)),
+                round(rng.uniform(0.05, 1.0), 3),
+            )
+        )
+    return UncertainDatabase.from_rows(data)

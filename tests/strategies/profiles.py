@@ -1,0 +1,65 @@
+"""Hypothesis settings profiles: ``dev`` (default), ``ci``, ``nightly``.
+
+The profiles trade example volume for wall-clock:
+
+* ``dev`` — fast local feedback (the default when no profile is selected);
+* ``ci`` — the pull-request gate: more examples than ``dev``, still bounded
+  enough for the ``conformance-smoke`` job;
+* ``nightly`` — deep sweep for scheduled / ``workflow_dispatch`` runs.
+
+Select with the ``REPRO_HYPOTHESIS_PROFILE`` environment variable;
+``tests/conftest.py`` calls :func:`load_profile_from_env` at collection
+time, so ``REPRO_HYPOTHESIS_PROFILE=ci pytest tests/conformance`` is the
+whole interface.  Per-test ``@settings(max_examples=...)`` decorations
+override the profile, as hypothesis specifies.
+"""
+
+from __future__ import annotations
+
+import os
+
+from hypothesis import HealthCheck, settings
+
+ENV_VAR = "REPRO_HYPOTHESIS_PROFILE"
+
+# Mining a database per example is slow by hypothesis standards; every
+# profile disables deadlines and the too_slow health check for that reason.
+_COMMON = dict(
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+HYPOTHESIS_PROFILES = {
+    "dev": dict(max_examples=25, **_COMMON),
+    "ci": dict(max_examples=75, **_COMMON),
+    "nightly": dict(max_examples=400, print_blob=True, **_COMMON),
+}
+
+_registered = False
+
+
+def register_profiles() -> None:
+    """Register every profile with hypothesis (idempotent)."""
+    global _registered
+    if _registered:
+        return
+    for name, kwargs in HYPOTHESIS_PROFILES.items():
+        settings.register_profile(name, **kwargs)
+    _registered = True
+
+
+def load_profile_from_env(default: str = "dev") -> str:
+    """Load the profile named by ``REPRO_HYPOTHESIS_PROFILE`` (or ``default``).
+
+    Returns the loaded profile name; unknown names fail loudly rather than
+    silently testing less than CI thinks it is.
+    """
+    register_profiles()
+    name = os.environ.get(ENV_VAR, default)
+    if name not in HYPOTHESIS_PROFILES:
+        raise ValueError(
+            f"unknown hypothesis profile {name!r} from ${ENV_VAR} "
+            f"(known: {', '.join(sorted(HYPOTHESIS_PROFILES))})"
+        )
+    settings.load_profile(name)
+    return name

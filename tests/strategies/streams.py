@@ -1,0 +1,91 @@
+"""Stream-shaped strategies: transactions, streams, windowed replays."""
+
+from __future__ import annotations
+
+import random
+from typing import Iterable, List, Tuple
+
+from hypothesis import strategies as st
+
+from repro.core.database import UncertainTransaction
+
+from tests.strategies.databases import ITEM_POOL
+
+
+def make_transaction(tid, items: Iterable, probability: float) -> UncertainTransaction:
+    """One uncertain transaction from loose parts (test shorthand)."""
+    return UncertainTransaction(str(tid), tuple(items), probability)
+
+
+@st.composite
+def uncertain_transactions(draw, max_items: int = 5, tid_prefix: str = "T"):
+    """One uncertain transaction over the shared item pool."""
+    num_items = draw(st.integers(min_value=1, max_value=max_items))
+    items = ITEM_POOL[:max_items]
+    chosen = draw(
+        st.lists(
+            st.sampled_from(items),
+            min_size=num_items,
+            max_size=num_items,
+            unique=True,
+        )
+    )
+    probability = draw(st.floats(min_value=0.05, max_value=1.0, allow_nan=False))
+    tid = draw(st.integers(min_value=0, max_value=10**6))
+    return make_transaction(
+        f"{tid_prefix}{tid}", sorted(chosen), round(probability, 3)
+    )
+
+
+@st.composite
+def transaction_streams(
+    draw, min_length: int = 0, max_length: int = 40, max_items: int = 5
+):
+    """A finite stream of uncertain transactions with unique tids."""
+    length = draw(st.integers(min_value=min_length, max_value=max_length))
+    stream: List[UncertainTransaction] = []
+    for index in range(length):
+        transaction = draw(uncertain_transactions(max_items=max_items))
+        stream.append(
+            make_transaction(f"T{index}", transaction.items, transaction.probability)
+        )
+    return stream
+
+
+@st.composite
+def windowed_streams(
+    draw,
+    min_length: int = 1,
+    max_length: int = 40,
+    min_capacity: int = 1,
+    max_capacity: int = 12,
+    max_items: int = 5,
+):
+    """``(transactions, capacity)`` for sliding-window replay properties."""
+    stream = draw(
+        transaction_streams(
+            min_length=min_length, max_length=max_length, max_items=max_items
+        )
+    )
+    capacity = draw(st.integers(min_value=min_capacity, max_value=max_capacity))
+    return stream, capacity
+
+
+def random_uncertain_transactions(
+    rng: random.Random,
+    count: int,
+    items: str = "abcde",
+    max_size: int = 4,
+    low: float = 0.1,
+    high: float = 1.0,
+) -> List[UncertainTransaction]:
+    """Deterministic transaction stream (non-hypothesis replay tests)."""
+    size_cap = min(max_size, len(items))
+    return [
+        make_transaction(
+            f"T{index}",
+            sorted(rng.sample(items, rng.randint(1, size_cap))),
+            round(rng.uniform(low, high), 3),
+        )
+        for index in range(count)
+    ]

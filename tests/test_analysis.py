@@ -32,6 +32,7 @@ RULE_DIRECTORIES = {
     "BACKEND-SEAL": "backend_seal",
     "CACHE-PURE": "cache_pure",
     "DETERMINISM": "determinism",
+    "REGISTRY-SEAL": "registry_seal",
     "RUNTIME-PICKLE": "runtime_pickle",
 }
 

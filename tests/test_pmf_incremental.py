@@ -23,7 +23,7 @@ from repro.core.support import (
     support_pmf,
 )
 
-from .conftest import probability_lists
+from tests.strategies import probability_lists
 
 
 class TestPmfAdd:

@@ -4,12 +4,10 @@ import random
 
 import pytest
 
-from repro.core.database import UncertainDatabase, UncertainTransaction
+from repro.core.database import UncertainDatabase
 from repro.streaming import WindowedUncertainDatabase
-
-
-def txn(tid, items, probability):
-    return UncertainTransaction(tid, tuple(items), probability)
+from tests.strategies import make_transaction as txn
+from tests.strategies import random_uncertain_transactions
 
 
 class TestAppendEvict:
@@ -70,9 +68,8 @@ class TestMaintainedIndex:
     def test_index_matches_plain_database_over_random_slides(self):
         rng = random.Random(99)
         window = WindowedUncertainDatabase(capacity=7)
-        for index in range(60):
-            items = rng.sample("abcde", rng.randint(1, 3))
-            window.append(txn(f"T{index}", sorted(items), round(rng.uniform(0.1, 1.0), 3)))
+        for transaction in random_uncertain_transactions(rng, 60, max_size=3):
+            window.append(transaction)
             reference = UncertainDatabase(list(window))
             assert window.items == reference.items
             for item in reference.items:

@@ -17,7 +17,7 @@ from repro.core.support import (
     support_variance,
     tail_probability_table,
 )
-from tests.conftest import probability_lists
+from tests.strategies import probability_lists
 
 
 def brute_force_tail(probabilities, min_sup):

@@ -41,7 +41,7 @@ from repro.core.tidsets import (
     pack_positions,
 )
 from repro.streaming.window import WindowedUncertainDatabase
-from tests.conftest import uncertain_databases
+from tests.strategies import random_uncertain_database, uncertain_databases
 
 RESULT_FIELDS = (
     "itemset",
@@ -67,20 +67,6 @@ def mine_both(database: UncertainDatabase, **config_kwargs):
         config = MinerConfig(tidset_backend=backend, **config_kwargs)
         results[backend] = MPFCIMiner(database, config).mine()
     return results["tuple"], results["bitmap"]
-
-
-def random_database(rng: random.Random, rows: int, items: str = "abcdefg"):
-    data = []
-    for index in range(rows):
-        size = rng.randint(1, len(items))
-        data.append(
-            (
-                f"T{index}",
-                "".join(rng.sample(items, size)),
-                round(rng.uniform(0.05, 1.0), 3),
-            )
-        )
-    return UncertainDatabase.from_rows(data)
 
 
 # ----------------------------------------------------------------------
@@ -271,7 +257,7 @@ class TestMiningParity:
     @pytest.mark.parametrize("rows", [17, 65, 90])
     def test_dfs_parity_on_larger_random_databases(self, rows):
         rng = random.Random(rows)
-        database = random_database(rng, rows)
+        database = random_uncertain_database(rng, rows)
         tuple_results, bitmap_results = mine_both(
             database, min_sup=max(2, rows // 5), pfct=0.4, exact_event_limit=16
         )
@@ -279,7 +265,7 @@ class TestMiningParity:
 
     def test_bfs_parity(self):
         rng = random.Random(5)
-        database = random_database(rng, 40)
+        database = random_uncertain_database(rng, 40)
         results = {}
         for backend in TIDSET_BACKENDS:
             config = MinerConfig(min_sup=8, pfct=0.4, tidset_backend=backend)
@@ -398,7 +384,7 @@ class TestEngineAlgebra:
     def test_absent_factor_and_superset_cover_parity(self):
         rng = random.Random(41)
         for _ in range(25):
-            database = random_database(rng, rng.randint(2, 50))
+            database = random_uncertain_database(rng, rng.randint(2, 50))
             bitmap = database.tidset_engine("bitmap")
             oracle = database.tidset_engine("tuple")
             items = database.items
