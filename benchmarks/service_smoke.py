@@ -1,0 +1,154 @@
+#!/usr/bin/env python
+"""CI smoke for the mining service: boot, mine, cache, drain.
+
+Drives a real ``python -m repro.service`` process over HTTP:
+
+1. boot on an ephemeral port (address discovered via ``service.json``);
+2. submit the CI-scale mushroom sample by server-side path and poll the
+   job to completion;
+3. resubmit the identical request and require a fingerprint-cache hit —
+   served instantly, without re-mining;
+4. SIGTERM with a job still admitted and require a graceful drain: the
+   job completes, the process exits 0.
+
+Exit status is non-zero on any violated expectation, so the CI job fails
+loudly rather than green-washing a broken service.
+"""
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+import urllib.error
+import urllib.request
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.data.io import save_uncertain_database  # noqa: E402
+from repro.eval.datasets import ExperimentScale, mushroom_database  # noqa: E402
+
+POLL_INTERVAL = 0.2
+STARTUP_TIMEOUT = 30.0
+JOB_TIMEOUT = 300.0
+CACHED_SUBMISSION_BUDGET = 5.0  # seconds; a real re-mine would be fine-grained
+
+
+def http(base, method, path, body=None):
+    data = None if body is None else json.dumps(body).encode()
+    request = urllib.request.Request(
+        base + path, data=data, method=method,
+        headers={"Content-Type": "application/json"},
+    )
+    try:
+        with urllib.request.urlopen(request, timeout=30) as response:
+            return response.status, json.loads(response.read())
+    except urllib.error.HTTPError as error:
+        return error.code, json.loads(error.read())
+
+
+def start_service(data_dir):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src") + os.pathsep + env.get("PYTHONPATH", "")
+    proc = subprocess.Popen(
+        [
+            sys.executable, "-m", "repro.service",
+            "--data-dir", str(data_dir), "--port", "0", "--workers", "1",
+        ],
+        env=env, stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True,
+    )
+    address_file = Path(data_dir) / "service.json"
+    deadline = time.monotonic() + STARTUP_TIMEOUT
+    while time.monotonic() < deadline:
+        if address_file.exists():
+            address = json.loads(address_file.read_text())
+            return proc, f"http://{address['host']}:{address['port']}"
+        if proc.poll() is not None:
+            print(proc.stdout.read())
+            raise SystemExit("FAIL: service died during startup")
+        time.sleep(0.05)
+    raise SystemExit("FAIL: service did not publish its address in time")
+
+
+def poll_until_terminal(base, job_id):
+    deadline = time.monotonic() + JOB_TIMEOUT
+    while time.monotonic() < deadline:
+        _, payload = http(base, "GET", f"/jobs/{job_id}")
+        if payload["state"] not in ("queued", "running"):
+            return payload
+        time.sleep(POLL_INTERVAL)
+    raise SystemExit(f"FAIL: job {job_id} did not finish within {JOB_TIMEOUT}s")
+
+
+def main():
+    with tempfile.TemporaryDirectory(prefix="repro-service-smoke-") as data_dir:
+        dataset_path = Path(data_dir) / "mushroom-ci.utd"
+        save_uncertain_database(
+            mushroom_database(ExperimentScale.CI), dataset_path
+        )
+        body = {
+            "database": {"path": str(dataset_path)},
+            "config": {"min_sup": 20, "pfct": 0.6},
+            "processes": 2,
+        }
+
+        proc, base = start_service(data_dir)
+        try:
+            status, health = http(base, "GET", "/healthz")
+            assert status == 200 and health["status"] == "ok", health
+            print(f"booted: {base}")
+
+            # -- mushroom job to completion --------------------------------
+            started = time.monotonic()
+            status, submitted = http(base, "POST", "/jobs", body)
+            assert status == 202, (status, submitted)
+            final = poll_until_terminal(base, submitted["job_id"])
+            mined_elapsed = time.monotonic() - started
+            assert final["state"] == "completed", final
+            status, result = http(base, "GET", f"/jobs/{submitted['job_id']}/result")
+            assert status == 200 and result["count"] > 0, (status, result)
+            print(
+                f"mined: {result['count']} PFCIs in {mined_elapsed:.2f}s "
+                f"(degraded_fraction={final['degradation']['degraded_fraction']})"
+            )
+
+            # -- identical resubmission must hit the fingerprint cache -----
+            started = time.monotonic()
+            status, resubmitted = http(base, "POST", "/jobs", body)
+            cached_elapsed = time.monotonic() - started
+            assert status == 201, (status, resubmitted)
+            assert resubmitted["cached"] is True, resubmitted
+            assert cached_elapsed < CACHED_SUBMISSION_BUDGET, (
+                f"cached submission took {cached_elapsed:.2f}s"
+            )
+            status, cached = http(
+                base, "GET", f"/jobs/{resubmitted['job_id']}/result"
+            )
+            assert cached["results"] == result["results"], "cache served wrong results"
+            print(f"cache hit: served in {cached_elapsed:.3f}s, results identical")
+
+            # -- SIGTERM with work admitted: drain, then exit 0 ------------
+            different = dict(body, config={"min_sup": 25, "pfct": 0.6})
+            status, queued = http(base, "POST", "/jobs", different)
+            assert status == 202, (status, queued)
+            proc.send_signal(signal.SIGTERM)
+            exit_code = proc.wait(timeout=120)
+            assert exit_code == 0, f"exit code {exit_code}"
+            manifest = json.loads(
+                (Path(data_dir) / "jobs" / queued["job_id"] / "job.json").read_text()
+            )
+            assert manifest["state"] == "completed", manifest["state"]
+            print("drain: admitted job completed, exit 0")
+            print("service smoke OK")
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+                proc.wait(timeout=10)
+
+
+if __name__ == "__main__":
+    main()

@@ -258,6 +258,26 @@ def _add_experiments_parser(subparsers) -> None:
 
 
 
+def _add_serve_parser(subparsers) -> None:
+    parser = subparsers.add_parser(
+        "serve",
+        help="run the durable mining-job HTTP service (see docs/service.md)",
+    )
+    parser.add_argument(
+        "--data-dir", required=True,
+        help="directory for job state, checkpoints, and the result cache",
+    )
+    parser.add_argument("--host", default="127.0.0.1", help="bind address")
+    parser.add_argument(
+        "--port", type=int, default=8765,
+        help="bind port (0 picks an ephemeral port, published to service.json)",
+    )
+    parser.add_argument(
+        "--workers", type=int, default=2,
+        help="concurrent mining jobs (each runs its own process pool)",
+    )
+
+
 def _error(message: str) -> int:
     """One-line operational error: stderr + exit code 2, no traceback."""
     print(f"error: {message}", file=sys.stderr)
@@ -583,6 +603,21 @@ def _command_experiments(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_serve(args: argparse.Namespace) -> int:
+    # Imported lazily: the service pulls in asyncio plumbing no other
+    # subcommand needs.
+    from .service import serve
+
+    if args.workers < 1:
+        return _error(f"--workers must be >= 1, got {args.workers}")
+    try:
+        return serve(
+            args.data_dir, host=args.host, port=args.port, workers=args.workers
+        )
+    except OSError as error:
+        return _error(f"cannot start service: {error}")
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro-mine",
@@ -594,6 +629,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     _add_generate_parser(subparsers)
     _add_inspect_parser(subparsers)
     _add_experiments_parser(subparsers)
+    _add_serve_parser(subparsers)
     args = parser.parse_args(argv)
     handlers = {
         "mine": _command_mine,
@@ -601,6 +637,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "generate": _command_generate,
         "inspect": _command_inspect,
         "experiments": _command_experiments,
+        "serve": _command_serve,
     }
     try:
         return handlers[args.command](args)

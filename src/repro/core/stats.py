@@ -106,6 +106,7 @@ class MiningStats:
     pool_rebuilds: int = 0
     branches_recovered_inline: int = 0
     branches_failed: int = 0
+    branches_cancelled: int = 0
     checkpoint_branches_written: int = 0
     checkpoint_branches_skipped: int = 0
     # --- results and wall-clock ----------------------------------------
@@ -165,6 +166,16 @@ class MiningStats:
         return self.pmf_incremental_updates / updates if updates else 0.0
 
     @property
+    def degraded_fraction(self) -> float:
+        """Fraction of closedness checks that degraded to sampling (0 when idle).
+
+        The per-run *degradation provenance* ratio: how much of this run's
+        answer rests on the Karp–Luby estimator instead of exact
+        inclusion–exclusion (see ``docs/robustness.md``).
+        """
+        return self.degraded_checks / self.checks_performed if self.checks_performed else 0.0
+
+    @property
     def check_outcomes(self) -> int:
         """Sum over the mutually exclusive check outcomes.
 
@@ -188,6 +199,29 @@ class MiningStats:
         """Flat counter dict (one key per dataclass field)."""
         return {name: getattr(self, name) for name in self.__dataclass_fields__}
 
+    def snapshot(self) -> Dict[str, Any]:
+        """Point-in-time JSON-safe copy of every counter, safe to take while
+        another thread is still mutating this object.
+
+        Counters are plain ints/floats mutated under the GIL, so each field
+        read is atomic; the dict is a self-consistent-enough observation for
+        live monitoring (a service polling a run in flight) and is exactly
+        what :meth:`from_snapshot` reconstructs.  Unlike :meth:`report` it is
+        flat and lossless — ``from_snapshot(stats.snapshot()) == stats``.
+        """
+        return self.as_dict()
+
+    @classmethod
+    def from_snapshot(cls, payload: Dict[str, Any]) -> "MiningStats":
+        """Rebuild stats from :meth:`snapshot` output (or any superset).
+
+        Unknown keys are ignored so snapshots written by a *newer* version
+        (more counters) still load — the checkpoint format and the service
+        job store both rely on this for forward compatibility.
+        """
+        known = cls.__dataclass_fields__
+        return cls(**{name: value for name, value in payload.items() if name in known})
+
     def report(self) -> Dict[str, Any]:
         """Structured, JSON-ready report: counters, derived rates, phases.
 
@@ -205,6 +239,7 @@ class MiningStats:
                 "check_outcomes": self.check_outcomes,
                 "pmf_updates": self.pmf_updates,
                 "pmf_incremental_fraction": round(self.pmf_incremental_fraction, 6),
+                "degraded_fraction": round(self.degraded_fraction, 6),
             },
             "runtime": {
                 "branches_dispatched": self.branches_dispatched,
@@ -214,6 +249,7 @@ class MiningStats:
                 "pool_rebuilds": self.pool_rebuilds,
                 "branches_recovered_inline": self.branches_recovered_inline,
                 "branches_failed": self.branches_failed,
+                "branches_cancelled": self.branches_cancelled,
                 "checkpoint_branches_written": self.checkpoint_branches_written,
                 "checkpoint_branches_skipped": self.checkpoint_branches_skipped,
                 "degraded_checks": self.degraded_checks,

@@ -17,11 +17,13 @@ adds the operational layer for long or flaky runs:
 
 from .checkpoint import (
     Checkpoint,
+    CheckpointCancelledError,
     CheckpointError,
     CheckpointMismatchError,
     CheckpointWriter,
     config_fingerprint,
     database_sha256,
+    fingerprint,
     has_checkpoint_header,
     load_checkpoint,
     validate_fingerprint,
@@ -42,6 +44,7 @@ __all__ = [
     "BranchFault",
     "BranchOutcome",
     "Checkpoint",
+    "CheckpointCancelledError",
     "CheckpointError",
     "CheckpointMismatchError",
     "CheckpointWriter",
@@ -51,6 +54,7 @@ __all__ = [
     "SupervisorReport",
     "config_fingerprint",
     "database_sha256",
+    "fingerprint",
     "has_checkpoint_header",
     "load_checkpoint",
     "mine_pfci_supervised",

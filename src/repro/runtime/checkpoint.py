@@ -11,6 +11,17 @@ branch's :class:`~repro.core.stats.MiningStats` delta::
     {"kind": "branch", "rank": 0, "item": "a", "results": [...], "stats": {...}}
     {"kind": "branch", "rank": 3, "item": "d", "results": [...], "stats": {...}}
 
+A cooperatively cancelled run appends one final record naming every branch
+it abandoned::
+
+    {"kind": "cancelled", "ranks": [1, 2]}
+
+which turns the file from "resumable" into "deliberately abandoned":
+:func:`load_checkpoint` surfaces it as ``Checkpoint.cancelled`` and the
+supervisor's resume path refuses such a file with
+:class:`CheckpointCancelledError` instead of silently resurrecting killed
+work.
+
 Each branch line is written as a single ``write()`` of the full line
 followed by ``flush`` + ``fsync``, so a crash can at worst leave one
 truncated *final* line — which :func:`load_checkpoint` tolerates and
@@ -43,7 +54,7 @@ from __future__ import annotations
 import hashlib
 import json
 import os
-from dataclasses import asdict, dataclass
+from dataclasses import asdict, dataclass, field
 from pathlib import Path
 from typing import Any, Dict, List, Optional, Union
 
@@ -54,6 +65,7 @@ from ..core.miner import ProbabilisticFrequentClosedItemset
 from ..core.stats import MiningStats
 
 __all__ = [
+    "CheckpointCancelledError",
     "CheckpointError",
     "CheckpointMismatchError",
     "CheckpointWriter",
@@ -61,6 +73,7 @@ __all__ = [
     "Checkpoint",
     "config_fingerprint",
     "database_sha256",
+    "fingerprint",
     "has_checkpoint_header",
     "load_checkpoint",
     "validate_fingerprint",
@@ -77,6 +90,16 @@ class CheckpointError(ValueError):
 
 class CheckpointMismatchError(CheckpointError):
     """A checkpoint's fingerprint does not match the (database, config) pair."""
+
+
+class CheckpointCancelledError(CheckpointError):
+    """A checkpoint carries a cancellation record and may not be resumed.
+
+    A cancelled run was abandoned *deliberately* — resuming it silently
+    would resurrect work the operator killed, and (worse) let a service
+    publish the eventual results as if the job had run to completion.
+    Callers that really want the work re-done submit a fresh run instead.
+    """
 
 
 # ----------------------------------------------------------------------
@@ -108,6 +131,20 @@ def config_fingerprint(
         "transactions": len(database),
         "config": asdict(config),
     }
+
+
+def fingerprint(database: UncertainDatabase, config: MinerConfig) -> str:
+    """One sha256 hex digest identifying a (database, config) pair.
+
+    The digest is computed over the canonical JSON form of
+    :func:`config_fingerprint` — the exact structure checkpoint headers
+    store — so a checkpoint and any content-addressed artifact (e.g. the
+    service result cache, :mod:`repro.service.cache`) agree on identity by
+    construction: equal digests iff :func:`validate_fingerprint` would
+    accept the pair.
+    """
+    canonical = json.dumps(config_fingerprint(database, config), sort_keys=True)
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
 
 
 def validate_fingerprint(
@@ -163,8 +200,7 @@ def deserialize_result(payload: Dict[str, Any]) -> ProbabilisticFrequentClosedIt
 
 
 def _stats_from_dict(payload: Dict[str, Any]) -> MiningStats:
-    known = MiningStats.__dataclass_fields__
-    return MiningStats(**{name: value for name, value in payload.items() if name in known})
+    return MiningStats.from_snapshot(payload)
 
 
 # ----------------------------------------------------------------------
@@ -192,6 +228,10 @@ class Checkpoint:
     fingerprint: Dict[str, Any]
     branches: Dict[int, BranchRecord]
     valid_bytes: int = 0
+    #: True when the run that wrote this file was cooperatively cancelled;
+    #: ``cancelled_ranks`` lists the branches it abandoned.
+    cancelled: bool = False
+    cancelled_ranks: List[int] = field(default_factory=list)
 
 
 def load_checkpoint(path: PathLike) -> Checkpoint:
@@ -249,10 +289,17 @@ def load_checkpoint(path: PathLike) -> Checkpoint:
         raise CheckpointError(f"{path}: header carries no fingerprint")
 
     branches: Dict[int, BranchRecord] = {}
+    cancelled = False
+    cancelled_ranks: List[int] = []
     for record in records[1:]:
-        if record.get("kind") != "branch":
+        kind = record.get("kind")
+        if kind == "cancelled":
+            cancelled = True
+            cancelled_ranks.extend(int(rank) for rank in record.get("ranks", []))
+            continue
+        if kind != "branch":
             raise CheckpointError(
-                f"{path}: unexpected record kind {record.get('kind')!r}"
+                f"{path}: unexpected record kind {kind!r}"
             )
         rank = record["rank"]
         branches[rank] = BranchRecord(
@@ -262,7 +309,11 @@ def load_checkpoint(path: PathLike) -> Checkpoint:
             stats=_stats_from_dict(record["stats"]),
         )
     return Checkpoint(
-        fingerprint=fingerprint, branches=branches, valid_bytes=valid_bytes
+        fingerprint=fingerprint,
+        branches=branches,
+        valid_bytes=valid_bytes,
+        cancelled=cancelled,
+        cancelled_ranks=sorted(set(cancelled_ranks)),
     )
 
 
@@ -351,6 +402,16 @@ class CheckpointWriter:
                 "stats": stats.as_dict(),
             }
         )
+
+    def write_cancelled(self, ranks: List[int]) -> None:
+        """Durably mark the run as cancelled, naming the abandoned branches.
+
+        After this record the file is no longer resumable
+        (:class:`CheckpointCancelledError` on resume) — the cancellation is
+        as durable as the progress it interrupts, so a restarted service
+        cannot mistake a killed job for an interrupted one.
+        """
+        self._write_line({"kind": "cancelled", "ranks": sorted(ranks)})
 
     def close(self) -> None:
         if self._handle is not None:

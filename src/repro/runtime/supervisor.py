@@ -33,7 +33,14 @@ treats worker failure as a normal event:
 * **checkpoint/resume** — with a checkpoint path, every completed branch is
   durably appended to a JSONL file (:mod:`repro.runtime.checkpoint`);
   resuming validates the config fingerprint and skips finished branches, so
-  an interrupted run continues bit-identically.
+  an interrupted run continues bit-identically;
+* **cooperative cancellation** — a ``cancel_event`` (any
+  ``threading.Event``) stops the run at the next supervision tick: finished
+  branches are kept, in-flight workers are killed without being charged an
+  attempt, the rest resolve as ``"cancelled"`` outcomes, and the checkpoint
+  is durably marked cancelled so resume refuses it
+  (:class:`~repro.runtime.checkpoint.CheckpointCancelledError`) — a killed
+  job can never masquerade as an interrupted one.
 
 Every recovery action increments a ``MiningStats`` counter
 (``branches_dispatched``, ``branch_retries``, ``branch_timeouts``,
@@ -51,12 +58,14 @@ exact-check configuration (asserted in ``tests/test_runtime_faults.py``).
 from __future__ import annotations
 
 import logging
+import signal
+import threading
 import time
 from concurrent.futures import FIRST_COMPLETED, Future, ProcessPoolExecutor, wait
 from concurrent.futures import BrokenExecutor
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Dict, List, Optional, Set, Tuple, Union
+from typing import Any, Dict, List, Optional, Tuple, Union
 
 from ..core.config import MinerConfig
 from ..core.database import UncertainDatabase
@@ -65,11 +74,14 @@ from ..core.miner import MPFCIMiner, ProbabilisticFrequentClosedItemset
 from ..core.parallel import BranchTask, plan_root_branches
 from ..core.stats import MiningStats
 from .checkpoint import (
+    CheckpointCancelledError,
     CheckpointError,
     CheckpointWriter,
     config_fingerprint,
+    deserialize_result,
     has_checkpoint_header,
     load_checkpoint,
+    serialize_result,
     validate_fingerprint,
 )
 from .faults import FaultPlan
@@ -158,9 +170,30 @@ class BranchOutcome:
 
     rank: int
     item: Item
-    status: str  # "completed" | "checkpointed" | "recovered-inline" | "failed"
+    # "completed" | "checkpointed" | "recovered-inline" | "failed" | "cancelled"
+    status: str
     attempts: int
     error: Optional[str] = None
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-safe form (round-trips through :meth:`from_dict`)."""
+        return {
+            "rank": self.rank,
+            "item": self.item,
+            "status": self.status,
+            "attempts": self.attempts,
+            "error": self.error,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "BranchOutcome":
+        return cls(
+            rank=payload["rank"],
+            item=payload["item"],
+            status=payload["status"],
+            attempts=payload["attempts"],
+            error=payload.get("error"),
+        )
 
 
 @dataclass
@@ -176,9 +209,44 @@ class SupervisorReport:
         return [outcome for outcome in self.outcomes if outcome.status == "failed"]
 
     @property
+    def cancelled_branches(self) -> List[BranchOutcome]:
+        return [outcome for outcome in self.outcomes if outcome.status == "cancelled"]
+
+    @property
+    def cancelled(self) -> bool:
+        """True when the run was stopped cooperatively before finishing."""
+        return bool(self.cancelled_branches)
+
+    @property
     def complete(self) -> bool:
         """True when every branch produced results (none were lost)."""
-        return not self.failed
+        return not self.failed and not self.cancelled_branches
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-safe form: results via the checkpoint serializer (item values
+        preserved, floats shortest-exact), outcomes, and a stats snapshot.
+
+        This is the *only* sanctioned way to ship a report across a process
+        or serialization boundary — job-status endpoints read this, never
+        private fields.  Round-trips through :meth:`from_dict`.
+        """
+        return {
+            "results": [serialize_result(result) for result in self.results],
+            "outcomes": [outcome.to_dict() for outcome in self.outcomes],
+            "stats": self.stats.snapshot(),
+            "complete": self.complete,
+            "cancelled": self.cancelled,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "SupervisorReport":
+        return cls(
+            results=[deserialize_result(entry) for entry in payload["results"]],
+            outcomes=[
+                BranchOutcome.from_dict(entry) for entry in payload.get("outcomes", [])
+            ],
+            stats=MiningStats.from_snapshot(payload.get("stats", {})),
+        )
 
 
 # ----------------------------------------------------------------------
@@ -223,6 +291,32 @@ def _supervised_branch_worker(
 # ----------------------------------------------------------------------
 # pool lifecycle helpers
 # ----------------------------------------------------------------------
+def _worker_process_init() -> None:
+    """Pool-worker initializer: shed the host process's signal plumbing.
+
+    Fork-started workers inherit the parent's signal handlers *and* its
+    ``signal.set_wakeup_fd`` pipe.  When the parent is an asyncio host
+    (e.g. the mining service), a ``terminate()`` delivered to a worker
+    would fire the inherited handler, which writes the signal number into
+    the *shared* wakeup pipe — and the parent's event loop reads it as if
+    the host itself had been signalled.  Resetting to the default
+    disposition (and detaching the wakeup fd) keeps worker lifecycle
+    signals inside the worker.
+    """
+    signal.signal(signal.SIGTERM, signal.SIG_DFL)
+    signal.signal(signal.SIGINT, signal.SIG_DFL)
+    try:
+        signal.set_wakeup_fd(-1)
+    except (ValueError, OSError):  # non-main thread or closed fd: nothing to shed
+        pass
+
+
+def _new_pool(processes: Optional[int]) -> ProcessPoolExecutor:
+    return ProcessPoolExecutor(
+        max_workers=processes, initializer=_worker_process_init
+    )
+
+
 def _terminate_pool(pool: ProcessPoolExecutor) -> None:
     """Hard-stop a pool, killing hung workers.
 
@@ -255,6 +349,7 @@ class _Supervision:
         fault_plan: Optional[FaultPlan],
         writer: Optional[CheckpointWriter],
         merged: MiningStats,
+        cancel_event: Optional[threading.Event] = None,
     ) -> None:
         self.database = database
         self.config = config
@@ -262,6 +357,7 @@ class _Supervision:
         self.fault_plan = fault_plan
         self.writer = writer
         self.merged = merged
+        self.cancel_event = cancel_event
         self.processes = processes
         self.pending: Dict[int, BranchTask] = {task.rank: task for task in tasks}
         self.attempts: Dict[int, int] = {task.rank: 0 for task in tasks}
@@ -311,6 +407,31 @@ class _Supervision:
                 f"{self.attempts[task.rank]} attempt(s): {error}"
             ) from error
 
+    def _cancelled(self) -> bool:
+        return self.cancel_event is not None and self.cancel_event.is_set()
+
+    def _record_cancellation(self) -> None:
+        """Resolve every still-pending branch as cancelled, durably.
+
+        The checkpoint gets one ``cancelled`` record naming the abandoned
+        ranks, so the file can never be mistaken for a merely *interrupted*
+        run: resume refuses it, and a service restart will not resurrect —
+        or cache the eventual results of — deliberately killed work.
+        """
+        ranks = sorted(self.pending)
+        for rank in ranks:
+            task = self.pending.pop(rank)
+            self.merged.branches_cancelled += 1
+            self.outcomes[rank] = BranchOutcome(
+                rank=rank,
+                item=task.item,
+                status="cancelled",
+                attempts=self.attempts[rank],
+            )
+        logger.info("run cancelled with %d branch(es) unfinished", len(ranks))
+        if self.writer is not None and ranks:
+            self.writer.write_cancelled(ranks)
+
     def _charge_attempt(self, rank: int) -> None:
         """Consume one attempt; count the retry if the branch stays eligible."""
         self.attempts[rank] += 1
@@ -320,6 +441,8 @@ class _Supervision:
     def _resolve_exhausted(self) -> None:
         """Inline-execute (or fail) every branch that is out of pool retries."""
         for rank in sorted(self.pending):
+            if self._cancelled():
+                return
             if self.attempts[rank] <= self.supervisor.max_retries:
                 continue
             task = self.pending[rank]
@@ -351,13 +474,18 @@ class _Supervision:
     def run(self) -> None:
         if not self.pending:
             return
-        pool = ProcessPoolExecutor(max_workers=self.processes)
+        if self._cancelled():
+            self._record_cancellation()
+            return
+        pool = _new_pool(self.processes)
         try:
             while self.pending:
                 self._resolve_exhausted()
-                if not self.pending:
+                if not self.pending or self._cancelled():
                     break
                 pool = self._run_round(pool)
+            if self._cancelled() and self.pending:
+                self._record_cancellation()
         finally:
             _terminate_pool(pool)
 
@@ -427,6 +555,15 @@ class _Supervision:
             if pool_broken:
                 break
 
+            if self._cancelled():
+                # Cooperative cancel: keep everything that finished before
+                # the signal (already recorded and checkpointed above), kill
+                # the in-flight workers, and leave their branches pending for
+                # run() to resolve as cancelled.  Nothing is charged an
+                # attempt — cancellation is not a failure.
+                _terminate_pool(pool)
+                return pool
+
             if supervisor.branch_timeout_seconds is None:
                 continue
 
@@ -470,7 +607,7 @@ class _Supervision:
                     self._charge_attempt(task.rank)
             _terminate_pool(pool)
             self.merged.pool_rebuilds += 1
-            return ProcessPoolExecutor(max_workers=self.processes)
+            return _new_pool(self.processes)
         return pool
 
 
@@ -485,6 +622,8 @@ def run_supervised(
     checkpoint_path: Optional[PathLike] = None,
     resume_from_checkpoint: bool = False,
     fault_plan: Optional[FaultPlan] = None,
+    live_stats: Optional[MiningStats] = None,
+    cancel_event: Optional[threading.Event] = None,
 ) -> SupervisorReport:
     """Mine under supervision and return the full :class:`SupervisorReport`.
 
@@ -498,14 +637,25 @@ def run_supervised(
             silently truncated.
         resume_from_checkpoint: load ``checkpoint_path`` first, validate its
             config fingerprint against (database, config), skip the branches
-            it already holds, and keep appending to the same file.
+            it already holds, and keep appending to the same file.  A
+            checkpoint carrying a cancellation record is refused
+            (:class:`~repro.runtime.checkpoint.CheckpointCancelledError`).
         fault_plan: deterministic fault injection (tests only).
+        live_stats: when provided, used as the run's merged-counter
+            accumulator *in place* — another thread can watch progress via
+            ``live_stats.snapshot()`` while the run executes (this is how
+            the service's job-status endpoint streams counters).  The same
+            object is returned as ``report.stats``.
+        cancel_event: cooperative cancellation.  When set (any thread), the
+            run keeps every branch that already finished, kills in-flight
+            workers, resolves the rest as ``"cancelled"`` outcomes, and
+            durably marks the checkpoint cancelled so it cannot be resumed.
     """
     supervisor = supervisor or SupervisorConfig()
     started = time.perf_counter()
     tasks, planner_stats = plan_root_branches(database, config)
 
-    merged = MiningStats()
+    merged = live_stats if live_stats is not None else MiningStats()
     merged.merge(planner_stats)
 
     writer: Optional[CheckpointWriter] = None
@@ -516,6 +666,13 @@ def run_supervised(
         fingerprint = config_fingerprint(database, config)
         if resume_from_checkpoint:
             checkpoint = load_checkpoint(checkpoint_path)
+            if checkpoint.cancelled:
+                raise CheckpointCancelledError(
+                    f"{checkpoint_path}: this run was cancelled with "
+                    f"{len(checkpoint.cancelled_ranks)} branch(es) abandoned; "
+                    "a cancelled checkpoint cannot be resumed — delete the "
+                    "file and start a fresh run"
+                )
             validate_fingerprint(checkpoint.fingerprint, fingerprint, checkpoint_path)
             known_ranks = {task.rank for task in tasks}
             for rank, record in sorted(checkpoint.branches.items()):
@@ -554,6 +711,7 @@ def run_supervised(
         fault_plan=fault_plan,
         writer=writer,
         merged=merged,
+        cancel_event=cancel_event,
     )
     supervision.results.extend(recovered_results)
     supervision.outcomes.update(completed)
@@ -581,6 +739,7 @@ def mine_pfci_supervised(
     checkpoint_path: Optional[PathLike] = None,
     resume_from_checkpoint: bool = False,
     fault_plan: Optional[FaultPlan] = None,
+    cancel_event: Optional[threading.Event] = None,
 ) -> List[ProbabilisticFrequentClosedItemset]:
     """Drop-in, fault-tolerant counterpart of :func:`mine_pfci_parallel`.
 
@@ -596,6 +755,7 @@ def mine_pfci_supervised(
         checkpoint_path=checkpoint_path,
         resume_from_checkpoint=resume_from_checkpoint,
         fault_plan=fault_plan,
+        cancel_event=cancel_event,
     )
     if stats is not None:
         stats.merge(report.stats)

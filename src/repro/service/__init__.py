@@ -1,0 +1,47 @@
+"""``repro.service`` — a durable mining-job HTTP service on the stdlib only.
+
+Turns the supervised mining runtime into a long-running, multi-tenant
+service: submit full :class:`~repro.core.config.MinerConfig` requests over
+HTTP, poll live progress (including degradation-provenance ratios), fetch
+completed PFCI sets, and cancel cooperatively.  Three properties the
+subsystem is built around:
+
+* **Durability** — every job materializes its database and checkpoints its
+  branches; a killed service ``resume()``\\ s in-flight jobs on restart and
+  completes them bit-identical to an uninterrupted run.
+* **Idempotence** — jobs are content-addressed by
+  :func:`repro.runtime.fingerprint`; resubmitting finished work hits the
+  result cache in O(result size), and submitting work already in flight
+  coalesces onto the running job.
+* **No new dependencies** — the HTTP layer is ~200 lines over
+  ``asyncio.start_server``; everything else is the existing runtime.
+
+Entry points: ``repro-mine serve`` (CLI), ``python -m repro.service``, or
+:class:`MiningService` embedded in an asyncio program (as the integration
+tests do).  Full endpoint reference in ``docs/service.md``.
+"""
+
+from .app import MiningService, serve
+from .cache import ResultCache
+from .http import ApiError, Request, Response, Router
+from .jobs import ACTIVE_STATES, JOB_STATES, TERMINAL_STATES, Job, JobStore
+from .runner import JobRunner
+from .schemas import JobRequest, parse_job_request
+
+__all__ = [
+    "ACTIVE_STATES",
+    "ApiError",
+    "JOB_STATES",
+    "Job",
+    "JobRequest",
+    "JobRunner",
+    "JobStore",
+    "MiningService",
+    "Request",
+    "Response",
+    "ResultCache",
+    "Router",
+    "TERMINAL_STATES",
+    "parse_job_request",
+    "serve",
+]

@@ -1,0 +1,36 @@
+"""``python -m repro.service`` — run the mining service directly."""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .app import serve
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.service",
+        description="Run the PFCI mining job service (see docs/service.md).",
+    )
+    parser.add_argument(
+        "--data-dir", required=True,
+        help="directory for job state, checkpoints, and the result cache",
+    )
+    parser.add_argument("--host", default="127.0.0.1", help="bind address")
+    parser.add_argument(
+        "--port", type=int, default=8765,
+        help="bind port (0 picks an ephemeral port, published to service.json)",
+    )
+    parser.add_argument(
+        "--workers", type=int, default=2,
+        help="concurrent mining jobs (each runs its own process pool)",
+    )
+    args = parser.parse_args(argv)
+    return serve(
+        args.data_dir, host=args.host, port=args.port, workers=args.workers
+    )
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,372 @@
+"""The mining service: HTTP endpoints, lifecycle, and the ops surface.
+
+Endpoints (all JSON; see ``docs/service.md`` for the full reference):
+
+========  ======================  ==============================================
+POST      ``/jobs``               submit a mine request (full ``MinerConfig``);
+                                  202 queued, 201 served from the fingerprint
+                                  cache, 200 coalesced onto an active job
+GET       ``/jobs``               running/queued/terminal job table
+GET       ``/jobs/{id}``          live status: state, stats counters snapshot,
+                                  degradation-provenance ratios, outcomes
+GET       ``/jobs/{id}/result``   the completed PFCI set (409 until complete)
+DELETE    ``/jobs/{id}``          cooperative cancel
+GET       ``/healthz``            liveness + accepting flag
+GET       ``/metrics``            aggregate counters, cache traffic, uptime
+========  ======================  ==============================================
+
+Lifecycle: :func:`serve` (the ``repro-mine serve`` entry point) recovers
+unfinished jobs from a previous process, binds the listener, publishes the
+bound address to ``<data_dir>/service.json`` (so tooling can find an
+ephemeral port), and on SIGTERM/SIGINT **drains**: stops accepting
+submissions (503), lets every admitted job run to completion — their
+results land in the store and cache as usual — then exits 0.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import logging
+import os
+import signal
+import time
+from pathlib import Path
+from typing import Any, Callable, Dict, Optional, Union
+
+from ..core.stats import MiningStats
+from ..data.io import load_uncertain_database
+from .cache import ResultCache
+from .http import ApiError, Request, Response, Router, json_response, serve_connection
+from .jobs import ACTIVE_STATES, Job, JobStore
+from .runner import JobRunner
+from .schemas import parse_job_request
+
+__all__ = ["MiningService", "serve"]
+
+logger = logging.getLogger(__name__)
+
+PathLike = Union[str, Path]
+Clock = Callable[[], float]
+
+
+def _degradation_view(stats: MiningStats) -> Dict[str, Any]:
+    """Degradation-provenance ratios for the ops surface.
+
+    How much of the job's answer rests on sampling instead of exact
+    inclusion–exclusion, and why (budget / deadline / policy) — the
+    service-level view of ``docs/robustness.md``'s provenance contract.
+    """
+    return {
+        "degraded_checks": stats.degraded_checks,
+        "checks_performed": stats.checks_performed,
+        "degraded_fraction": round(stats.degraded_fraction, 6),
+        "by_budget": stats.degraded_by_budget,
+        "by_deadline": stats.degraded_by_deadline,
+        "by_policy": stats.degraded_by_policy,
+    }
+
+
+class MiningService:
+    """Multi-tenant mining jobs over one data directory."""
+
+    def __init__(
+        self,
+        data_dir: PathLike,
+        workers: int = 2,
+        clock: Clock = time.time,
+    ) -> None:
+        self.data_dir = Path(data_dir)
+        self.store = JobStore(self.data_dir)
+        self.cache = ResultCache(self.data_dir / "cache")
+        self.runner = JobRunner(self.store, self.cache, workers=workers, clock=clock)
+        self._clock = clock
+        self._started_monotonic = time.monotonic()
+        self.accepting = True
+        self._server: Optional[asyncio.AbstractServer] = None
+
+        self.router = Router()
+        self.router.add("POST", "/jobs", self.submit_job)
+        self.router.add("GET", "/jobs", self.list_jobs)
+        self.router.add("GET", "/jobs/{job_id}", self.job_status)
+        self.router.add("GET", "/jobs/{job_id}/result", self.job_result)
+        self.router.add("DELETE", "/jobs/{job_id}", self.cancel_job)
+        self.router.add("GET", "/healthz", self.healthz)
+        self.router.add("GET", "/metrics", self.metrics)
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    async def start(self, host: str = "127.0.0.1", port: int = 0) -> int:
+        """Recover unfinished jobs, bind the listener, publish the address.
+
+        Returns the actually-bound port (useful with ``port=0``).
+        """
+        self.runner.recover()
+        self._server = await asyncio.start_server(self._on_connection, host, port)
+        sockets = self._server.sockets or []
+        bound_port = sockets[0].getsockname()[1] if sockets else port
+        address = {"host": host, "port": bound_port, "pid": os.getpid()}
+        (self.data_dir / "service.json").write_text(
+            json.dumps(address), encoding="utf-8"
+        )
+        logger.info("mining service listening on %s:%d", host, bound_port)
+        return bound_port
+
+    async def _on_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        await serve_connection(self.router, reader, writer)
+
+    async def shutdown(self, drain: bool = True) -> None:
+        """Stop accepting, optionally drain every admitted job, release pools."""
+        self.accepting = False
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        if drain:
+            await self.runner.drain()
+        self.runner.shutdown_executor()
+
+    # ------------------------------------------------------------------
+    # handlers
+    # ------------------------------------------------------------------
+    async def submit_job(self, request: Request) -> Response:
+        if not self.accepting:
+            raise ApiError(
+                503, "shutting-down", "service is draining and not accepting jobs"
+            )
+        job_request = parse_job_request(request.json())
+
+        database = job_request.database
+        if database is None:
+            assert job_request.database_path is not None
+            try:
+                database = load_uncertain_database(job_request.database_path)
+            except (OSError, ValueError) as error:
+                raise ApiError(
+                    400,
+                    "invalid-database",
+                    f"cannot load database.path {job_request.database_path!r}: {error}",
+                    details={"field": "database.path"},
+                ) from None
+
+        job = self.store.create(
+            database,
+            job_request.config,
+            processes=job_request.processes,
+            supervisor=job_request.supervisor,
+            submitted_at=self._clock(),
+        )
+
+        # Coalesce: an identical (database, config) already queued/running
+        # means this submission is the same work — point the client at it
+        # instead of mining twice.
+        active = self.runner.active_job_for(job.fingerprint)
+        if active is not None:
+            self.store.discard(job)
+            return json_response(
+                {
+                    "job_id": active.id,
+                    "state": active.state,
+                    "fingerprint": active.fingerprint,
+                    "cached": False,
+                    "coalesced": True,
+                },
+                status=200,
+            )
+
+        cached = self.cache.get(job.fingerprint)
+        if cached is not None:
+            self.runner.complete_from_cache(job, cached)
+            return json_response(
+                {
+                    "job_id": job.id,
+                    "state": job.state,
+                    "fingerprint": job.fingerprint,
+                    "cached": True,
+                    "coalesced": False,
+                },
+                status=201,
+            )
+
+        self.runner.start(job)
+        return json_response(
+            {
+                "job_id": job.id,
+                "state": job.state,
+                "fingerprint": job.fingerprint,
+                "cached": False,
+                "coalesced": False,
+            },
+            status=202,
+        )
+
+    def _job_or_404(self, request: Request) -> Job:
+        job_id = request.params["job_id"]
+        job = self.store.get(job_id)
+        if job is None:
+            raise ApiError(
+                404, "job-not-found", f"no job with id {job_id!r}",
+                details={"job_id": job_id},
+            )
+        return job
+
+    def _job_summary(self, job: Job) -> Dict[str, Any]:
+        stats = job.stats_view()
+        return {
+            "job_id": job.id,
+            "state": job.state,
+            "fingerprint": job.fingerprint,
+            "cached": job.cached,
+            "submitted_at": job.submitted_at,
+            "started_at": job.started_at,
+            "finished_at": job.finished_at,
+            "error": job.error,
+            "progress": {
+                "branches_dispatched": stats.branches_dispatched,
+                "branches_checkpointed": stats.checkpoint_branches_written
+                + stats.checkpoint_branches_skipped,
+                "results_emitted": stats.results_emitted,
+            },
+        }
+
+    async def list_jobs(self, request: Request) -> Response:
+        states = request.query.get("state")
+        jobs = self.store.all()
+        if states:
+            wanted = {state for raw in states for state in raw.split(",")}
+            jobs = [job for job in jobs if job.state in wanted]
+        return json_response(
+            {
+                "jobs": [self._job_summary(job) for job in jobs],
+                "counts": self.store.counts(),
+            }
+        )
+
+    async def job_status(self, request: Request) -> Response:
+        job = self._job_or_404(request)
+        stats = job.stats_view()
+        payload = self._job_summary(job)
+        payload.update(
+            {
+                "config": job.config,
+                "processes": job.processes,
+                "supervisor": job.supervisor,
+                "stats": stats.snapshot(),
+                "degradation": _degradation_view(stats),
+            }
+        )
+        if job.state not in ACTIVE_STATES:
+            result = job.result_payload()
+            if result is not None:
+                payload["outcomes"] = result.get("outcomes", [])
+        return json_response(payload)
+
+    async def job_result(self, request: Request) -> Response:
+        job = self._job_or_404(request)
+        if job.state in ACTIVE_STATES:
+            raise ApiError(
+                409,
+                "job-not-finished",
+                f"job {job.id} is {job.state}; poll /jobs/{job.id} until completed",
+                details={"job_id": job.id, "state": job.state},
+            )
+        if job.state != "completed":
+            raise ApiError(
+                409,
+                f"job-{job.state}",
+                f"job {job.id} {job.state}"
+                + (f": {job.error}" if job.error else "")
+                + "; no complete result set exists",
+                details={"job_id": job.id, "state": job.state},
+            )
+        payload = job.result_payload()
+        if payload is None:
+            raise ApiError(
+                500, "result-missing",
+                f"job {job.id} is completed but its result document is missing",
+            )
+        results = payload.get("results", [])
+        return json_response(
+            {
+                "job_id": job.id,
+                "fingerprint": job.fingerprint,
+                "cached": job.cached,
+                "count": len(results),
+                "results": results,
+                "stats": payload.get("stats", {}),
+            }
+        )
+
+    async def cancel_job(self, request: Request) -> Response:
+        job = self._job_or_404(request)
+        if job.state not in ACTIVE_STATES:
+            raise ApiError(
+                409,
+                "job-already-finished",
+                f"job {job.id} is already {job.state} and cannot be cancelled",
+                details={"job_id": job.id, "state": job.state},
+            )
+        state = self.runner.cancel(job)
+        return json_response({"job_id": job.id, "state": state}, status=202)
+
+    async def healthz(self, request: Request) -> Response:
+        counts = self.store.counts()
+        return json_response(
+            {
+                "status": "ok",
+                "accepting": self.accepting,
+                "uptime_seconds": round(time.monotonic() - self._started_monotonic, 3),
+                "jobs": counts,
+            }
+        )
+
+    async def metrics(self, request: Request) -> Response:
+        merged = MiningStats()
+        for job in self.store.all():
+            merged.merge(job.stats_view())
+        report = merged.report()
+        return json_response(
+            {
+                "uptime_seconds": round(time.monotonic() - self._started_monotonic, 3),
+                "jobs": self.store.counts(),
+                "cache": self.cache.stats(),
+                "mining": {
+                    "counters": report["counters"],
+                    "derived": report["derived"],
+                    "runtime": report["runtime"],
+                },
+            }
+        )
+
+
+def serve(
+    data_dir: PathLike,
+    host: str = "127.0.0.1",
+    port: int = 8765,
+    workers: int = 2,
+) -> int:
+    """Blocking entry point: run the service until SIGTERM/SIGINT, then drain.
+
+    This is what ``repro-mine serve`` calls.  Prints one ``listening on``
+    line (machine-parsable, also written to ``<data_dir>/service.json``)
+    once the socket is bound, and exits 0 after a graceful drain.
+    """
+
+    async def _main() -> None:
+        service = MiningService(data_dir, workers=workers)
+        bound_port = await service.start(host, port)
+        print(f"repro-service listening on http://{host}:{bound_port}", flush=True)
+
+        stop = asyncio.Event()
+        loop = asyncio.get_running_loop()
+        for signum in (signal.SIGTERM, signal.SIGINT):
+            loop.add_signal_handler(signum, stop.set)
+        await stop.wait()
+        print("repro-service draining...", flush=True)
+        await service.shutdown(drain=True)
+        print("repro-service drained, exiting", flush=True)
+
+    asyncio.run(_main())
+    return 0

@@ -1,0 +1,78 @@
+"""Content-addressed result cache keyed by the runtime fingerprint digest.
+
+One JSON file per completed (database, config) pair, named by
+:func:`repro.runtime.fingerprint` — the sha256 the checkpoint subsystem
+already computes over the database contents plus the full
+:class:`~repro.core.config.MinerConfig`.  Because the key covers *all*
+mining inputs, a hit is exact by construction: same digest ⇒ the cached
+PFCI set is bit-identical to what re-mining would produce, so repeat
+submissions are served in O(result size) with no mining at all.
+
+Only *complete* runs are cached (the runner never stores a partial or
+cancelled report), so a hit can always be trusted.  Writes go through a
+temp file + ``os.replace`` so a crash mid-write can never leave a torn
+entry — a torn temp file is invisible, and a reader sees either nothing or
+a whole entry.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Any, Dict, Optional, Union
+
+__all__ = ["ResultCache"]
+
+PathLike = Union[str, Path]
+
+_DIGEST_LENGTH = 64  # sha256 hex
+
+
+class ResultCache:
+    """Durable fingerprint-keyed store of completed job results."""
+
+    def __init__(self, root: PathLike) -> None:
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        self.hits = 0
+        self.misses = 0
+
+    def _path(self, digest: str) -> Path:
+        if len(digest) != _DIGEST_LENGTH or not all(
+            c in "0123456789abcdef" for c in digest
+        ):
+            raise ValueError(f"not a sha256 hex digest: {digest!r}")
+        return self.root / f"{digest}.json"
+
+    def get(self, digest: str) -> Optional[Dict[str, Any]]:
+        """The cached payload for ``digest``, or ``None`` (counts hit/miss)."""
+        path = self._path(digest)
+        try:
+            payload = json.loads(path.read_text(encoding="utf-8"))
+        except FileNotFoundError:
+            self.misses += 1
+            return None
+        except (json.JSONDecodeError, OSError):
+            # A damaged entry is a miss, not an error: mining re-creates it.
+            self.misses += 1
+            return None
+        self.hits += 1
+        return payload
+
+    def put(self, digest: str, payload: Dict[str, Any]) -> None:
+        """Atomically store ``payload`` under ``digest`` (last writer wins)."""
+        path = self._path(digest)
+        temp = path.with_suffix(".json.tmp")
+        temp.write_text(json.dumps(payload, sort_keys=True), encoding="utf-8")
+        os.replace(temp, path)
+
+    def __contains__(self, digest: str) -> bool:
+        return self._path(digest).exists()
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.root.glob("*.json"))
+
+    def stats(self) -> Dict[str, int]:
+        """Hit/miss counters plus the on-disk entry count (for ``/metrics``)."""
+        return {"hits": self.hits, "misses": self.misses, "entries": len(self)}

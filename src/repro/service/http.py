@@ -1,0 +1,279 @@
+"""Minimal stdlib-asyncio HTTP/1.1 layer for the mining service.
+
+No third-party web framework: :class:`Router` maps ``(method, path
+template)`` pairs onto async handlers, and :func:`serve_connection` speaks
+just enough HTTP/1.1 for a JSON API — request line, headers,
+``Content-Length`` bodies, one response per connection (``Connection:
+close``).  That subset is deliberate: every client the service targets
+(urllib, curl, load balancer health checks) speaks it, and the whole layer
+stays auditable in one screenful.
+
+Error contract: handlers raise :class:`ApiError` for every client-visible
+failure, and the connection loop turns *any* exception into a structured
+JSON error body::
+
+    {"error": {"code": "job-not-found", "message": "...", ...}}
+
+so a client never has to scrape HTML or a traceback out of a 4xx/5xx.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import logging
+import re
+from dataclasses import dataclass, field
+from typing import Any, Awaitable, Callable, Dict, List, Optional, Tuple
+from urllib.parse import parse_qs, urlsplit
+
+__all__ = [
+    "ApiError",
+    "Request",
+    "Response",
+    "Router",
+    "json_response",
+    "serve_connection",
+]
+
+logger = logging.getLogger(__name__)
+
+#: Largest accepted request body; inline-database submissions are bounded so
+#: one oversized POST cannot exhaust the event loop's memory.
+MAX_BODY_BYTES = 64 * 1024 * 1024
+#: Largest accepted request line + header block.
+MAX_HEADER_BYTES = 64 * 1024
+#: Per-connection read deadline; a stalled client cannot pin a socket open.
+READ_TIMEOUT_SECONDS = 60.0
+
+_STATUS_PHRASES = {
+    200: "OK",
+    201: "Created",
+    202: "Accepted",
+    204: "No Content",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    409: "Conflict",
+    413: "Payload Too Large",
+    500: "Internal Server Error",
+    503: "Service Unavailable",
+}
+
+
+class ApiError(Exception):
+    """A client-visible failure with an HTTP status and a stable error code.
+
+    ``code`` is the machine-readable contract (``"job-not-found"``,
+    ``"invalid-config"``, ...); ``message`` is for humans; ``details``
+    carries optional structured context (e.g. the offending field).
+    """
+
+    def __init__(
+        self,
+        status: int,
+        code: str,
+        message: str,
+        details: Optional[Dict[str, Any]] = None,
+    ) -> None:
+        super().__init__(message)
+        self.status = status
+        self.code = code
+        self.message = message
+        self.details = details
+
+    def to_payload(self) -> Dict[str, Any]:
+        error: Dict[str, Any] = {"code": self.code, "message": self.message}
+        if self.details:
+            error["details"] = self.details
+        return {"error": error}
+
+
+@dataclass
+class Request:
+    """One parsed HTTP request."""
+
+    method: str
+    path: str
+    query: Dict[str, List[str]]
+    headers: Dict[str, str]
+    body: bytes
+    #: Path-template captures filled in by the router (e.g. ``job_id``).
+    params: Dict[str, str] = field(default_factory=dict)
+
+    def json(self) -> Any:
+        """The request body parsed as JSON (:class:`ApiError` 400 otherwise)."""
+        if not self.body:
+            raise ApiError(400, "empty-body", "request body must be a JSON object")
+        try:
+            return json.loads(self.body.decode("utf-8"))
+        except (json.JSONDecodeError, UnicodeDecodeError) as error:
+            raise ApiError(
+                400, "invalid-json", f"request body is not valid JSON: {error}"
+            ) from None
+
+
+@dataclass
+class Response:
+    """One HTTP response: status plus a JSON-serializable payload."""
+
+    status: int
+    payload: Any
+    headers: Dict[str, str] = field(default_factory=dict)
+
+    def encode(self) -> bytes:
+        body = json.dumps(self.payload, sort_keys=True).encode("utf-8")
+        phrase = _STATUS_PHRASES.get(self.status, "Unknown")
+        lines = [
+            f"HTTP/1.1 {self.status} {phrase}",
+            "Content-Type: application/json",
+            f"Content-Length: {len(body)}",
+            "Connection: close",
+        ]
+        lines.extend(f"{name}: {value}" for name, value in self.headers.items())
+        return ("\r\n".join(lines) + "\r\n\r\n").encode("ascii") + body
+
+
+def json_response(payload: Any, status: int = 200) -> Response:
+    return Response(status=status, payload=payload)
+
+
+Handler = Callable[[Request], Awaitable[Response]]
+
+
+class Router:
+    """Method + path-template dispatch table.
+
+    Templates use ``{name}`` captures (one path segment each)::
+
+        router.add("GET", "/jobs/{job_id}", get_job)
+
+    Unknown paths raise 404; known paths with the wrong method raise 405
+    listing the allowed methods — both as structured :class:`ApiError`\\ s.
+    """
+
+    def __init__(self) -> None:
+        self._routes: List[Tuple[str, "re.Pattern[str]", Handler]] = []
+
+    def add(self, method: str, template: str, handler: Handler) -> None:
+        pattern = re.compile(
+            "^"
+            + re.sub(r"\{([a-zA-Z_][a-zA-Z0-9_]*)\}", r"(?P<\1>[^/]+)", template)
+            + "$"
+        )
+        self._routes.append((method.upper(), pattern, handler))
+
+    def resolve(self, method: str, path: str) -> Tuple[Handler, Dict[str, str]]:
+        allowed: List[str] = []
+        for route_method, pattern, handler in self._routes:
+            match = pattern.match(path)
+            if match is None:
+                continue
+            if route_method == method.upper():
+                return handler, match.groupdict()
+            allowed.append(route_method)
+        if allowed:
+            raise ApiError(
+                405,
+                "method-not-allowed",
+                f"{method} is not allowed on {path}",
+                details={"allowed": sorted(set(allowed))},
+            )
+        raise ApiError(404, "not-found", f"no route matches {path}")
+
+
+async def _read_request(reader: asyncio.StreamReader) -> Optional[Request]:
+    """Parse one request off the stream (``None`` on immediate EOF)."""
+    try:
+        header_block = await asyncio.wait_for(
+            reader.readuntil(b"\r\n\r\n"), timeout=READ_TIMEOUT_SECONDS
+        )
+    except asyncio.IncompleteReadError as error:
+        if not error.partial:
+            return None  # clean EOF before any bytes: client just went away
+        raise ApiError(400, "malformed-request", "truncated request head") from None
+    except asyncio.LimitOverrunError:
+        raise ApiError(413, "headers-too-large", "request head too large") from None
+    except asyncio.TimeoutError:
+        raise ApiError(400, "request-timeout", "timed out reading request head") from None
+    if len(header_block) > MAX_HEADER_BYTES:
+        raise ApiError(413, "headers-too-large", "request head too large")
+
+    head = header_block.decode("latin-1").split("\r\n")
+    request_parts = head[0].split(" ")
+    if len(request_parts) != 3:
+        raise ApiError(400, "malformed-request", f"bad request line: {head[0]!r}")
+    method, target, _version = request_parts
+
+    headers: Dict[str, str] = {}
+    for line in head[1:]:
+        if not line:
+            continue
+        name, sep, value = line.partition(":")
+        if not sep:
+            raise ApiError(400, "malformed-request", f"bad header line: {line!r}")
+        headers[name.strip().lower()] = value.strip()
+
+    body = b""
+    if "content-length" in headers:
+        try:
+            length = int(headers["content-length"])
+        except ValueError:
+            raise ApiError(400, "malformed-request", "bad Content-Length") from None
+        if length < 0 or length > MAX_BODY_BYTES:
+            raise ApiError(413, "body-too-large", "request body too large")
+        try:
+            body = await asyncio.wait_for(
+                reader.readexactly(length), timeout=READ_TIMEOUT_SECONDS
+            )
+        except (asyncio.IncompleteReadError, asyncio.TimeoutError):
+            raise ApiError(400, "malformed-request", "truncated request body") from None
+
+    split = urlsplit(target)
+    return Request(
+        method=method.upper(),
+        path=split.path,
+        query=parse_qs(split.query),
+        headers=headers,
+        body=body,
+    )
+
+
+async def serve_connection(
+    router: Router,
+    reader: asyncio.StreamReader,
+    writer: asyncio.StreamWriter,
+) -> None:
+    """Handle one client connection: one request, one JSON response, close."""
+    response: Optional[Response] = None
+    try:
+        try:
+            request = await _read_request(reader)
+            if request is None:
+                return
+            handler, params = router.resolve(request.method, request.path)
+            request.params = params
+            response = await handler(request)
+        except ApiError as error:
+            response = Response(status=error.status, payload=error.to_payload())
+        except Exception:  # noqa: BLE001 - boundary: never leak a traceback
+            logger.exception("unhandled error serving request")
+            response = Response(
+                status=500,
+                payload={
+                    "error": {
+                        "code": "internal-error",
+                        "message": "unhandled server error; see service logs",
+                    }
+                },
+            )
+        writer.write(response.encode())
+        await writer.drain()
+    except (ConnectionResetError, BrokenPipeError):
+        pass  # client vanished mid-response; nothing to salvage
+    finally:
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except (ConnectionResetError, BrokenPipeError):
+            pass

@@ -1,0 +1,260 @@
+"""Durable job model and store for the mining service.
+
+One directory per job under ``<data_dir>/jobs/<job_id>/``::
+
+    job.json          manifest: state, fingerprint, config, timestamps
+    database.utd      the job's database, materialized at submission
+    checkpoint.jsonl  supervised-runtime branch checkpoint (job durability)
+    result.json       the completed SupervisorReport (to_dict form)
+
+The manifest plus the checkpoint make a job restartable: a service that
+dies mid-run finds the manifest in ``running``, the checkpoint holding the
+finished branches, and simply ``resume()``\\ s — results come out
+bit-identical to an uninterrupted run (the checkpoint subsystem's
+contract).  The database is *always* re-materialized into the job
+directory, even when submitted by server-side path, so a job's inputs
+cannot drift under it between crash and restart.
+
+Identity: the job's ``fingerprint`` is :func:`repro.runtime.fingerprint`
+computed over the **materialized** database as re-loaded from
+``database.utd`` — the exact bytes a restarted worker will mine — so the
+submit-time digest, the checkpoint header, and the result-cache key can
+never disagree.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+import shutil
+import threading
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Union
+
+from ..core.config import MinerConfig
+from ..core.database import UncertainDatabase
+from ..core.stats import MiningStats
+from ..data.io import load_uncertain_database, save_uncertain_database
+from ..runtime import SupervisorConfig, fingerprint as runtime_fingerprint
+
+__all__ = ["Job", "JobStore", "JOB_STATES", "ACTIVE_STATES", "TERMINAL_STATES"]
+
+PathLike = Union[str, Path]
+
+JOB_STATES = ("queued", "running", "completed", "failed", "cancelled")
+ACTIVE_STATES = ("queued", "running")
+TERMINAL_STATES = ("completed", "failed", "cancelled")
+
+_ID_RE = re.compile(r"^j(\d{6})$")
+
+
+@dataclass
+class Job:
+    """One mining job: durable manifest fields plus in-memory run state."""
+
+    id: str
+    directory: Path
+    fingerprint: str
+    state: str
+    config: Dict[str, Any]
+    processes: Optional[int] = None
+    supervisor: Optional[Dict[str, Any]] = None
+    submitted_at: float = 0.0
+    started_at: Optional[float] = None
+    finished_at: Optional[float] = None
+    error: Optional[str] = None
+    #: True when the result was served from the fingerprint cache.
+    cached: bool = False
+    #: Final counter snapshot, persisted at the terminal transition so the
+    #: status endpoint never has to re-open ``result.json`` for history.
+    stats: Optional[Dict[str, Any]] = None
+
+    # -- in-memory only (never persisted) ------------------------------
+    #: Live counter accumulator handed to ``run_supervised(live_stats=...)``;
+    #: the status endpoint snapshots it while the job runs.
+    live_stats: MiningStats = field(default_factory=MiningStats, repr=False)
+    #: Cooperative-cancel signal threaded into the supervised runtime.
+    cancel_event: threading.Event = field(default_factory=threading.Event, repr=False)
+
+    # -- paths ----------------------------------------------------------
+    @property
+    def manifest_path(self) -> Path:
+        return self.directory / "job.json"
+
+    @property
+    def database_path(self) -> Path:
+        return self.directory / "database.utd"
+
+    @property
+    def checkpoint_path(self) -> Path:
+        return self.directory / "checkpoint.jsonl"
+
+    @property
+    def result_path(self) -> Path:
+        return self.directory / "result.json"
+
+    # -- config reconstruction ------------------------------------------
+    def miner_config(self) -> MinerConfig:
+        return MinerConfig(**self.config)
+
+    def supervisor_config(self) -> Optional[SupervisorConfig]:
+        if self.supervisor is None:
+            return None
+        return SupervisorConfig(**self.supervisor)
+
+    # -- (de)serialization ----------------------------------------------
+    def to_manifest(self) -> Dict[str, Any]:
+        return {
+            "id": self.id,
+            "fingerprint": self.fingerprint,
+            "state": self.state,
+            "config": self.config,
+            "processes": self.processes,
+            "supervisor": self.supervisor,
+            "submitted_at": self.submitted_at,
+            "started_at": self.started_at,
+            "finished_at": self.finished_at,
+            "error": self.error,
+            "cached": self.cached,
+            "stats": self.stats,
+        }
+
+    @classmethod
+    def from_manifest(cls, directory: Path, payload: Dict[str, Any]) -> "Job":
+        return cls(
+            id=payload["id"],
+            directory=directory,
+            fingerprint=payload["fingerprint"],
+            state=payload["state"],
+            config=payload["config"],
+            processes=payload.get("processes"),
+            supervisor=payload.get("supervisor"),
+            submitted_at=payload.get("submitted_at", 0.0),
+            started_at=payload.get("started_at"),
+            finished_at=payload.get("finished_at"),
+            error=payload.get("error"),
+            cached=payload.get("cached", False),
+            stats=payload.get("stats"),
+        )
+
+    def stats_view(self) -> MiningStats:
+        """The counters to report: the persisted terminal snapshot when one
+        exists, otherwise the live accumulator the run is still filling."""
+        if self.stats is not None:
+            return MiningStats.from_snapshot(self.stats)
+        return self.live_stats
+
+    def result_payload(self) -> Optional[Dict[str, Any]]:
+        """The persisted result document, or ``None`` if not (yet) written."""
+        try:
+            loaded: Dict[str, Any] = json.loads(
+                self.result_path.read_text(encoding="utf-8")
+            )
+            return loaded
+        except (FileNotFoundError, json.JSONDecodeError):
+            return None
+
+
+class JobStore:
+    """All jobs the service knows, in memory and on disk.
+
+    Single-writer discipline: every mutation happens on the service's event
+    loop (worker threads report back via the loop), so no lock is needed;
+    durability comes from :meth:`save` writing the manifest atomically
+    (temp + ``os.replace``) after every state transition.
+    """
+
+    def __init__(self, root: PathLike) -> None:
+        self.root = Path(root)
+        self.jobs_dir = self.root / "jobs"
+        self.jobs_dir.mkdir(parents=True, exist_ok=True)
+        self._jobs: Dict[str, Job] = {}
+        self._sequence = 0
+        self._load_existing()
+
+    # -- loading ---------------------------------------------------------
+    def _load_existing(self) -> None:
+        for directory in sorted(self.jobs_dir.iterdir()):
+            match = _ID_RE.match(directory.name)
+            if match is None or not directory.is_dir():
+                continue
+            self._sequence = max(self._sequence, int(match.group(1)))
+            manifest = directory / "job.json"
+            try:
+                payload = json.loads(manifest.read_text(encoding="utf-8"))
+                job = Job.from_manifest(directory, payload)
+            except (OSError, json.JSONDecodeError, KeyError):
+                # A job dir without a readable manifest is a submission that
+                # crashed before its first save; there is nothing to resume.
+                continue
+            self._jobs[job.id] = job
+
+    # -- creation --------------------------------------------------------
+    def create(
+        self,
+        database: UncertainDatabase,
+        config: MinerConfig,
+        processes: Optional[int],
+        supervisor: Optional[SupervisorConfig],
+        submitted_at: float,
+    ) -> Job:
+        """Materialize a new job: directory, canonical database, manifest.
+
+        The fingerprint is computed on the database as re-loaded from the
+        materialized ``database.utd`` (see module docstring), then the
+        manifest is durably written in state ``queued``.
+        """
+        self._sequence += 1
+        job_id = f"j{self._sequence:06d}"
+        directory = self.jobs_dir / job_id
+        directory.mkdir(parents=True)
+        save_uncertain_database(database, directory / "database.utd")
+        canonical = load_uncertain_database(directory / "database.utd")
+        job = Job(
+            id=job_id,
+            directory=directory,
+            fingerprint=runtime_fingerprint(canonical, config),
+            state="queued",
+            config=asdict(config),
+            processes=processes,
+            supervisor=None if supervisor is None else asdict(supervisor),
+            submitted_at=submitted_at,
+        )
+        self.save(job)
+        self._jobs[job.id] = job
+        return job
+
+    def discard(self, job: Job) -> None:
+        """Remove a never-started job entirely (submission was coalesced)."""
+        self._jobs.pop(job.id, None)
+        shutil.rmtree(job.directory, ignore_errors=True)
+
+    # -- persistence -----------------------------------------------------
+    def save(self, job: Job) -> None:
+        """Atomically (re)write the job's manifest."""
+        temp = job.manifest_path.with_suffix(".json.tmp")
+        temp.write_text(
+            json.dumps(job.to_manifest(), sort_keys=True, indent=2), encoding="utf-8"
+        )
+        os.replace(temp, job.manifest_path)
+
+    def write_result(self, job: Job, payload: Dict[str, Any]) -> None:
+        """Atomically write the job's result document."""
+        temp = job.result_path.with_suffix(".json.tmp")
+        temp.write_text(json.dumps(payload, sort_keys=True), encoding="utf-8")
+        os.replace(temp, job.result_path)
+
+    # -- queries ---------------------------------------------------------
+    def get(self, job_id: str) -> Optional[Job]:
+        return self._jobs.get(job_id)
+
+    def all(self) -> List[Job]:
+        return [self._jobs[job_id] for job_id in sorted(self._jobs)]
+
+    def counts(self) -> Dict[str, int]:
+        counts = {state: 0 for state in JOB_STATES}
+        for job in self._jobs.values():
+            counts[job.state] = counts.get(job.state, 0) + 1
+        return counts

@@ -1,0 +1,242 @@
+"""Bounded-concurrency job execution over the supervised mining runtime.
+
+The runner is the bridge between the asyncio control plane and the
+blocking, process-spawning :func:`repro.runtime.run_supervised`:
+
+* every accepted job becomes one asyncio task gated by a semaphore of
+  ``workers`` slots — admission control, so a burst of submissions queues
+  instead of forking unbounded process pools;
+* the mining itself runs in a thread-pool executor (one thread per slot);
+  inside that thread the supervised runtime manages its own worker
+  *processes*, timeouts, retries, and the job's branch checkpoint;
+* the thread observes two shared objects owned by the job: ``live_stats``
+  (a :class:`~repro.core.stats.MiningStats` the status endpoint snapshots
+  while the run is in flight) and ``cancel_event`` (the cooperative-cancel
+  signal ``DELETE /jobs/{id}`` sets);
+* completion flows back onto the event loop, which owns every job-state
+  mutation: write ``result.json``, populate the fingerprint cache (complete
+  runs only — a partial or cancelled report must never poison the cache),
+  and durably save the manifest.
+
+Restart recovery (:meth:`JobRunner.recover`) turns checkpoint durability
+into job durability: manifests found in ``queued``/``running`` are
+re-admitted, resuming from their checkpoint when one exists — unless the
+checkpoint carries a cancellation record, in which case the job is marked
+``cancelled`` rather than resurrected.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import logging
+from concurrent.futures import ThreadPoolExecutor
+from typing import Callable, Dict, Optional
+
+from ..data.io import load_uncertain_database
+from ..runtime import (
+    CheckpointError,
+    SupervisorReport,
+    has_checkpoint_header,
+    load_checkpoint,
+    run_supervised,
+)
+from .cache import ResultCache
+from .jobs import Job, JobStore
+
+__all__ = ["JobRunner"]
+
+logger = logging.getLogger(__name__)
+
+Clock = Callable[[], float]
+
+
+def _execute_job(job: Job, resume: bool) -> SupervisorReport:
+    """Worker-thread entry: load the materialized database and mine.
+
+    Deliberately free of any job-store access — the thread only touches the
+    job's own directory and its two shared in-memory objects (live stats,
+    cancel event); every state mutation happens back on the event loop.
+    """
+    database = load_uncertain_database(job.database_path)
+    return run_supervised(
+        database,
+        job.miner_config(),
+        processes=job.processes,
+        supervisor=job.supervisor_config(),
+        checkpoint_path=job.checkpoint_path,
+        resume_from_checkpoint=resume,
+        live_stats=job.live_stats,
+        cancel_event=job.cancel_event,
+    )
+
+
+class JobRunner:
+    """Admission control, execution, completion, and restart recovery."""
+
+    def __init__(
+        self,
+        store: JobStore,
+        cache: ResultCache,
+        workers: int,
+        clock: Clock,
+    ) -> None:
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        self.store = store
+        self.cache = cache
+        self._clock = clock
+        self._semaphore = asyncio.Semaphore(workers)
+        self._executor = ThreadPoolExecutor(
+            max_workers=workers, thread_name_prefix="repro-job"
+        )
+        self._tasks: Dict[str, asyncio.Task] = {}
+        self._active_fingerprints: Dict[str, str] = {}
+
+    # -- submission ------------------------------------------------------
+    def active_job_for(self, digest: str) -> Optional[Job]:
+        """The queued/running job already mining this fingerprint, if any."""
+        job_id = self._active_fingerprints.get(digest)
+        return None if job_id is None else self.store.get(job_id)
+
+    def start(self, job: Job, resume: bool = False) -> None:
+        """Admit a queued job: coalescing registration + execution task."""
+        self._active_fingerprints.setdefault(job.fingerprint, job.id)
+        self._tasks[job.id] = asyncio.get_running_loop().create_task(
+            self._run(job, resume), name=f"job-{job.id}"
+        )
+
+    def complete_from_cache(self, job: Job, payload: Dict[str, object]) -> None:
+        """Finish a job instantly from a fingerprint-cache hit (no mining)."""
+        now = self._clock()
+        job.state = "completed"
+        job.cached = True
+        job.started_at = now
+        job.finished_at = now
+        job.stats = payload.get("stats") if isinstance(payload.get("stats"), dict) else None
+        self.store.write_result(job, dict(payload, cached=True, job_id=job.id))
+        self.store.save(job)
+
+    # -- execution -------------------------------------------------------
+    async def _run(self, job: Job, resume: bool) -> None:
+        try:
+            async with self._semaphore:
+                if job.cancel_event.is_set():
+                    if job.state != "cancelled":
+                        job.state = "cancelled"
+                        job.finished_at = self._clock()
+                        self.store.save(job)
+                    return
+                job.state = "running"
+                job.started_at = self._clock()
+                self.store.save(job)
+                loop = asyncio.get_running_loop()
+                try:
+                    report = await loop.run_in_executor(
+                        self._executor, _execute_job, job, resume
+                    )
+                except Exception as error:  # noqa: BLE001 - job boundary
+                    logger.exception("job %s failed", job.id)
+                    job.state = "failed"
+                    job.error = f"{type(error).__name__}: {error}"
+                    job.finished_at = self._clock()
+                    job.stats = job.live_stats.snapshot()
+                    self.store.save(job)
+                else:
+                    self._finish(job, report)
+        finally:
+            self._tasks.pop(job.id, None)
+            if self._active_fingerprints.get(job.fingerprint) == job.id:
+                del self._active_fingerprints[job.fingerprint]
+
+    def _finish(self, job: Job, report: SupervisorReport) -> None:
+        job.finished_at = self._clock()
+        job.stats = report.stats.snapshot()
+        document = dict(
+            report.to_dict(),
+            fingerprint=job.fingerprint,
+            job_id=job.id,
+            cached=False,
+        )
+        if report.cancelled:
+            job.state = "cancelled"
+            job.error = (
+                f"cancelled with {len(report.cancelled_branches)} branch(es) unfinished"
+            )
+            # No result document and *no cache entry*: a cancelled run's
+            # partial results must never satisfy a future submission.
+        elif report.complete:
+            job.state = "completed"
+            self.store.write_result(job, document)
+            cache_entry = dict(document)
+            cache_entry.pop("job_id", None)
+            cache_entry.pop("cached", None)
+            self.cache.put(job.fingerprint, cache_entry)
+        else:
+            job.state = "failed"
+            job.error = f"{len(report.failed)} branch(es) failed"
+            # Keep the partial document on disk for debugging, clearly
+            # marked; the result endpoint still refuses to serve it.
+            self.store.write_result(job, dict(document, partial=True))
+        self.store.save(job)
+
+    # -- cancellation ----------------------------------------------------
+    def cancel(self, job: Job) -> str:
+        """Signal cooperative cancellation; returns the resulting state.
+
+        A still-queued job is resolved immediately; a running one keeps the
+        branches already checkpointed, kills in-flight workers at the next
+        supervision tick, and durably marks its checkpoint cancelled
+        (``"cancelling"`` until the worker thread confirms).
+        """
+        job.cancel_event.set()
+        if job.state == "queued":
+            job.state = "cancelled"
+            job.finished_at = self._clock()
+            self.store.save(job)
+            return "cancelled"
+        return "cancelling"
+
+    # -- restart recovery ------------------------------------------------
+    def recover(self) -> None:
+        """Re-admit every job the previous process left unfinished."""
+        for job in self.store.all():
+            if job.state not in ("queued", "running"):
+                continue
+            resume = False
+            if has_checkpoint_header(job.checkpoint_path):
+                try:
+                    checkpoint = load_checkpoint(job.checkpoint_path)
+                except CheckpointError as error:
+                    # Corrupt beyond the tolerated truncated tail: the
+                    # progress is unusable, so restart the job from scratch.
+                    logger.warning(
+                        "job %s: discarding unreadable checkpoint (%s)",
+                        job.id, error,
+                    )
+                    job.checkpoint_path.unlink(missing_ok=True)
+                else:
+                    if checkpoint.cancelled:
+                        job.state = "cancelled"
+                        job.finished_at = self._clock()
+                        job.error = "cancelled before service restart"
+                        self.store.save(job)
+                        continue
+                    resume = True
+            job.state = "queued"
+            self.store.save(job)
+            logger.info(
+                "recovered job %s (%s)", job.id, "resume" if resume else "restart"
+            )
+            self.start(job, resume=resume)
+
+    # -- shutdown --------------------------------------------------------
+    def running_count(self) -> int:
+        return len(self._tasks)
+
+    async def drain(self) -> None:
+        """Wait for every admitted job (queued and running) to finish."""
+        while self._tasks:
+            await asyncio.gather(*list(self._tasks.values()), return_exceptions=True)
+
+    def shutdown_executor(self) -> None:
+        self._executor.shutdown(wait=True)

@@ -1,0 +1,219 @@
+"""Request validation for job submissions.
+
+``POST /jobs`` accepts the full :class:`~repro.core.config.MinerConfig`
+surface — every field, resolved through the same registries the CLI uses —
+plus the database itself, either inline or by server-side path::
+
+    {
+      "database": {"transactions": [
+          {"tid": "T1", "probability": 0.9, "items": ["a", "b", "c"]},
+          ...
+      ]},
+      "config": {"min_sup": 2, "pfct": 0.7, "tidset_backend": "bitmap"},
+      "processes": 2,
+      "supervisor": {"branch_timeout_seconds": 30.0, "max_retries": 2}
+    }
+
+or ``{"database": {"path": "data/mushroom.utd"}}`` for datasets already on
+the service host.  Validation is strict: unknown keys anywhere in the
+request are a 400 (``unknown-field``), not silently ignored — a typo'd
+pruning toggle must not silently mine with the default.
+
+Every failure is an :class:`~repro.service.http.ApiError` with a stable
+``code`` so clients can branch on it without parsing messages.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..core.config import MinerConfig
+from ..core.database import UncertainDatabase
+from ..runtime import SupervisorConfig
+from .http import ApiError
+
+__all__ = ["JobRequest", "parse_job_request"]
+
+_CONFIG_FIELDS = set(MinerConfig.__dataclass_fields__)
+_SUPERVISOR_FIELDS = set(SupervisorConfig.__dataclass_fields__)
+_TOP_LEVEL_FIELDS = {"database", "config", "processes", "supervisor"}
+_DATABASE_FIELDS = {"transactions", "path"}
+_TRANSACTION_FIELDS = {"tid", "probability", "items"}
+
+
+@dataclass
+class JobRequest:
+    """A validated submission, ready for the job store.
+
+    ``database`` is the parsed inline database (``None`` when the request
+    referenced a server-side ``path`` instead); exactly one of
+    ``database`` / ``database_path`` is set.
+    """
+
+    config: MinerConfig
+    database: Optional[UncertainDatabase]
+    database_path: Optional[str]
+    processes: Optional[int]
+    supervisor: Optional[SupervisorConfig]
+
+
+def _require_object(value: Any, where: str) -> Dict[str, Any]:
+    if not isinstance(value, dict):
+        raise ApiError(
+            400, "invalid-request", f"{where} must be a JSON object",
+            details={"field": where},
+        )
+    return value
+
+
+def _reject_unknown(payload: Dict[str, Any], known: set, where: str) -> None:
+    unknown = sorted(set(payload) - known)
+    if unknown:
+        raise ApiError(
+            400,
+            "unknown-field",
+            f"unknown field(s) in {where}: {', '.join(unknown)}",
+            details={"field": where, "unknown": unknown, "known": sorted(known)},
+        )
+
+
+def _parse_transactions(raw: Any) -> UncertainDatabase:
+    if not isinstance(raw, list) or not raw:
+        raise ApiError(
+            400, "invalid-database",
+            "database.transactions must be a non-empty array",
+            details={"field": "database.transactions"},
+        )
+    rows: List[Tuple[str, Any, float]] = []
+    for index, entry in enumerate(raw):
+        where = f"database.transactions[{index}]"
+        record = _require_object(entry, where)
+        _reject_unknown(record, _TRANSACTION_FIELDS, where)
+        items = record.get("items")
+        if not isinstance(items, list) or not items:
+            raise ApiError(
+                400, "invalid-database",
+                f"{where}.items must be a non-empty array",
+                details={"field": f"{where}.items"},
+            )
+        probability = record.get("probability")
+        if not isinstance(probability, (int, float)) or isinstance(probability, bool):
+            raise ApiError(
+                400, "invalid-database",
+                f"{where}.probability must be a number",
+                details={"field": f"{where}.probability"},
+            )
+        if not 0.0 < float(probability) <= 1.0:
+            raise ApiError(
+                400, "invalid-database",
+                f"{where}.probability must be in (0, 1], got {probability}",
+                details={"field": f"{where}.probability"},
+            )
+        tid = record.get("tid", f"T{index + 1}")
+        if not isinstance(tid, str) or not tid:
+            raise ApiError(
+                400, "invalid-database",
+                f"{where}.tid must be a non-empty string",
+                details={"field": f"{where}.tid"},
+            )
+        rows.append((tid, [str(item) for item in items], float(probability)))
+    try:
+        return UncertainDatabase.from_rows(rows)
+    except ValueError as error:
+        raise ApiError(
+            400, "invalid-database", str(error), details={"field": "database"}
+        ) from None
+
+
+def _parse_config(raw: Any) -> MinerConfig:
+    payload = _require_object(raw, "config")
+    _reject_unknown(payload, _CONFIG_FIELDS, "config")
+    if "min_sup" not in payload:
+        raise ApiError(
+            400, "invalid-config", "config.min_sup is required",
+            details={"field": "config.min_sup"},
+        )
+    try:
+        return MinerConfig(**payload)
+    except (TypeError, ValueError) as error:
+        # Registry errors (unknown backend/bound/policy names) are
+        # ValueErrors carrying the did-you-mean text; surface it verbatim.
+        raise ApiError(
+            400, "invalid-config", str(error), details={"field": "config"}
+        ) from None
+
+
+def _parse_supervisor(raw: Any) -> SupervisorConfig:
+    payload = _require_object(raw, "supervisor")
+    _reject_unknown(payload, _SUPERVISOR_FIELDS, "supervisor")
+    try:
+        return SupervisorConfig(**payload)
+    except (TypeError, ValueError) as error:
+        raise ApiError(
+            400, "invalid-supervisor", str(error), details={"field": "supervisor"}
+        ) from None
+
+
+def parse_job_request(payload: Any) -> JobRequest:
+    """Validate a ``POST /jobs`` body into a :class:`JobRequest` (400 on any
+    malformed, unknown, or out-of-range field)."""
+    body = _require_object(payload, "request body")
+    _reject_unknown(body, _TOP_LEVEL_FIELDS, "request body")
+
+    if "database" not in body:
+        raise ApiError(
+            400, "invalid-request", "database is required",
+            details={"field": "database"},
+        )
+    database_spec = _require_object(body["database"], "database")
+    _reject_unknown(database_spec, _DATABASE_FIELDS, "database")
+    has_inline = "transactions" in database_spec
+    has_path = "path" in database_spec
+    if has_inline == has_path:
+        raise ApiError(
+            400, "invalid-database",
+            "database must carry exactly one of 'transactions' or 'path'",
+            details={"field": "database"},
+        )
+    database: Optional[UncertainDatabase] = None
+    database_path: Optional[str] = None
+    if has_inline:
+        database = _parse_transactions(database_spec["transactions"])
+    else:
+        path = database_spec["path"]
+        if not isinstance(path, str) or not path:
+            raise ApiError(
+                400, "invalid-database", "database.path must be a non-empty string",
+                details={"field": "database.path"},
+            )
+        database_path = path
+
+    if "config" not in body:
+        raise ApiError(
+            400, "invalid-request", "config is required",
+            details={"field": "config"},
+        )
+    config = _parse_config(body["config"])
+
+    processes: Optional[int] = None
+    if body.get("processes") is not None:
+        raw_processes = body["processes"]
+        if not isinstance(raw_processes, int) or isinstance(raw_processes, bool) or raw_processes < 1:
+            raise ApiError(
+                400, "invalid-request", "processes must be an integer >= 1",
+                details={"field": "processes"},
+            )
+        processes = raw_processes
+
+    supervisor: Optional[SupervisorConfig] = None
+    if body.get("supervisor") is not None:
+        supervisor = _parse_supervisor(body["supervisor"])
+
+    return JobRequest(
+        config=config,
+        database=database,
+        database_path=database_path,
+        processes=processes,
+        supervisor=supervisor,
+    )

@@ -1,0 +1,128 @@
+"""Round-trip tests for the runtime's JSON-safe serializers.
+
+The service ships these objects over HTTP and persists them in manifests,
+checkpoints, and the result cache, so every serializer must satisfy two
+properties: the payload is pure JSON (``json.dumps`` works, no dataclass
+leaks), and deserializing it reconstructs an equivalent object.
+"""
+
+import json
+
+import pytest
+
+from repro.core.config import MinerConfig
+from repro.core.database import UncertainDatabase, paper_table2_database
+from repro.core.stats import MiningStats
+from repro.runtime import SupervisorReport, fingerprint, run_supervised
+from repro.runtime.supervisor import BranchOutcome
+
+
+@pytest.fixture(scope="module")
+def database():
+    return paper_table2_database()
+
+
+@pytest.fixture(scope="module")
+def config():
+    return MinerConfig(min_sup=2, pfct=0.5, exact_event_limit=12, seed=7)
+
+
+@pytest.fixture(scope="module")
+def report(database, config):
+    return run_supervised(database, config, processes=2)
+
+
+class TestFingerprint:
+    def test_is_sha256_hex(self, database, config):
+        digest = fingerprint(database, config)
+        assert len(digest) == 64
+        assert set(digest) <= set("0123456789abcdef")
+
+    def test_deterministic(self, database, config):
+        assert fingerprint(database, config) == fingerprint(database, config)
+
+    def test_sensitive_to_config(self, database, config):
+        other = MinerConfig(min_sup=3, pfct=0.5, exact_event_limit=12, seed=7)
+        assert fingerprint(database, config) != fingerprint(database, other)
+
+    def test_sensitive_to_database(self, database, config):
+        other = UncertainDatabase.from_rows(
+            [("T1", ["a", "b"], 0.9), ("T2", ["a"], 0.5)]
+        )
+        assert fingerprint(other, config) != fingerprint(database, config)
+
+    def test_insensitive_to_equal_copies(self, database, config):
+        clone = UncertainDatabase.from_rows(
+            [(t.tid, list(t.items), t.probability) for t in database]
+        )
+        assert fingerprint(clone, config) == fingerprint(database, config)
+
+
+class TestMiningStatsSnapshot:
+    def test_round_trip(self):
+        stats = MiningStats()
+        stats.itemsets_generated = 17
+        stats.degraded_checks = 3
+        stats.checks_performed = 12
+        stats.branches_cancelled = 2
+        snapshot = stats.snapshot()
+        json.dumps(snapshot)  # JSON-safe
+        restored = MiningStats.from_snapshot(snapshot)
+        assert restored.as_dict() == stats.as_dict()
+
+    def test_unknown_keys_ignored(self):
+        stats = MiningStats()
+        stats.checks_performed = 5
+        snapshot = stats.snapshot()
+        snapshot["counter_from_the_future"] = 99
+        restored = MiningStats.from_snapshot(snapshot)
+        assert restored.checks_performed == 5
+        assert not hasattr(restored, "counter_from_the_future")
+
+    def test_degraded_fraction(self):
+        stats = MiningStats()
+        assert stats.degraded_fraction == 0.0  # no checks: defined as zero
+        stats.checks_performed = 8
+        stats.degraded_checks = 2
+        assert stats.degraded_fraction == pytest.approx(0.25)
+        assert stats.report()["derived"]["degraded_fraction"] == pytest.approx(0.25)
+
+
+class TestBranchOutcome:
+    def test_round_trip(self):
+        outcome = BranchOutcome(
+            rank=3, item="f", status="recovered-inline", attempts=2,
+            error="FaultInjected: scripted",
+        )
+        payload = outcome.to_dict()
+        json.dumps(payload)
+        assert BranchOutcome.from_dict(payload) == outcome
+
+
+class TestSupervisorReportSerialization:
+    def test_payload_is_json_safe(self, report):
+        json.dumps(report.to_dict())
+
+    def test_round_trip_preserves_results(self, report):
+        restored = SupervisorReport.from_dict(report.to_dict())
+        assert [r.itemset for r in restored.results] == [
+            r.itemset for r in report.results
+        ]
+        assert [r.probability for r in restored.results] == [
+            r.probability for r in report.results
+        ]
+        assert [r.provenance for r in restored.results] == [
+            r.provenance for r in report.results
+        ]
+
+    def test_round_trip_preserves_outcomes_and_flags(self, report):
+        restored = SupervisorReport.from_dict(report.to_dict())
+        assert restored.outcomes == report.outcomes
+        assert restored.complete == report.complete
+        assert restored.cancelled == report.cancelled
+        assert restored.stats.as_dict() == report.stats.as_dict()
+
+    def test_double_round_trip_is_stable(self, report):
+        once = report.to_dict()
+        twice = SupervisorReport.from_dict(once).to_dict()
+        assert once == twice

@@ -1,0 +1,325 @@
+"""Integration tests driving the real HTTP server on an ephemeral port.
+
+Each test boots a :class:`MiningService` inside ``asyncio.run``, talks to
+it over a real socket with a minimal asyncio HTTP client (exercising the
+server's request framing, not just its handlers), and asserts the wire
+contract: status codes, structured ``{"error": {...}}`` bodies,
+same-fingerprint coalescing, fingerprint-cache hits, and cooperative
+cancellation that never poisons the cache.
+"""
+
+import asyncio
+import json
+
+import pytest
+
+from repro.core.config import MinerConfig
+from repro.core.database import UncertainDatabase
+from repro.runtime import run_supervised
+from repro.runtime.checkpoint import serialize_result
+from repro.service import MiningService
+
+# Fast exact config: completes in well under a second.
+FAST_BODY = {
+    "database": {
+        "transactions": [
+            {"tid": "T1", "probability": 0.9, "items": ["a", "b", "c"]},
+            {"tid": "T2", "probability": 0.8, "items": ["a", "b"]},
+            {"tid": "T3", "probability": 0.7, "items": ["a", "c", "d"]},
+            {"tid": "T4", "probability": 0.95, "items": ["b", "c"]},
+        ]
+    },
+    "config": {"min_sup": 1, "pfct": 0.3, "seed": 7},
+    "processes": 2,
+}
+
+# Forced-sampling config over the same database: a few seconds of mining,
+# long enough to observe "running" and to cancel mid-flight.
+SLOW_CONFIG = {
+    "min_sup": 1,
+    "pfct": 0.05,
+    "exact_event_limit": 0,
+    "epsilon": 0.008,
+    "seed": 7,
+}
+
+
+async def request(port, method, path, body=None):
+    """Minimal HTTP/1.1 client: returns ``(status, parsed_json)``."""
+    reader, writer = await asyncio.open_connection("127.0.0.1", port)
+    payload = b"" if body is None else json.dumps(body).encode()
+    head = (
+        f"{method} {path} HTTP/1.1\r\n"
+        f"Host: localhost\r\n"
+        f"Content-Type: application/json\r\n"
+        f"Content-Length: {len(payload)}\r\n"
+        f"Connection: close\r\n\r\n"
+    )
+    writer.write(head.encode() + payload)
+    await writer.drain()
+    raw = await reader.read()
+    writer.close()
+    await writer.wait_closed()
+    header_blob, _, body_blob = raw.partition(b"\r\n\r\n")
+    status = int(header_blob.split(b" ", 2)[1])
+    return status, json.loads(body_blob) if body_blob else None
+
+
+async def poll_until_terminal(port, job_id, timeout=60.0):
+    deadline = asyncio.get_running_loop().time() + timeout
+    while True:
+        status, payload = await request(port, "GET", f"/jobs/{job_id}")
+        assert status == 200
+        if payload["state"] not in ("queued", "running"):
+            return payload
+        if asyncio.get_running_loop().time() > deadline:
+            pytest.fail(f"job {job_id} still {payload['state']} after {timeout}s")
+        await asyncio.sleep(0.1)
+
+
+def run_service_test(coro_factory, **service_kwargs):
+    """Boot a service on an ephemeral port, run the test coroutine, drain."""
+
+    async def main(tmp_path):
+        service = MiningService(tmp_path, **service_kwargs)
+        port = await service.start("127.0.0.1", 0)
+        try:
+            await coro_factory(service, port)
+        finally:
+            await service.shutdown(drain=True)
+
+    return main
+
+
+class TestHappyPath:
+    def test_submit_poll_result(self, tmp_path):
+        async def scenario(service, port):
+            status, submitted = await request(port, "POST", "/jobs", FAST_BODY)
+            assert status == 202
+            assert submitted["state"] == "queued"
+            assert not submitted["cached"] and not submitted["coalesced"]
+            assert len(submitted["fingerprint"]) == 64
+
+            final = await poll_until_terminal(port, submitted["job_id"])
+            assert final["state"] == "completed"
+            assert final["error"] is None
+            assert final["degradation"]["checks_performed"] > 0
+            assert final["stats"]["results_emitted"] > 0
+
+            status, result = await request(
+                port, "GET", f"/jobs/{submitted['job_id']}/result"
+            )
+            assert status == 200
+            assert result["count"] == len(result["results"]) > 0
+
+            # The wire results equal a direct supervised run on the same DB.
+            database = UncertainDatabase.from_rows(
+                [
+                    (t["tid"], t["items"], t["probability"])
+                    for t in FAST_BODY["database"]["transactions"]
+                ]
+            )
+            reference = run_supervised(
+                database, MinerConfig(**FAST_BODY["config"]), processes=2
+            )
+            assert result["results"] == [
+                serialize_result(r) for r in reference.results
+            ]
+
+        asyncio.run(run_service_test(scenario)(tmp_path))
+
+    def test_cache_hit_on_resubmission(self, tmp_path):
+        async def scenario(service, port):
+            _, first = await request(port, "POST", "/jobs", FAST_BODY)
+            await poll_until_terminal(port, first["job_id"])
+
+            status, second = await request(port, "POST", "/jobs", FAST_BODY)
+            assert status == 201
+            assert second["cached"] is True
+            assert second["job_id"] != first["job_id"]
+            assert second["fingerprint"] == first["fingerprint"]
+
+            _, result_one = await request(
+                port, "GET", f"/jobs/{first['job_id']}/result"
+            )
+            _, result_two = await request(
+                port, "GET", f"/jobs/{second['job_id']}/result"
+            )
+            assert result_one["results"] == result_two["results"]
+            assert service.cache.stats()["hits"] == 1
+
+        asyncio.run(run_service_test(scenario)(tmp_path))
+
+    def test_same_fingerprint_coalesces_onto_active_job(self, tmp_path):
+        async def scenario(service, port):
+            body = dict(FAST_BODY, config=SLOW_CONFIG, processes=1)
+            _, first = await request(port, "POST", "/jobs", body)
+            status, second = await request(port, "POST", "/jobs", body)
+            assert status == 200
+            assert second["coalesced"] is True
+            assert second["job_id"] == first["job_id"]
+            # The discarded duplicate left no orphan directory behind.
+            assert len(service.store.all()) == 1
+
+            # A *different* config is different work — no coalescing.
+            other = dict(body, config=dict(SLOW_CONFIG, min_sup=2))
+            status, third = await request(port, "POST", "/jobs", other)
+            assert status == 202
+            assert third["job_id"] != first["job_id"]
+
+            await poll_until_terminal(port, first["job_id"])
+            await poll_until_terminal(port, third["job_id"])
+
+        asyncio.run(run_service_test(scenario, workers=2)(tmp_path))
+
+
+class TestErrors:
+    def test_unknown_job_404(self, tmp_path):
+        async def scenario(service, port):
+            status, payload = await request(port, "GET", "/jobs/j999999")
+            assert status == 404
+            assert payload["error"]["code"] == "job-not-found"
+            assert payload["error"]["details"]["job_id"] == "j999999"
+
+        asyncio.run(run_service_test(scenario)(tmp_path))
+
+    def test_unknown_route_404_and_bad_method_405(self, tmp_path):
+        async def scenario(service, port):
+            status, payload = await request(port, "GET", "/nope")
+            assert status == 404
+            assert payload["error"]["code"] == "not-found"
+            status, payload = await request(port, "PUT", "/jobs")
+            assert status == 405
+            assert payload["error"]["code"] == "method-not-allowed"
+            assert "POST" in payload["error"]["details"]["allowed"]
+
+        asyncio.run(run_service_test(scenario)(tmp_path))
+
+    def test_validation_errors_are_structured(self, tmp_path):
+        async def scenario(service, port):
+            bad = {"database": {"transactions": []}, "config": {"min_sup": 1}}
+            status, payload = await request(port, "POST", "/jobs", bad)
+            assert status == 400
+            assert payload["error"]["code"] == "invalid-database"
+
+            typo = dict(FAST_BODY, config={"min_sup": 1, "pcft": 0.5})
+            status, payload = await request(port, "POST", "/jobs", typo)
+            assert status == 400
+            assert payload["error"]["code"] == "unknown-field"
+            assert "pcft" in payload["error"]["details"]["unknown"]
+
+        asyncio.run(run_service_test(scenario)(tmp_path))
+
+    def test_malformed_json_body_400(self, tmp_path):
+        async def scenario(service, port):
+            reader, writer = await asyncio.open_connection("127.0.0.1", port)
+            blob = b"{not json"
+            writer.write(
+                b"POST /jobs HTTP/1.1\r\nHost: x\r\n"
+                b"Content-Length: " + str(len(blob)).encode() + b"\r\n\r\n" + blob
+            )
+            await writer.drain()
+            raw = await reader.read()
+            writer.close()
+            await writer.wait_closed()
+            assert b" 400 " in raw.split(b"\r\n", 1)[0]
+            payload = json.loads(raw.partition(b"\r\n\r\n")[2])
+            assert payload["error"]["code"] == "invalid-json"
+
+        asyncio.run(run_service_test(scenario)(tmp_path))
+
+    def test_result_before_done_409(self, tmp_path):
+        async def scenario(service, port):
+            body = dict(FAST_BODY, config=SLOW_CONFIG, processes=1)
+            _, submitted = await request(port, "POST", "/jobs", body)
+            status, payload = await request(
+                port, "GET", f"/jobs/{submitted['job_id']}/result"
+            )
+            assert status == 409
+            assert payload["error"]["code"] == "job-not-finished"
+            await poll_until_terminal(port, submitted["job_id"])
+
+        asyncio.run(run_service_test(scenario)(tmp_path))
+
+    def test_shutting_down_503(self, tmp_path):
+        async def scenario(service, port):
+            service.accepting = False
+            status, payload = await request(port, "POST", "/jobs", FAST_BODY)
+            assert status == 503
+            assert payload["error"]["code"] == "shutting-down"
+
+        asyncio.run(run_service_test(scenario)(tmp_path))
+
+
+class TestCancellation:
+    def test_cancel_running_job_then_resubmit_mines_fresh(self, tmp_path):
+        async def scenario(service, port):
+            body = dict(FAST_BODY, config=SLOW_CONFIG, processes=1)
+            _, submitted = await request(port, "POST", "/jobs", body)
+            job_id = submitted["job_id"]
+
+            # Wait for it to actually start, then cancel mid-run.
+            while True:
+                _, status_payload = await request(port, "GET", f"/jobs/{job_id}")
+                if status_payload["state"] == "running":
+                    break
+                await asyncio.sleep(0.02)
+            status, payload = await request(port, "DELETE", f"/jobs/{job_id}")
+            assert status == 202
+            assert payload["state"] in ("cancelling", "cancelled")
+
+            final = await poll_until_terminal(port, job_id)
+            assert final["state"] == "cancelled"
+
+            status, payload = await request(port, "GET", f"/jobs/{job_id}/result")
+            assert status == 409
+            assert payload["error"]["code"] == "job-cancelled"
+
+            # Satellite contract: the cancelled run never reached the cache,
+            # so resubmitting the same work mines fresh and completes.
+            status, resubmitted = await request(port, "POST", "/jobs", body)
+            assert status == 202
+            assert resubmitted["cached"] is False
+            final = await poll_until_terminal(port, resubmitted["job_id"])
+            assert final["state"] == "completed"
+            status, result = await request(
+                port, "GET", f"/jobs/{resubmitted['job_id']}/result"
+            )
+            assert status == 200 and result["count"] > 0
+
+        asyncio.run(run_service_test(scenario)(tmp_path))
+
+    def test_cancel_finished_job_409(self, tmp_path):
+        async def scenario(service, port):
+            _, submitted = await request(port, "POST", "/jobs", FAST_BODY)
+            await poll_until_terminal(port, submitted["job_id"])
+            status, payload = await request(
+                port, "DELETE", f"/jobs/{submitted['job_id']}"
+            )
+            assert status == 409
+            assert payload["error"]["code"] == "job-already-finished"
+
+        asyncio.run(run_service_test(scenario)(tmp_path))
+
+
+class TestOpsEndpoints:
+    def test_healthz_and_metrics(self, tmp_path):
+        async def scenario(service, port):
+            status, health = await request(port, "GET", "/healthz")
+            assert status == 200
+            assert health["status"] == "ok" and health["accepting"] is True
+
+            _, submitted = await request(port, "POST", "/jobs", FAST_BODY)
+            await poll_until_terminal(port, submitted["job_id"])
+
+            status, metrics = await request(port, "GET", "/metrics")
+            assert status == 200
+            assert metrics["jobs"]["completed"] == 1
+            assert metrics["mining"]["counters"]["results_emitted"] > 0
+            assert metrics["cache"]["entries"] == 1
+
+            status, listing = await request(port, "GET", "/jobs?state=completed")
+            assert status == 200
+            assert [j["job_id"] for j in listing["jobs"]] == [submitted["job_id"]]
+
+        asyncio.run(run_service_test(scenario)(tmp_path))
