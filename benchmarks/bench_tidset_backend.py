@@ -10,12 +10,23 @@ backend must mine it at least :data:`MIN_SPEEDUP` times faster than the tuple
 backend while producing the field-for-field identical result list (the
 backends are bit-exact by construction — see ``docs/performance.md``).
 
-Timing protocol: the two backends are interleaved round by round and each
-side keeps its best round, so a machine-load swing during the measurement
-hits both backends rather than silently inflating (or deflating) the ratio.
+Two measurements live here:
+
+* :func:`test_bitmap_backend_speedup` — the acceptance pair, ``bitmap`` vs
+  the ``tuple`` oracle.
+* :func:`test_kernel_ablation` — the kernel ablation, which adds the
+  ``bitmap-noprefix`` backend (the same packed engine with the per-prefix
+  gather cache and active-word kernels disabled).  The gap between the two
+  bitmap rows is exactly what the fused kernels buy; the deterministic
+  ``tidset_words_anded`` counter must be strictly lower with the cache on.
+
+Timing protocol: the backends are interleaved round by round and each side
+keeps its best round, so a machine-load swing during the measurement hits
+all backends rather than silently inflating (or deflating) a ratio.
 
 ``benchmarks/check_tidset_regression.py`` reuses :func:`measure_backend_speedup`
-to compare a fresh smoke measurement against the committed
+to compare a fresh smoke measurement — wall-clock speedup *and* the
+deterministic per-point engine counters — against the committed
 ``BENCH_tidset_backend.json`` baseline in CI.
 """
 
@@ -34,8 +45,16 @@ SWEEP_RATIOS = (0.3, 0.25)
 #: The sweep variant that isolates tidset-engine work (see module docstring).
 VARIANT = "MPFCI-NoBound"
 
-#: Acceptance floor for the aggregate bitmap-over-tuple speedup.
-MIN_SPEEDUP = 3.0
+#: Acceptance floor for the aggregate bitmap-over-tuple speedup.  Raised from
+#: 3x to 7x when the frontier-fused DP kernels (per-prefix gather cache,
+#: active-word intersections, batched inclusion–exclusion) landed.
+MIN_SPEEDUP = 7.0
+
+#: The default acceptance pair: the packed engine against the oracle.
+DEFAULT_BACKENDS = ("bitmap", "tuple")
+
+#: The kernel-ablation lineup: full kernels, kernels disabled, oracle.
+ABLATION_BACKENDS = ("bitmap", "bitmap-noprefix", "tuple")
 
 #: Every field of a mining result that the parity check compares.  The two
 #: backends must agree on all of them exactly — not approximately.
@@ -48,6 +67,20 @@ RESULT_FIELDS = (
     "frequent_probability",
 )
 
+#: Engine counters captured per (point, backend).  All are deterministic for
+#: a fixed database + config, which is what lets the CI regression gate
+#: compare them exactly instead of through noisy wall-clock.
+COUNTER_FIELDS = (
+    "tidset_intersections",
+    "tidset_words_anded",
+    "tidset_popcounts",
+    "tidset_gathers",
+    "tidset_prefix_hits",
+    "tidset_prefix_misses",
+    "dp_invocations",
+    "dp_batch_invocations",
+)
+
 
 def result_table(results):
     """Results as plain tuples, one entry per RESULT_FIELDS, order preserved."""
@@ -57,22 +90,29 @@ def result_table(results):
     ]
 
 
-def measure_backend_speedup(database, ratios=SWEEP_RATIOS, rounds=2):
+def measure_backend_speedup(
+    database, ratios=SWEEP_RATIOS, rounds=2, backends=DEFAULT_BACKENDS
+):
     """Interleaved best-of-``rounds`` backend comparison over the sweep.
 
-    Returns a JSON-ready payload: one entry per sweep point carrying both
-    backends' best wall-clock, the per-point speedup and the parity verdict,
-    plus the aggregate speedup (total tuple seconds over total bitmap
-    seconds) the acceptance assertion and the CI regression check read.
+    Returns a JSON-ready payload: one entry per sweep point carrying every
+    backend's best wall-clock and engine counters, the per-point speedups
+    over the ``tuple`` oracle and the parity verdict, plus the aggregate
+    bitmap-over-tuple speedup the acceptance assertion and the CI regression
+    check read.
     """
+    if "tuple" not in backends or "bitmap" not in backends:
+        raise ValueError(
+            f"backends must include 'bitmap' and the 'tuple' oracle: {backends}"
+        )
     points = []
     for ratio in ratios:
         config = miner_variants(default_config(database, ratio))[VARIANT]
-        timings = {"bitmap": [], "tuple": []}
+        timings = {backend: [] for backend in backends}
         tables = {}
         counters = {}
         for _round in range(rounds):
-            for backend in ("bitmap", "tuple"):
+            for backend in backends:
                 miner = MPFCIMiner(
                     database, config.variant(tidset_backend=backend)
                 )
@@ -82,24 +122,31 @@ def measure_backend_speedup(database, ratios=SWEEP_RATIOS, rounds=2):
                 tables[backend] = result_table(results)
                 stats = miner.stats
                 counters[backend] = {
-                    "tidset_intersections": stats.tidset_intersections,
-                    "tidset_words_anded": stats.tidset_words_anded,
-                    "tidset_popcounts": stats.tidset_popcounts,
-                    "tidset_gathers": stats.tidset_gathers,
-                    "dp_invocations": stats.dp_invocations,
-                    "dp_batch_invocations": stats.dp_batch_invocations,
+                    field: getattr(stats, field) for field in COUNTER_FIELDS
                 }
-        bitmap_seconds = min(timings["bitmap"])
-        tuple_seconds = min(timings["tuple"])
+        best = {
+            backend: min(samples) for backend, samples in timings.items()
+        }
         points.append(
             {
                 "ratio": ratio,
                 "min_sup": config.min_sup,
                 "results": len(tables["bitmap"]),
-                "results_identical": tables["bitmap"] == tables["tuple"],
-                "bitmap_seconds": round(bitmap_seconds, 4),
-                "tuple_seconds": round(tuple_seconds, 4),
-                "speedup": round(tuple_seconds / bitmap_seconds, 3),
+                "results_identical": all(
+                    tables[backend] == tables["tuple"] for backend in backends
+                ),
+                "backend_seconds": {
+                    backend: round(seconds, 4)
+                    for backend, seconds in best.items()
+                },
+                "speedups": {
+                    backend: round(best["tuple"] / best[backend], 3)
+                    for backend in backends
+                    if backend != "tuple"
+                },
+                "bitmap_seconds": round(best["bitmap"], 4),
+                "tuple_seconds": round(best["tuple"], 4),
+                "speedup": round(best["tuple"] / best["bitmap"], 3),
                 "engine_counters": counters,
             }
         )
@@ -110,6 +157,7 @@ def measure_backend_speedup(database, ratios=SWEEP_RATIOS, rounds=2):
         "scale": "ci",
         "variant": VARIANT,
         "rounds": rounds,
+        "backends": list(backends),
         "points": points,
         "bitmap_seconds": round(bitmap_total, 4),
         "tuple_seconds": round(tuple_total, 4),
@@ -119,7 +167,7 @@ def measure_backend_speedup(database, ratios=SWEEP_RATIOS, rounds=2):
 
 
 def test_bitmap_backend_speedup(benchmark, mushroom_db):
-    """Acceptance: bitmap >= 3x over tuple on the sweep, identical results."""
+    """Acceptance: bitmap >= 7x over tuple on the sweep, identical results."""
     payloads = []
 
     def run():
@@ -137,3 +185,45 @@ def test_bitmap_backend_speedup(benchmark, mushroom_db):
             f"{point['ratio']}: {point}"
         )
     assert payload["speedup"] >= MIN_SPEEDUP, payload
+
+
+def test_kernel_ablation(benchmark, mushroom_db):
+    """Ablation: the prefix-cache/active-word kernels must earn their keep.
+
+    Runs the full three-way lineup (``bitmap``, ``bitmap-noprefix``,
+    ``tuple``) and asserts, per sweep point, that
+
+    * all three backends produce the identical result list,
+    * the cached engine never ANDs *more* words than the ablated one and its
+      prefix cache registers hits while the ablated engine registers none
+      (deterministic counters rather than wall-clock; at CI scale the
+      mushroom bitmap is only two words wide, so the active-word restriction
+      cannot trim columns here — the strict words-ANDed reduction on wider
+      bitmaps is pinned by ``tests/test_tidset_backends.py``), and
+    * batched DP invocations dominate on both bitmap variants (the frontier
+      batching is engaged).
+    """
+    payloads = []
+
+    def run():
+        payloads.append(
+            measure_backend_speedup(mushroom_db, backends=ABLATION_BACKENDS)
+        )
+        return payloads[-1]
+
+    payload = benchmark.pedantic(run, rounds=1, iterations=1, warmup_rounds=0)
+    benchmark.extra_info["kernel_ablation"] = payload
+    record_bench_json("tidset_kernel_ablation", payload)
+    assert payload["results_identical"], payload
+    assert payload["speedup"] >= MIN_SPEEDUP, payload
+    for point in payload["points"]:
+        cached = point["engine_counters"]["bitmap"]
+        ablated = point["engine_counters"]["bitmap-noprefix"]
+        assert cached["tidset_words_anded"] <= ablated["tidset_words_anded"], point
+        assert cached["tidset_prefix_hits"] > 0, point
+        assert ablated["tidset_prefix_hits"] == 0, point
+        for backend in ("bitmap", "bitmap-noprefix"):
+            counter = point["engine_counters"][backend]
+            assert (
+                counter["dp_batch_invocations"] * 2 > counter["dp_invocations"]
+            ), (backend, point)

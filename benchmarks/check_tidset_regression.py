@@ -1,18 +1,22 @@
 #!/usr/bin/env python
 """CI smoke guard for the packed-bitmap tidset backend speedup.
 
-Re-measures the backend comparison of ``benchmarks/bench_tidset_backend.py``
-on one sweep point and compares the fresh speedup against the committed
-repo-root ``BENCH_tidset_backend.json`` baseline.  The check fails when
+Re-measures the kernel-ablation comparison of
+``benchmarks/bench_tidset_backend.py`` on one sweep point and compares the
+fresh measurement against the committed repo-root
+``BENCH_tidset_backend.json`` baseline.  The check fails when
 
-* either backend's result list diverges from the other (parity is the
-  correctness half of the acceptance criterion), or
-* the measured speedup regresses by more than ``TOLERANCE`` (20%) relative
-  to the baseline's speedup for the same sweep point.
-
-Comparing speedups — a ratio of two timings taken interleaved on the same
-machine — rather than absolute seconds makes the gate robust to how fast the
-CI runner happens to be.
+* any backend's result list diverges from the tuple oracle's (parity is the
+  correctness half of the acceptance criterion),
+* the measured bitmap-over-tuple speedup regresses by more than
+  ``TOLERANCE`` (20%) relative to the baseline's speedup for the same sweep
+  point, or
+* a deterministic engine *cost* counter (words ANDed, popcounts, gathers,
+  intersections, DP invocations) regresses above the baseline, or the
+  batched-DP counter drops below it.  Counters are exact for a fixed
+  database + config, so this half of the gate is immune to CI-runner speed —
+  a change that silently de-vectorizes a kernel fails here even if the
+  wall-clock ratio happens to stay inside tolerance.
 
 Usage:
     python benchmarks/check_tidset_regression.py            # CI smoke gate
@@ -32,6 +36,7 @@ for entry in (REPO_ROOT, REPO_ROOT / "src"):
         sys.path.insert(0, str(entry))
 
 from benchmarks.bench_tidset_backend import (  # noqa: E402
+    ABLATION_BACKENDS,
     MIN_SPEEDUP,
     SWEEP_RATIOS,
     measure_backend_speedup,
@@ -47,6 +52,26 @@ SMOKE_RATIOS = (0.3,)
 #: Allowed relative speedup regression versus the committed baseline.
 TOLERANCE = 0.20
 
+#: Deterministic engine counters that measure *work done*; a fresh run must
+#: not exceed the baseline on any of them (lower is better, equal is the
+#: deterministic expectation).
+COST_COUNTERS = (
+    "tidset_intersections",
+    "tidset_words_anded",
+    "tidset_popcounts",
+    "tidset_gathers",
+    "dp_invocations",
+)
+
+#: Counters where *higher* is better: batched DP calls must not fall below
+#: the baseline (frontier batching silently disengaging is a regression even
+#: when total DP work is unchanged).
+FLOOR_COUNTERS = ("dp_batch_invocations",)
+
+#: Backends whose counters the gate compares (the oracle's counters are its
+#: own business — it exists for parity, not speed).
+GATED_BACKENDS = ("bitmap", "bitmap-noprefix")
+
 
 def baseline_point(baseline: dict, ratio: float) -> dict:
     for point in baseline["points"]:
@@ -56,6 +81,23 @@ def baseline_point(baseline: dict, ratio: float) -> dict:
         f"baseline {BASELINE_PATH.name} has no point for ratio {ratio}; "
         "re-run with --update"
     )
+
+
+def counter_regressions(fresh_point: dict, expected_point: dict) -> list:
+    """Every (backend, counter, fresh, baseline) tuple that regressed."""
+    failures = []
+    for backend in GATED_BACKENDS:
+        fresh = fresh_point["engine_counters"].get(backend)
+        expected = expected_point.get("engine_counters", {}).get(backend)
+        if fresh is None or expected is None:
+            continue  # baseline predates this backend; --update refreshes it
+        for counter in COST_COUNTERS:
+            if counter in expected and fresh[counter] > expected[counter]:
+                failures.append((backend, counter, fresh[counter], expected[counter]))
+        for counter in FLOOR_COUNTERS:
+            if counter in expected and fresh[counter] < expected[counter]:
+                failures.append((backend, counter, fresh[counter], expected[counter]))
+    return failures
 
 
 def main(argv=None) -> int:
@@ -77,7 +119,10 @@ def main(argv=None) -> int:
 
     if args.update:
         payload = measure_backend_speedup(
-            database, ratios=SWEEP_RATIOS, rounds=args.rounds
+            database,
+            ratios=SWEEP_RATIOS,
+            rounds=args.rounds,
+            backends=ABLATION_BACKENDS,
         )
         if not payload["results_identical"]:
             print("REFUSING to write baseline: backends disagree", payload)
@@ -96,7 +141,10 @@ def main(argv=None) -> int:
 
     baseline = json.loads(BASELINE_PATH.read_text())
     smoke = measure_backend_speedup(
-        database, ratios=SMOKE_RATIOS, rounds=args.rounds
+        database,
+        ratios=SMOKE_RATIOS,
+        rounds=args.rounds,
+        backends=ABLATION_BACKENDS,
     )
     point = smoke["points"][0]
     expected = baseline_point(baseline, point["ratio"])
@@ -115,7 +163,15 @@ def main(argv=None) -> int:
             f"{TOLERANCE:.0%} below the committed baseline {expected['speedup']}x"
         )
         return 1
-    print("OK: bitmap backend speedup within tolerance of the baseline")
+    regressions = counter_regressions(point, expected)
+    if regressions:
+        for backend, counter, fresh, base in regressions:
+            print(
+                f"FAIL: {backend}.{counter} regressed: {fresh} vs "
+                f"baseline {base}"
+            )
+        return 1
+    print("OK: bitmap backend speedup and engine counters within baseline")
     return 0
 
 

@@ -8,6 +8,8 @@ Subcommands:
   Gaussian uncertainty and write it as ``.utd``;
 * ``inspect``     — print the characteristics of a ``.utd`` file
   (Table VIII-style);
+* ``convert``     — rewrite a dataset between the ``.utd`` text format and
+  the zero-copy columnar ``.utdz`` format (dispatch is by suffix);
 * ``experiments`` — regenerate the paper's tables and figures (delegates to
   :mod:`repro.eval.experiments`);
 * ``stream-mine`` — replay a ``.utd`` file through a sliding window and
@@ -234,6 +236,19 @@ def _add_generate_parser(subparsers) -> None:
 def _add_inspect_parser(subparsers) -> None:
     parser = subparsers.add_parser("inspect", help="describe a .utd file")
     parser.add_argument("input", help="path to the .utd database")
+
+
+def _add_convert_parser(subparsers) -> None:
+    parser = subparsers.add_parser(
+        "convert",
+        help="convert a dataset between .utd text and .utdz columnar formats",
+    )
+    parser.add_argument("input", help="source dataset (.utd, .utd.gz or .utdz)")
+    parser.add_argument(
+        "output",
+        help="destination path; a .utdz suffix writes the zero-copy "
+        "columnar format, anything else the text format",
+    )
 
 
 def _add_experiments_parser(subparsers) -> None:
@@ -585,6 +600,22 @@ def _command_inspect(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_convert(args: argparse.Namespace) -> int:
+    try:
+        database = load_uncertain_database(args.input)
+    except (OSError, ValueError) as error:
+        return _error(str(error))
+    try:
+        save_uncertain_database(database, args.output)
+    except (OSError, ValueError) as error:
+        return _error(str(error))
+    print(
+        f"wrote {len(database)} transactions over {len(database.items)} items "
+        f"to {args.output}"
+    )
+    return 0
+
+
 def _command_experiments(args: argparse.Namespace) -> int:
     from .eval.experiments import ExperimentScale, iter_reports, set_default_tidset_backend
 
@@ -628,6 +659,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     _add_stream_mine_parser(subparsers)
     _add_generate_parser(subparsers)
     _add_inspect_parser(subparsers)
+    _add_convert_parser(subparsers)
     _add_experiments_parser(subparsers)
     _add_serve_parser(subparsers)
     args = parser.parse_args(argv)
@@ -636,6 +668,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "stream-mine": _command_stream_mine,
         "generate": _command_generate,
         "inspect": _command_inspect,
+        "convert": _command_convert,
         "experiments": _command_experiments,
         "serve": _command_serve,
     }

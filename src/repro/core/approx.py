@@ -44,11 +44,11 @@ import bisect
 import math
 import random
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence
+from typing import List, Optional, Sequence, Set
 
 import numpy as np
 
-from ._types import FloatArray
+from ._types import BoolArray, FloatArray
 from .cache import SupportDPCache
 from .database import UncertainDatabase
 from .events import ExtensionEventSystem
@@ -81,6 +81,14 @@ def sample_count(num_events: int, epsilon: float, delta: float) -> int:
     return math.ceil(4.0 * num_events * math.log(2.0 / delta) / (epsilon * epsilon))
 
 
+# Uniform matrices are drawn (and processed) in chunks of at most this many
+# elements, so a huge sample budget over a wide event never materializes a
+# gigabyte of uniforms at once.  Chunking does not change the stream: a
+# PCG64 ``Generator.random`` call sequence is identical to one large
+# row-major draw split at arbitrary row boundaries.
+_UNIFORM_CHUNK_ELEMENTS = 1 << 20
+
+
 def approx_union_probability(
     events: ExtensionEventSystem,
     epsilon: float,
@@ -92,13 +100,28 @@ def approx_union_probability(
 
     Returns ``(estimate, samples_used)``.  Zero-probability unions short-
     circuit without sampling.
+
+    Randomness protocol (shared by every tidset backend, which is what keeps
+    the estimate bit-identical across them): one 64-bit seed is drawn from
+    the injected ``rng`` and feeds a ``numpy`` PCG64 stream; the stream is
+    consumed as (1) ``n_samples`` index picks, then (2) one ``(count_i,
+    width_i)`` uniform matrix per sampled event in ascending event order —
+    events sampled at index 0 consume no uniforms, since the first event is
+    always its own first cover.  The vectorized path runs each matrix
+    through the batched conditional sampler and a matmul first-cover check;
+    the serial oracle path walks the identical matrices row by row through
+    :func:`repro.core.support.sample_conditional_presence` and per-sample
+    set intersections.  Same uniforms, same comparisons, same integer
+    success count — so the two paths agree bit-for-bit while the vectorized
+    one does no per-sample Python at all.
     """
     singleton = events.singleton_probabilities
     z = math.fsum(singleton)
     if z <= 0.0 or not events.events:
         return 0.0, 0
 
-    n_samples = sample_count(len(events.events), epsilon, delta)
+    m = len(events.events)
+    n_samples = sample_count(m, epsilon, delta)
     if max_samples is not None:
         n_samples = min(n_samples, max_samples)
 
@@ -112,104 +135,109 @@ def approx_union_probability(
 
     database = events.database
     cache = events.support_cache
+    engine = events.engine
+    vectorized = bool(getattr(engine, "vectorized", False))
     # Per-event precomputation: conditional-sampler inputs and membership
-    # sets for the first-cover check.  Tail tables come from the run-shared
-    # support-DP cache (one fetch per event, reused locally per sample), so
+    # structures for the first-cover check.  Tail tables come from the
+    # run-shared support-DP cache (one fetch per sampled event), so
     # re-checks of overlapping tidsets stop rebuilding them.
     event_probabilities = [
         cache.probabilities_of_tidset(event.tidset) for event in events.events
     ]
-    tail_tables: List[Optional[FloatArray]] = [None] * len(events.events)
     item_of_event = [event.item for event in events.events]
-    transaction_items = [set(txn.items) for txn in database.transactions]
-    engine = events.engine
     event_positions = [engine.positions(event.tidset) for event in events.events]
 
-    if getattr(engine, "vectorized", False):
-        # Vectorized path: pre-draw every uniform in the exact order the
-        # per-sample loop consumes them (one index pick, then one uniform per
-        # transaction of the chosen event), group the samples by event, and
-        # run each group through the batched conditional sampler.  The
-        # estimate is bit-identical to the serial loop below — same uniforms,
-        # same conditional probabilities, same integer success count.
-        groups: Dict[int, List[List[float]]] = {}
-        for _ in range(n_samples):
-            pick = rng.random() * z
-            index = min(bisect.bisect_left(cumulative, pick), len(events.events) - 1)
-            width = len(event_probabilities[index])
-            groups.setdefault(index, []).append(
-                [rng.random() for _ in range(width)]
-            )
-        successes = 0
-        for index, uniform_rows in groups.items():
-            if index == 0:
-                # The first event is always its own first cover.
-                successes += len(uniform_rows)
-                continue
-            table = tail_tables[index]
-            if table is None:
-                table = cache.tail_table_of_tidset(events.events[index].tidset)
-                tail_tables[index] = table
-            bits = sample_conditional_presence_batch(
-                np.asarray(event_probabilities[index], dtype=np.float64),
-                events.min_sup,
-                np.asarray(uniform_rows, dtype=np.float64),
-                table,
-            )
-            positions = event_positions[index]
-            covered = np.zeros(len(uniform_rows), dtype=bool)
-            for j in range(index):
-                item = item_of_event[j]
-                member = np.fromiter(
-                    (item in transaction_items[position] for position in positions),
-                    dtype=bool,
-                    count=len(positions),
-                )
-                # Event j covers a sample iff e_j appears in every present
-                # transaction of that sample.
-                covered |= np.all(member | ~bits, axis=1)
-            successes += int(np.count_nonzero(~covered))
-        estimate = z * successes / n_samples
-        return min(estimate, 1.0), n_samples
+    generator = np.random.default_rng(rng.getrandbits(64))
+    picks = generator.random(n_samples) * z
+    indices = np.minimum(
+        np.searchsorted(np.asarray(cumulative, dtype=np.float64), picks, side="left"),
+        m - 1,
+    )
+    group_sizes = np.bincount(indices, minlength=m)
 
-    successes = 0
-    for _ in range(n_samples):
-        pick = rng.random() * z
-        index = bisect.bisect_left(cumulative, pick)
-        if index >= len(events.events):
-            index = len(events.events) - 1
-        table = tail_tables[index]
-        if table is None:
-            table = cache.tail_table_of_tidset(events.events[index].tidset)
-            tail_tables[index] = table
-        bits = sample_conditional_presence(
-            event_probabilities[index],
-            events.min_sup,
-            rng,
-            tail_table=table,
+    # Index-0 samples are always their own first cover (and consume no
+    # further randomness under the protocol above).
+    successes = int(group_sizes[0])
+
+    base_positions = np.asarray(engine.positions(events.base_tidset), dtype=np.int64)
+    transaction_items: List[Set[Item]] = []
+    member_of_base: Optional[BoolArray] = None
+    if vectorized:
+        # membership[j, c] — does the c-th base transaction contain e_j?
+        # Every event tidset refines the base tidset, so one (m, |T(X)|)
+        # matrix serves every group's first-cover check.
+        member_of_base = np.stack(
+            [
+                np.isin(
+                    base_positions,
+                    np.asarray(database.tidset_of_item(item), dtype=np.int64),
+                )
+                for item in item_of_event
+            ]
         )
-        present = [
-            position
-            for position, bit in zip(event_positions[index], bits)
-            if bit
-        ]
-        # First-cover test: is some earlier event also satisfied?  Event j is
-        # satisfied iff e_j appears in every present transaction (support is
-        # already >= min_sup by the conditioning).  Intersect the present
-        # transactions' item sets once, then test membership.
-        if index == 0:
-            covered_earlier = False
-        else:
-            common_items = set(transaction_items[present[0]])
-            for position in present[1:]:
-                common_items &= transaction_items[position]
-                if not common_items:
-                    break
-            covered_earlier = any(
-                item_of_event[j] in common_items for j in range(index)
+    else:
+        transaction_items = [set(txn.items) for txn in database.transactions]
+
+    for index in range(1, m):
+        count = int(group_sizes[index])
+        if count == 0:
+            continue
+        probabilities = event_probabilities[index]
+        width = len(probabilities)
+        table = cache.tail_table_of_tidset(events.events[index].tidset)
+        positions = event_positions[index]
+        probs_array = np.asarray(probabilities, dtype=np.float64)
+        not_member: Optional[FloatArray] = None
+        if vectorized:
+            assert member_of_base is not None
+            columns = np.searchsorted(
+                base_positions, np.asarray(positions, dtype=np.int64)
             )
-        if not covered_earlier:
-            successes += 1
+            # float32 so the first-cover check is one BLAS matmul; the
+            # entries are exact small counts (width << 2**24).
+            not_member = (~member_of_base[:index][:, columns]).astype(np.float32)
+        rows_per_chunk = max(1, _UNIFORM_CHUNK_ELEMENTS // max(width, 1))
+        done = 0
+        while done < count:
+            take = min(rows_per_chunk, count - done)
+            done += take
+            uniforms = generator.random((take, width))
+            if vectorized:
+                assert not_member is not None
+                bits = sample_conditional_presence_batch(
+                    probs_array, events.min_sup, uniforms, table
+                )
+                # misses[s, j] counts present transactions of sample s that
+                # do NOT contain e_j; zero misses means event j also covers
+                # the sample, so it is not a first cover.
+                misses = bits.astype(np.float32) @ not_member.T
+                covered = (misses == 0.0).any(axis=1)
+                successes += take - int(np.count_nonzero(covered))
+                continue
+            for row in range(take):
+                bits_row = sample_conditional_presence(
+                    probabilities,
+                    events.min_sup,
+                    tail_table=table,
+                    uniforms=uniforms[row],
+                )
+                present = [
+                    position
+                    for position, bit in zip(positions, bits_row)
+                    if bit
+                ]
+                # First-cover test: is some earlier event also satisfied?
+                # Event j is satisfied iff e_j appears in every present
+                # transaction (support is already >= min_sup by the
+                # conditioning).  Intersect the present transactions' item
+                # sets once, then test membership.
+                common_items = set(transaction_items[present[0]])
+                for position in present[1:]:
+                    common_items &= transaction_items[position]
+                    if not common_items:
+                        break
+                if not any(item_of_event[j] in common_items for j in range(index)):
+                    successes += 1
 
     estimate = z * successes / n_samples
     return min(estimate, 1.0), n_samples

@@ -311,16 +311,61 @@ class ExtensionEventSystem:
         recursion prunes any branch whose running tidset intersection drops
         below ``min_sup`` (every further conjunction there is 0), which makes
         it practical for the small event counts the miner feeds it.
+
+        On vectorized engines every expansion node is *frontier-batched*:
+        the node's surviving sibling conjunctions come from one
+        ``intersect_many`` (which rides the engine's per-prefix active-word
+        cache), their ``Pr_F`` values from one padded batched support DP,
+        and their absent factors from one stacked gather.  The terms are
+        then accumulated in the exact order the serial recursion would have
+        produced them — same IEEE-754 additions in the same sequence — so
+        the batched and serial paths return bit-identical totals.
         """
         total = 0.0
         events = self.events
-        intersect = self._engine.intersect
+        engine = self._engine
+        min_sup = self.min_sup
+
+        if getattr(engine, "vectorized", False) and events:
+            cache = self._cache
+
+            def recurse_batched(start: int, tidset: Any, depth: int) -> None:
+                nonlocal total
+                intersections = engine.intersect_many(
+                    tidset, [event.tidset for event in events[start:]]
+                )
+                survivors = [
+                    intersection
+                    for intersection in intersections
+                    if len(intersection) >= min_sup
+                ]
+                if not survivors:
+                    return
+                if len(survivors) > 1:
+                    cache.seed_frequent_probabilities(self.base_tidset, survivors)
+                absent_factors = iter(
+                    engine.absent_factors(self.base_tidset, survivors)
+                )
+                for offset, intersection in enumerate(intersections):
+                    if len(intersection) < min_sup:
+                        continue
+                    term = next(absent_factors) * cache.frequent_probability_of_tidset(
+                        intersection
+                    )
+                    if term > 0.0:
+                        total += term if depth % 2 == 0 else -term
+                        recurse_batched(start + offset + 1, intersection, depth + 1)
+
+            recurse_batched(0, self.base_tidset, 0)
+            return min(max(total, 0.0), 1.0)
+
+        intersect = engine.intersect
 
         def recurse(start: int, tidset: Any, depth: int) -> None:
             nonlocal total
             for index in range(start, len(events)):
                 intersection = intersect(tidset, events[index].tidset)
-                if len(intersection) < self.min_sup:
+                if len(intersection) < min_sup:
                     continue
                 term = self._conjunction_from_tidset(intersection)
                 if term > 0.0:

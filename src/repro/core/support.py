@@ -22,7 +22,7 @@ from __future__ import annotations
 
 import math
 import random
-from typing import List, Optional, Sequence
+from typing import Callable, List, Optional, Sequence
 
 import numpy as np
 
@@ -393,8 +393,9 @@ def tail_probability_table(probabilities: Sequence[float], min_sup: int) -> Floa
 def sample_conditional_presence(
     probabilities: Sequence[float],
     min_sup: int,
-    rng: random.Random,
+    rng: Optional[random.Random] = None,
     tail_table: Optional[FloatArray] = None,
+    uniforms: Optional[Sequence[float]] = None,
 ) -> List[bool]:
     """Sample presence bits conditioned on ``sum(bits) >= min_sup``.
 
@@ -403,26 +404,41 @@ def sample_conditional_presence(
     possible world restricted to them, distributed as the unconditioned world
     distribution *given* that the support reaches ``min_sup``.
 
+    The ``j``-th comparison consumes either ``rng.random()`` or
+    ``uniforms[j]`` — passing pre-drawn uniforms is what lets the ApproxFCP
+    estimator share one randomness stream between this serial walk (the
+    tuple-oracle path) and :func:`sample_conditional_presence_batch` (the
+    vectorized path) while staying bit-identical.  Exactly one of ``rng``
+    and ``uniforms`` must be provided.
+
     Raises :class:`ValueError` when the conditioning event has zero
     probability (fewer than ``min_sup`` transactions, or the tail is 0).
     """
     k = len(probabilities)
     if min_sup > k:
         raise ValueError("cannot condition on support >= min_sup with too few rows")
+    if (rng is None) == (uniforms is None):
+        raise ValueError("provide exactly one of rng and uniforms")
     if tail_table is None:
         tail_table = tail_probability_table(probabilities, min_sup)
     if tail_table[0][min_sup] <= 0.0:
         raise ValueError("conditioning event has zero probability")
+    if uniforms is not None:
+        draws = iter(uniforms)
+        draw: Callable[[], float] = lambda: next(draws)  # noqa: E731
+    else:
+        assert rng is not None
+        draw = rng.random
     bits: List[bool] = []
     remaining = min_sup
     for j, probability in enumerate(probabilities):
         if remaining == 0:
             # Condition already satisfied; the rest are plain Bernoulli draws.
-            bits.append(rng.random() < probability)
+            bits.append(draw() < probability)
             continue
         joint_present = probability * tail_table[j + 1][remaining - 1]
         conditional_present = joint_present / tail_table[j][remaining]
-        present = rng.random() < conditional_present
+        present = draw() < conditional_present
         bits.append(present)
         if present:
             remaining -= 1

@@ -7,7 +7,9 @@
 * :mod:`repro.data.gaussian` — per-transaction existence probabilities drawn
   from a clipped Gaussian, the uncertainty-injection procedure of [22] that
   the experiments follow;
-* :mod:`repro.data.io` — plain-text reading/writing of uncertain databases.
+* :mod:`repro.data.io` — plain-text reading/writing of uncertain databases;
+* :mod:`repro.data.columnar` — the zero-copy ``.utdz`` columnar format
+  (memmap-backed, engine-adoptable without copying).
 """
 
 from .clickstream import generate_clickstream
@@ -15,13 +17,23 @@ from .gaussian import attach_gaussian_probabilities
 from .mushroom import generate_mushroom_like
 from .quest import QuestParameters, generate_quest
 from .io import load_uncertain_database, save_uncertain_database
+from .columnar import (
+    ColumnarFormatError,
+    ColumnarUncertainDatabase,
+    load_columnar,
+    save_columnar,
+)
 
 __all__ = [
+    "ColumnarFormatError",
+    "ColumnarUncertainDatabase",
     "QuestParameters",
     "attach_gaussian_probabilities",
     "generate_clickstream",
     "generate_mushroom_like",
     "generate_quest",
+    "load_columnar",
     "load_uncertain_database",
+    "save_columnar",
     "save_uncertain_database",
 ]

@@ -1,0 +1,284 @@
+"""Zero-copy columnar serialization of uncertain databases (``.utdz``).
+
+The text format (:mod:`repro.data.io`) is convenient but every load pays
+Python-per-row parsing; a service worker re-materializing the same dataset
+for every job pays it over and over.  ``.utdz`` stores the database in the
+exact shape the packed-bitmap tidset engine consumes, so a load is one
+``numpy.memmap`` plus a JSON header — the engine adopts the regions without
+copying and transactions/vertical index are materialized lazily only if an
+oracle path (or the fingerprint) asks for them.
+
+Layout (all integers little-endian, regions 64-byte aligned)::
+
+    0       magic  b"UTDZ"
+    4       version uint32              (currently 1)
+    8       header_length uint64
+    16      header JSON (UTF-8): {"format": "utdz", "transactions": n,
+                "words": w, "tids": [...], "items": [...]}
+    ...     zero padding to the next 64-byte boundary
+    A       item matrix — uint64, C-order, shape (len(items), w); row i is
+            the packed transaction bitmap of items[i] (bit t = transaction
+            t contains the item), exactly the matrix
+            :class:`repro.core.tidsets.BitmapTidsetEngine` uses
+    ...     zero padding to the next 64-byte boundary
+    B       probability layout — float64, length w*64; entry t is the
+            existence probability of transaction t, padding entries are 0.0
+            (the engine's padded layout, adopted as-is)
+
+Region offsets are derived from the header length and the shape fields, so
+the header stays self-contained; growing the format means bumping
+``COLUMNAR_VERSION`` and teaching :func:`load_columnar` both versions.
+
+Probabilities round-trip bit-exactly (binary float64, no decimal
+formatting), so ``repro.runtime.fingerprint`` of a text-loaded database and
+of its ``.utdz`` copy are identical — the property the service's
+content-addressed result cache relies on.
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple, Union
+
+import numpy as np
+
+from ..core._types import BoolArray, FloatArray, WordArray
+from ..core.database import Tidset, UncertainDatabase, UncertainTransaction
+from ..core.itemsets import Item, Itemset
+from ..core.tidsets import pack_positions
+
+__all__ = [
+    "COLUMNAR_SUFFIX",
+    "COLUMNAR_VERSION",
+    "ColumnarFormatError",
+    "ColumnarUncertainDatabase",
+    "save_columnar",
+    "load_columnar",
+]
+
+PathLike = Union[str, Path]
+
+COLUMNAR_SUFFIX = ".utdz"
+COLUMNAR_VERSION = 1
+
+_MAGIC = b"UTDZ"
+_PREAMBLE = struct.Struct("<4sIQ")  # magic, version, header length
+_ALIGNMENT = 64
+
+
+class ColumnarFormatError(ValueError):
+    """A ``.utdz`` file is malformed (bad magic, truncated, inconsistent)."""
+
+
+def _align(offset: int) -> int:
+    return (offset + _ALIGNMENT - 1) // _ALIGNMENT * _ALIGNMENT
+
+
+class ColumnarUncertainDatabase(UncertainDatabase):
+    """An :class:`UncertainDatabase` backed by ``.utdz`` memmap regions.
+
+    The packed item matrix and the padded probability layout are the
+    memmapped file regions themselves; the bitmap tidset engine adopts both
+    zero-copy through ``bitmap_parts``.  Row objects, the vertical index
+    and the probability tuple — everything the mining hot path does *not*
+    need — are materialized lazily on first access, which is what makes
+    opening a dataset tens of times cheaper than parsing its text form.
+    """
+
+    def __init__(
+        self,
+        tids: Tuple[str, ...],
+        items: Itemset,
+        matrix: WordArray,
+        probability_layout: FloatArray,
+    ) -> None:
+        # Deliberately does NOT call the parent constructor: the eager
+        # fields it would build are exactly what this class defers.
+        self._tids = tids
+        self._columnar_items = items
+        self._matrix = matrix
+        self._layout = probability_layout
+        self._size = len(tids)
+        self._lazy_bits: Optional[BoolArray] = None
+        self._lazy_transactions: Optional[Tuple[UncertainTransaction, ...]] = None
+        self._lazy_vertical: Optional[Dict[Item, Tidset]] = None
+        self._lazy_probabilities: Optional[Tuple[float, ...]] = None
+        self._probability_array = probability_layout[: self._size]
+        self._item_probability_arrays = {}
+        self._engines = {}
+        self._bitmap_parts = {
+            "matrix": matrix,
+            "probabilities": probability_layout,
+            "offset": 0,
+        }
+
+    # -- lazy views of the eager parent fields -------------------------
+    def __len__(self) -> int:
+        return self._size
+
+    @property
+    def items(self) -> Itemset:
+        return self._columnar_items
+
+    def _unpacked_bits(self) -> BoolArray:
+        """Boolean ``(items, transactions)`` membership matrix (cached)."""
+        if self._lazy_bits is None:
+            bits = np.unpackbits(
+                self._matrix.view(np.uint8), axis=1, bitorder="little"
+            )
+            self._lazy_bits = bits[:, : self._size].astype(bool)
+        return self._lazy_bits
+
+    @property
+    def _transactions(self) -> Tuple[UncertainTransaction, ...]:
+        if self._lazy_transactions is None:
+            bits = self._unpacked_bits()
+            item_array = np.array(self._columnar_items, dtype=object)
+            self._lazy_transactions = tuple(
+                UncertainTransaction(
+                    tid,
+                    tuple(item_array[bits[:, position]].tolist()),
+                    float(self._probability_array[position]),
+                )
+                for position, tid in enumerate(self._tids)
+            )
+        return self._lazy_transactions
+
+    @property
+    def _vertical(self) -> Dict[Item, Tidset]:
+        if self._lazy_vertical is None:
+            bits = self._unpacked_bits()
+            self._lazy_vertical = {
+                item: tuple(np.flatnonzero(bits[row]).tolist())
+                for row, item in enumerate(self._columnar_items)
+            }
+        return self._lazy_vertical
+
+    @property
+    def _probabilities(self) -> Tuple[float, ...]:
+        if self._lazy_probabilities is None:
+            self._lazy_probabilities = tuple(self._probability_array.tolist())
+        return self._lazy_probabilities
+
+
+def _json_safe_items(items: Itemset) -> List[Item]:
+    for item in items:
+        if not isinstance(item, (str, int)):
+            raise ColumnarFormatError(
+                f"columnar format stores str/int items only, got {type(item).__name__}"
+            )
+    return list(items)
+
+
+def save_columnar(database: UncertainDatabase, path: PathLike) -> None:
+    """Write ``database`` as a ``.utdz`` columnar file.
+
+    The item matrix is packed from the vertical index in canonical item
+    order; the probability layout is the engine's padded float64 layout.
+    """
+    path = Path(path)
+    items = database.items
+    size = len(database)
+    n_words = max((size + 63) // 64, 1)
+    matrix = np.zeros((len(items), n_words), dtype=np.uint64)
+    for row, item in enumerate(items):
+        matrix[row] = pack_positions(database.tidset_of_item(item), n_words * 64)
+    layout = np.zeros(n_words * 64, dtype=np.float64)
+    layout[:size] = database.probability_array
+
+    header = {
+        "format": "utdz",
+        "transactions": size,
+        "words": n_words,
+        "tids": [txn.tid for txn in database.transactions],
+        "items": _json_safe_items(items),
+    }
+    header_bytes = json.dumps(header, separators=(",", ":")).encode("utf-8")
+    matrix_offset = _align(_PREAMBLE.size + len(header_bytes))
+    prob_offset = _align(matrix_offset + matrix.nbytes)
+    total = prob_offset + layout.nbytes
+
+    buffer = bytearray(total)
+    _PREAMBLE.pack_into(
+        buffer, 0, _MAGIC, COLUMNAR_VERSION, len(header_bytes)
+    )
+    buffer[_PREAMBLE.size : _PREAMBLE.size + len(header_bytes)] = header_bytes
+    buffer[matrix_offset : matrix_offset + matrix.nbytes] = matrix.tobytes()
+    buffer[prob_offset : prob_offset + layout.nbytes] = layout.tobytes()
+    path.write_bytes(bytes(buffer))
+
+
+def load_columnar(path: PathLike) -> ColumnarUncertainDatabase:
+    """Open a ``.utdz`` file as a memmap-backed database (no copying).
+
+    Raises :class:`ColumnarFormatError` — a ``ValueError`` — with a message
+    naming the file and the defect when the file is not a ``.utdz``, is
+    truncated, or its header is inconsistent with its size.
+    """
+    path = Path(path)
+    file_size = path.stat().st_size
+    if file_size < _PREAMBLE.size:
+        raise ColumnarFormatError(
+            f"{path}: not a .utdz file (only {file_size} bytes, "
+            f"preamble needs {_PREAMBLE.size})"
+        )
+    raw: np.ndarray = np.memmap(path, dtype=np.uint8, mode="r")
+    magic, version, header_length = _PREAMBLE.unpack_from(
+        bytes(raw[: _PREAMBLE.size])
+    )
+    if magic != _MAGIC:
+        raise ColumnarFormatError(f"{path}: not a .utdz file (bad magic {magic!r})")
+    if version != COLUMNAR_VERSION:
+        raise ColumnarFormatError(
+            f"{path}: unsupported .utdz version {version} "
+            f"(this build reads version {COLUMNAR_VERSION})"
+        )
+    header_end = _PREAMBLE.size + header_length
+    if header_end > file_size:
+        raise ColumnarFormatError(
+            f"{path}: truncated .utdz file (header claims {header_length} bytes, "
+            f"file has {file_size})"
+        )
+    try:
+        header = json.loads(bytes(raw[_PREAMBLE.size : header_end]).decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as error:
+        raise ColumnarFormatError(f"{path}: corrupt .utdz header: {error}") from error
+    try:
+        size = int(header["transactions"])
+        n_words = int(header["words"])
+        tids = tuple(str(tid) for tid in header["tids"])
+        items = tuple(header["items"])
+    except (KeyError, TypeError, ValueError) as error:
+        raise ColumnarFormatError(
+            f"{path}: corrupt .utdz header (missing or malformed field): {error}"
+        ) from error
+    if len(tids) != size:
+        raise ColumnarFormatError(
+            f"{path}: corrupt .utdz header ({len(tids)} tids for "
+            f"{size} transactions)"
+        )
+    if n_words < max((size + 63) // 64, 1):
+        raise ColumnarFormatError(
+            f"{path}: corrupt .utdz header ({n_words} words cannot hold "
+            f"{size} transactions)"
+        )
+
+    matrix_offset = _align(header_end)
+    matrix_bytes = len(items) * n_words * 8
+    prob_offset = _align(matrix_offset + matrix_bytes)
+    prob_bytes = n_words * 64 * 8
+    expected = prob_offset + prob_bytes
+    if file_size < expected:
+        raise ColumnarFormatError(
+            f"{path}: truncated .utdz file (expected {expected} bytes, "
+            f"found {file_size})"
+        )
+    matrix = (
+        raw[matrix_offset : matrix_offset + matrix_bytes]
+        .view(np.uint64)
+        .reshape(len(items), n_words)
+    )
+    layout = raw[prob_offset : prob_offset + prob_bytes].view(np.float64)
+    return ColumnarUncertainDatabase(tids, items, matrix, layout)

@@ -48,8 +48,17 @@ def _read_text(path: Path) -> str:
 
 
 def save_uncertain_database(database: UncertainDatabase, path: PathLike) -> None:
-    """Write ``database`` in the ``.utd`` text format (``.gz`` = compressed)."""
+    """Write ``database`` in the ``.utd`` text format (``.gz`` = compressed).
+
+    A ``.utdz`` suffix dispatches to the zero-copy columnar writer
+    (:func:`repro.data.columnar.save_columnar`) instead.
+    """
     path = Path(path)
+    if path.suffix == ".utdz":
+        from .columnar import save_columnar
+
+        save_columnar(database, path)
+        return
     lines = ["# tid\tprobability\titems"]
     for txn in database:
         items = " ".join(str(item) for item in txn.items)
@@ -58,8 +67,17 @@ def save_uncertain_database(database: UncertainDatabase, path: PathLike) -> None
 
 
 def load_uncertain_database(path: PathLike) -> UncertainDatabase:
-    """Read a ``.utd`` file written by :func:`save_uncertain_database`."""
+    """Read a ``.utd`` file written by :func:`save_uncertain_database`.
+
+    A ``.utdz`` suffix dispatches to the memmap-backed columnar loader, so
+    every caller (CLI, service job materialization, tests) opens columnar
+    datasets transparently.
+    """
     path = Path(path)
+    if path.suffix == ".utdz":
+        from .columnar import load_columnar
+
+        return load_columnar(path)
     rows = []
     for line_number, raw in enumerate(_read_text(path).splitlines(), 1):
         line = raw.strip()

@@ -7,7 +7,8 @@ and each is now resolved by *registered name* instead of a hardcoded
 ==========================  ============================================
 Registry                    Built-ins (bootstrap module)
 ==========================  ============================================
-:data:`TIDSET_BACKENDS`     ``"tuple"``, ``"bitmap"``
+:data:`TIDSET_BACKENDS`     ``"tuple"``, ``"bitmap"``,
+                            ``"bitmap-noprefix"``
                             (:mod:`repro.core.tidsets`)
 :data:`UNCERTAINTY_MODELS`  ``"tuple"``, ``"attribute"``
                             (:mod:`repro.uncertain.models`)

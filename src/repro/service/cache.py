@@ -13,6 +13,11 @@ cancelled report), so a hit can always be trusted.  Writes go through a
 temp file + ``os.replace`` so a crash mid-write can never leave a torn
 entry — a torn temp file is invisible, and a reader sees either nothing or
 a whole entry.
+
+The store is size-capped: every ``put`` beyond ``max_entries`` evicts the
+least-recently-used entries (recency is the file mtime, refreshed on every
+hit, so the LRU order survives service restarts).  Evictions are counted
+and surfaced through :meth:`stats` — i.e. through ``/metrics``.
 """
 
 from __future__ import annotations
@@ -22,21 +27,32 @@ import os
 from pathlib import Path
 from typing import Any, Dict, Optional, Union
 
-__all__ = ["ResultCache"]
+__all__ = ["ResultCache", "DEFAULT_MAX_ENTRIES"]
 
 PathLike = Union[str, Path]
 
 _DIGEST_LENGTH = 64  # sha256 hex
 
+#: Default entry cap.  Result documents are small (a few KB of JSON), so
+#: the default bounds the cache directory to a few MB while still covering
+#: far more distinct (database, config) pairs than a service typically sees.
+DEFAULT_MAX_ENTRIES = 1024
+
 
 class ResultCache:
-    """Durable fingerprint-keyed store of completed job results."""
+    """Durable fingerprint-keyed LRU store of completed job results."""
 
-    def __init__(self, root: PathLike) -> None:
+    def __init__(
+        self, root: PathLike, max_entries: int = DEFAULT_MAX_ENTRIES
+    ) -> None:
+        if max_entries < 1:
+            raise ValueError(f"max_entries must be >= 1, got {max_entries}")
         self.root = Path(root)
         self.root.mkdir(parents=True, exist_ok=True)
+        self.max_entries = max_entries
         self.hits = 0
         self.misses = 0
+        self.evictions = 0
 
     def _path(self, digest: str) -> Path:
         if len(digest) != _DIGEST_LENGTH or not all(
@@ -58,14 +74,38 @@ class ResultCache:
             self.misses += 1
             return None
         self.hits += 1
+        try:
+            os.utime(path)  # refresh recency for the LRU order
+        except OSError:
+            pass  # the entry may have raced away; the payload is still good
         return payload
 
     def put(self, digest: str, payload: Dict[str, Any]) -> None:
-        """Atomically store ``payload`` under ``digest`` (last writer wins)."""
+        """Atomically store ``payload`` under ``digest`` (last writer wins),
+        then evict the least-recently-used entries beyond ``max_entries``."""
         path = self._path(digest)
         temp = path.with_suffix(".json.tmp")
         temp.write_text(json.dumps(payload, sort_keys=True), encoding="utf-8")
         os.replace(temp, path)
+        self._evict_over_cap()
+
+    def _evict_over_cap(self) -> None:
+        entries = []
+        for entry in self.root.glob("*.json"):
+            try:
+                entries.append((entry.stat().st_mtime, entry))
+            except OSError:
+                continue  # concurrently removed; nothing to evict
+        excess = len(entries) - self.max_entries
+        if excess <= 0:
+            return
+        entries.sort()
+        for _mtime, entry in entries[:excess]:
+            try:
+                entry.unlink()
+            except OSError:
+                continue
+            self.evictions += 1
 
     def __contains__(self, digest: str) -> bool:
         return self._path(digest).exists()
@@ -74,5 +114,12 @@ class ResultCache:
         return sum(1 for _ in self.root.glob("*.json"))
 
     def stats(self) -> Dict[str, int]:
-        """Hit/miss counters plus the on-disk entry count (for ``/metrics``)."""
-        return {"hits": self.hits, "misses": self.misses, "entries": len(self)}
+        """Hit/miss/eviction counters plus the on-disk entry count and cap
+        (the ``cache`` block of ``/metrics``)."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "entries": len(self),
+            "max_entries": self.max_entries,
+        }

@@ -3,7 +3,10 @@
 One directory per job under ``<data_dir>/jobs/<job_id>/``::
 
     job.json          manifest: state, fingerprint, config, timestamps
-    database.utd      the job's database, materialized at submission
+    database.utdz     the job's database, materialized at submission in the
+                      zero-copy columnar format (workers open it via mmap;
+                      job directories from older versions hold a text
+                      ``database.utd`` instead and keep working)
     checkpoint.jsonl  supervised-runtime branch checkpoint (job durability)
     result.json       the completed SupervisorReport (to_dict form)
 
@@ -17,9 +20,11 @@ cannot drift under it between crash and restart.
 
 Identity: the job's ``fingerprint`` is :func:`repro.runtime.fingerprint`
 computed over the **materialized** database as re-loaded from
-``database.utd`` — the exact bytes a restarted worker will mine — so the
+``database.utdz`` — the exact bytes a restarted worker will mine — so the
 submit-time digest, the checkpoint header, and the result-cache key can
-never disagree.
+never disagree.  The columnar format stores probabilities as binary
+float64, so materialization is lossless and the fingerprint matches the
+submitted database's exactly.
 """
 
 from __future__ import annotations
@@ -85,6 +90,11 @@ class Job:
 
     @property
     def database_path(self) -> Path:
+        """The materialized database: columnar when present, else the text
+        file older job directories were materialized with."""
+        columnar = self.directory / "database.utdz"
+        if columnar.exists():
+            return columnar
         return self.directory / "database.utd"
 
     @property
@@ -202,16 +212,18 @@ class JobStore:
     ) -> Job:
         """Materialize a new job: directory, canonical database, manifest.
 
-        The fingerprint is computed on the database as re-loaded from the
-        materialized ``database.utd`` (see module docstring), then the
-        manifest is durably written in state ``queued``.
+        The database is materialized in the zero-copy columnar format, so
+        the worker (and any restart) opens it via mmap.  The fingerprint is
+        computed on the database as re-loaded from the materialized
+        ``database.utdz`` (see module docstring), then the manifest is
+        durably written in state ``queued``.
         """
         self._sequence += 1
         job_id = f"j{self._sequence:06d}"
         directory = self.jobs_dir / job_id
         directory.mkdir(parents=True)
-        save_uncertain_database(database, directory / "database.utd")
-        canonical = load_uncertain_database(directory / "database.utd")
+        save_uncertain_database(database, directory / "database.utdz")
+        canonical = load_uncertain_database(directory / "database.utdz")
         job = Job(
             id=job_id,
             directory=directory,

@@ -15,7 +15,10 @@ plus the database itself, either inline or by server-side path::
     }
 
 or ``{"database": {"path": "data/mushroom.utd"}}`` for datasets already on
-the service host.  Validation is strict: unknown keys anywhere in the
+the service host — the path may name a text ``.utd``/``.utd.gz`` file or a
+zero-copy columnar ``.utdz`` file (loading dispatches on the suffix, so
+cached jobs and mmap loading compose).  Validation is strict: unknown keys
+anywhere in the
 request are a 400 (``unknown-field``), not silently ignored — a typo'd
 pruning toggle must not silently mine with the default.
 

@@ -177,6 +177,39 @@ class TestGenerateAndInspect:
         assert "4" in output
 
 
+class TestConvertCommand:
+    def test_text_to_columnar_and_back(self, paper_file, tmp_path, capsys):
+        columnar = tmp_path / "paper.utdz"
+        assert main(["convert", paper_file, str(columnar)]) == 0
+        assert "wrote 4 transactions" in capsys.readouterr().out
+        assert columnar.exists()
+        round_trip = tmp_path / "round.utd"
+        assert main(["convert", str(columnar), str(round_trip)]) == 0
+        capsys.readouterr()
+        # The converted file mines identically to the original text file.
+        assert main(["mine", str(columnar), "--min-sup", "2",
+                     "--pfct", "0.8"]) == 0
+        assert "a b c d" in capsys.readouterr().out
+
+    def test_inspect_columnar(self, paper_file, tmp_path, capsys):
+        columnar = tmp_path / "paper.utdz"
+        main(["convert", paper_file, str(columnar)])
+        capsys.readouterr()
+        assert main(["inspect", str(columnar)]) == 0
+        assert "transactions" in capsys.readouterr().out
+
+    def test_corrupt_columnar_reports_error(self, tmp_path, capsys):
+        broken = tmp_path / "broken.utdz"
+        broken.write_bytes(b"not a columnar file at all")
+        assert main(["mine", str(broken), "--min-sup", "2"]) == 2
+        assert "not a .utdz file" in capsys.readouterr().err
+
+    def test_missing_input_reports_error(self, tmp_path, capsys):
+        assert main(["convert", str(tmp_path / "nope.utd"),
+                     str(tmp_path / "out.utdz")]) == 2
+        assert capsys.readouterr().err
+
+
 class TestExperimentsCommand:
     def test_runs_selected_tables(self, capsys):
         assert main(["experiments", "--scale", "ci", "--only", "table7"]) == 0

@@ -1,0 +1,176 @@
+"""The ``.utdz`` zero-copy columnar format: round-trips, identity, failure.
+
+Three contracts matter:
+
+* **Round-trip** — a columnar save/load describes the identical database as
+  the text parse it came from: same transactions, same items, and
+  bit-exact float64 probabilities (the text format rounds to decimal
+  digits; the columnar format must not lose anything *further*).
+* **Identity** — ``repro.runtime.fingerprint`` is computed over database
+  contents, so a text load and a columnar load of the same data must hash
+  identically; that equality is what lets the service's content-addressed
+  result cache serve jobs regardless of which format materialized them.
+* **Failure** — a damaged file must fail loudly with a
+  :class:`ColumnarFormatError` naming the file and the defect, never
+  produce a silently-wrong database.
+"""
+
+from __future__ import annotations
+
+import pickle
+
+import pytest
+
+from repro.core.config import MinerConfig
+from repro.core.database import UncertainDatabase, paper_table2_database
+from repro.core.miner import MPFCIMiner
+from repro.data import (
+    ColumnarFormatError,
+    ColumnarUncertainDatabase,
+    load_columnar,
+    save_columnar,
+)
+from repro.data.columnar import _PREAMBLE
+from repro.data.io import load_uncertain_database, save_uncertain_database
+from repro.runtime.checkpoint import database_sha256, fingerprint
+
+
+@pytest.fixture
+def database() -> UncertainDatabase:
+    return paper_table2_database()
+
+
+def assert_same_database(left: UncertainDatabase, right: UncertainDatabase):
+    assert len(left) == len(right)
+    assert left.items == right.items
+    for a, b in zip(left.transactions, right.transactions):
+        assert a.tid == b.tid
+        assert tuple(a.items) == tuple(b.items)
+        assert a.probability == b.probability  # bit-exact, not approx
+
+
+class TestRoundTrip:
+    def test_columnar_matches_text_parse(self, database, tmp_path):
+        text_path = tmp_path / "db.utd"
+        columnar_path = tmp_path / "db.utdz"
+        save_uncertain_database(database, text_path)
+        parsed = load_uncertain_database(text_path)
+        save_columnar(parsed, columnar_path)
+        loaded = load_columnar(columnar_path)
+        assert isinstance(loaded, ColumnarUncertainDatabase)
+        assert_same_database(parsed, loaded)
+
+    def test_io_dispatch_on_suffix(self, database, tmp_path):
+        path = tmp_path / "db.utdz"
+        save_uncertain_database(database, path)
+        loaded = load_uncertain_database(path)
+        assert isinstance(loaded, ColumnarUncertainDatabase)
+        assert_same_database(database, loaded)
+
+    def test_load_is_lazy(self, database, tmp_path):
+        path = tmp_path / "db.utdz"
+        save_columnar(database, path)
+        loaded = load_columnar(path)
+        # Opening the file must not materialize any per-row structure; the
+        # load-time win the format exists for is exactly this.
+        assert loaded._lazy_transactions is None
+        assert loaded._lazy_vertical is None
+        assert loaded._lazy_probabilities is None
+        # Building the bitmap engine adopts the memmap regions directly and
+        # must not force the lazy fields either.
+        loaded.tidset_engine("bitmap")
+        assert loaded._lazy_vertical is None
+
+    def test_pickle_round_trip(self, database, tmp_path):
+        path = tmp_path / "db.utdz"
+        save_columnar(database, path)
+        loaded = load_columnar(path)
+        clone = pickle.loads(pickle.dumps(loaded))
+        assert_same_database(loaded, clone)
+        assert database_sha256(clone) == database_sha256(database)
+
+    def test_mining_parity_from_columnar(self, database, tmp_path):
+        path = tmp_path / "db.utdz"
+        save_columnar(database, path)
+        loaded = load_columnar(path)
+        for backend in ("tuple", "bitmap"):
+            config = MinerConfig(min_sup=2, tidset_backend=backend)
+            direct = MPFCIMiner(database, config).mine()
+            columnar = MPFCIMiner(loaded, config).mine()
+            assert [r.itemset for r in direct] == [r.itemset for r in columnar]
+            assert [r.probability for r in direct] == [
+                r.probability for r in columnar
+            ]
+
+
+class TestFingerprintIdentity:
+    def test_fingerprint_identical_across_text_and_columnar(
+        self, database, tmp_path
+    ):
+        text_path = tmp_path / "db.utd"
+        columnar_path = tmp_path / "db.utdz"
+        save_uncertain_database(database, text_path)
+        parsed = load_uncertain_database(text_path)
+        save_uncertain_database(parsed, columnar_path)
+        columnar = load_uncertain_database(columnar_path)
+        config = MinerConfig(min_sup=2)
+        assert fingerprint(parsed, config) == fingerprint(columnar, config)
+        assert database_sha256(parsed) == database_sha256(columnar)
+
+    def test_columnar_save_is_lossless(self, database, tmp_path):
+        # Unlike the text format (decimal rounding), columnar round-trips
+        # the in-memory database's float64 probabilities bit-exactly.
+        path = tmp_path / "db.utdz"
+        save_columnar(database, path)
+        assert database_sha256(load_columnar(path)) == database_sha256(database)
+
+
+class TestCorruptFiles:
+    def _valid_bytes(self, database, tmp_path) -> bytes:
+        path = tmp_path / "valid.utdz"
+        save_columnar(database, path)
+        return path.read_bytes()
+
+    def _expect_error(self, tmp_path, payload: bytes, match: str):
+        path = tmp_path / "broken.utdz"
+        path.write_bytes(payload)
+        with pytest.raises(ColumnarFormatError, match=match) as excinfo:
+            load_columnar(path)
+        # The message must name the offending file.
+        assert "broken.utdz" in str(excinfo.value)
+
+    def test_too_short_for_preamble(self, tmp_path):
+        self._expect_error(tmp_path, b"UT", match="not a .utdz file")
+
+    def test_bad_magic(self, database, tmp_path):
+        payload = bytearray(self._valid_bytes(database, tmp_path))
+        payload[:4] = b"NOPE"
+        self._expect_error(tmp_path, bytes(payload), match="bad magic")
+
+    def test_unsupported_version(self, database, tmp_path):
+        payload = bytearray(self._valid_bytes(database, tmp_path))
+        payload[4:8] = (99).to_bytes(4, "little")
+        self._expect_error(
+            tmp_path, bytes(payload), match="unsupported .utdz version 99"
+        )
+
+    def test_header_longer_than_file(self, database, tmp_path):
+        payload = bytearray(self._valid_bytes(database, tmp_path))
+        payload[8:16] = (10**9).to_bytes(8, "little")
+        self._expect_error(tmp_path, bytes(payload), match="header claims")
+
+    def test_corrupt_header_json(self, database, tmp_path):
+        payload = bytearray(self._valid_bytes(database, tmp_path))
+        payload[_PREAMBLE.size] = ord("!")  # break the JSON object
+        self._expect_error(tmp_path, bytes(payload), match="corrupt .utdz header")
+
+    def test_truncated_regions(self, database, tmp_path):
+        payload = self._valid_bytes(database, tmp_path)
+        self._expect_error(
+            tmp_path, payload[: len(payload) // 2], match="truncated .utdz file"
+        )
+
+    def test_text_file_with_wrong_suffix(self, database, tmp_path):
+        text = tmp_path / "db.utd"
+        save_uncertain_database(database, text)
+        self._expect_error(tmp_path, text.read_bytes(), match="not a .utdz file")

@@ -182,7 +182,7 @@ class TestKillMinus9Durability:
             # Bit-identical to an uninterrupted run over the *materialized*
             # database (the exact bytes the job mined).
             database = load_uncertain_database(
-                tmp_path / "jobs" / job_id / "database.utd"
+                tmp_path / "jobs" / job_id / "database.utdz"
             )
             reference = run_supervised(
                 database, MinerConfig(**body["config"]), processes=1

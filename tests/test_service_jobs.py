@@ -49,7 +49,13 @@ class TestResultCache:
         assert cache.get(DIGEST) is None
         cache.put(DIGEST, {"results": [1, 2]})
         assert cache.get(DIGEST) == {"results": [1, 2]}
-        assert cache.stats() == {"hits": 1, "misses": 1, "entries": 1}
+        assert cache.stats() == {
+            "hits": 1,
+            "misses": 1,
+            "evictions": 0,
+            "entries": 1,
+            "max_entries": cache.max_entries,
+        }
 
     def test_contains_and_len(self, tmp_path):
         cache = ResultCache(tmp_path)
