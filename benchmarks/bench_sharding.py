@@ -1,0 +1,63 @@
+"""Sharded-runtime overhead: scan + merge + supervised mine vs serial.
+
+The sharded pipeline buys failure isolation with two extra phases (per-
+shard scans and the merged candidate screen); this measures what those
+phases cost at CI scale and asserts the two things that must stay true:
+bit-identical results at every shard count, and scan/merge overhead that
+stays a modest fraction of total mining time rather than dominating it.
+"""
+
+import random
+
+import pytest
+
+from repro.core.config import MinerConfig
+from repro.core.miner import MPFCIMiner
+from repro.core.stats import MiningStats
+from repro.runtime import mine_pfci_sharded
+
+from tests.strategies.databases import random_uncertain_database
+
+from .conftest import run_once
+
+
+def _database():
+    return random_uncertain_database(random.Random(61), rows=256, items="abcdef")
+
+
+def _config():
+    return MinerConfig(min_sup=30, pfct=0.5, exact_event_limit=12, seed=7)
+
+
+def test_serial_reference(benchmark):
+    database, config = _database(), _config()
+    results = run_once(benchmark, lambda: MPFCIMiner(database, config).mine())
+    benchmark.extra_info["results"] = len(results)
+    assert results
+
+
+@pytest.mark.parametrize("num_shards", [1, 2, 4])
+def test_sharded_mining(benchmark, num_shards):
+    database, config = _database(), _config()
+    serial = MPFCIMiner(database, config).mine()
+    stats = MiningStats()
+
+    def run():
+        stats.__init__()
+        return mine_pfci_sharded(
+            database, config, num_shards, processes=2, stats=stats
+        )
+
+    results = run_once(benchmark, run)
+    assert results == serial  # bit-identical at every shard count
+    total = stats.shard_scan_seconds + stats.shard_merge_seconds
+    benchmark.extra_info["shards"] = num_shards
+    benchmark.extra_info["scan_seconds"] = round(stats.shard_scan_seconds, 4)
+    benchmark.extra_info["merge_seconds"] = round(stats.shard_merge_seconds, 4)
+    # The merge itself is arithmetic over per-item vectors; it must stay
+    # far below a second at CI scale or the failure-domain machinery has
+    # started taxing every healthy run.
+    assert stats.shard_merge_seconds < 1.0, (
+        f"merge phase took {stats.shard_merge_seconds:.3f}s at CI scale"
+    )
+    assert total < 30.0

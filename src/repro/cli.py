@@ -10,6 +10,10 @@ Subcommands:
   (Table VIII-style);
 * ``convert``     — rewrite a dataset between the ``.utd`` text format and
   the zero-copy columnar ``.utdz`` format (dispatch is by suffix);
+* ``shard``       — split a dataset into 64-aligned ``.utdz`` row-range
+  shards plus a ``.shards.json`` manifest; ``mine`` accepts the manifest
+  directly and treats each shard as a supervised failure domain
+  (``--shards`` / ``--shard-policy``, see docs/robustness.md);
 * ``experiments`` — regenerate the paper's tables and figures (delegates to
   :mod:`repro.eval.experiments`);
 * ``stream-mine`` — replay a ``.utd`` file through a sliding window and
@@ -35,6 +39,7 @@ from .data.quest import QuestParameters, generate_quest
 from .eval.reporting import format_table
 from .registry import (
     DEGRADATION_POLICIES,
+    SHARD_LOSS_POLICIES,
     TIDSET_BACKENDS,
     UNION_LOWER_BOUNDS,
     UNION_UPPER_BOUNDS,
@@ -147,6 +152,23 @@ def _add_mine_parser(subparsers) -> None:
         "inline fallback (default 2)",
     )
     parser.add_argument(
+        "--shards",
+        type=int,
+        default=None,
+        metavar="N",
+        help="split the database into N row-range shards and mine each as a "
+        "supervised failure domain (dfs framework only); a .shards.json "
+        "input implies this and fixes the partition",
+    )
+    parser.add_argument(
+        "--shard-policy",
+        choices=SHARD_LOSS_POLICIES.names(),
+        default=None,
+        help="what to do when a shard exhausts every recovery path: "
+        "fail-strict aborts the run, degrade-bounds continues on the "
+        "survivors and reports certified bounds (default fail-strict)",
+    )
+    parser.add_argument(
         "--exact-check-budget",
         type=int,
         default=None,
@@ -251,6 +273,25 @@ def _add_convert_parser(subparsers) -> None:
     )
 
 
+def _add_shard_parser(subparsers) -> None:
+    parser = subparsers.add_parser(
+        "shard",
+        help="split a dataset into .utdz row-range shards plus a manifest",
+    )
+    parser.add_argument("input", help="source dataset (.utd, .utd.gz or .utdz)")
+    parser.add_argument(
+        "output_dir", help="directory the shard files and manifest are written into"
+    )
+    parser.add_argument(
+        "--shards", type=int, required=True, metavar="N",
+        help="number of shards (clamped to the number of 64-row blocks)",
+    )
+    parser.add_argument(
+        "--stem", default="shard",
+        help="shard filename stem (writes <stem>.NN.utdz + <stem>.shards.json)",
+    )
+
+
 def _add_experiments_parser(subparsers) -> None:
     parser = subparsers.add_parser(
         "experiments", help="regenerate the paper's tables and figures"
@@ -300,10 +341,36 @@ def _error(message: str) -> int:
 
 
 def _command_mine(args: argparse.Namespace) -> int:
-    try:
-        database = load_uncertain_database(args.input)
-    except (OSError, ValueError) as error:
-        return _error(str(error))
+    manifest_input = args.input.endswith(".shards.json")
+    sharded = (
+        args.shards is not None or args.shard_policy is not None or manifest_input
+    )
+    if manifest_input and args.shards is not None:
+        return _error(
+            "--shards cannot be combined with a .shards.json input "
+            "(the manifest already fixes the partition)"
+        )
+    if args.shards is not None and args.shards < 1:
+        return _error("--shards must be >= 1")
+    shards = None
+    if manifest_input:
+        # The manifest alone identifies the run; the shard files themselves
+        # are only opened shard-by-shard, so a lost shard goes through the
+        # shard-loss policy instead of failing the load up front.
+        from .runtime import ShardSet
+
+        try:
+            shards = ShardSet.from_manifest(args.input)
+        except (OSError, ValueError) as error:
+            return _error(str(error))
+        database = None
+        database_size = shards.total_transactions
+    else:
+        try:
+            database = load_uncertain_database(args.input)
+        except (OSError, ValueError) as error:
+            return _error(str(error))
+        database_size = len(database)
     try:
         if args.min_sup is not None:
             config = MinerConfig(
@@ -315,7 +382,7 @@ def _command_mine(args: argparse.Namespace) -> int:
             )
         else:
             config = MinerConfig.with_relative_min_sup(
-                len(database),
+                database_size,
                 args.min_sup_ratio,
                 pfct=args.pfct,
                 epsilon=args.epsilon,
@@ -345,14 +412,17 @@ def _command_mine(args: argparse.Namespace) -> int:
             ("--resume", args.resume),
             ("--branch-timeout", args.branch_timeout),
             ("--max-retries", args.max_retries),
+            ("--shards", args.shards),
+            ("--shard-policy", args.shard_policy),
         )
         if value is not None
     ]
-    supervised = any(flag != "--processes" for flag in dfs_only_flags)
-    if dfs_only_flags and args.framework != "dfs":
-        verb = "is" if len(dfs_only_flags) == 1 else "are"
+    supervised = any(flag != "--processes" for flag in dfs_only_flags) or sharded
+    if (dfs_only_flags or sharded) and args.framework != "dfs":
+        names = dfs_only_flags or ["sharded mining (.shards.json input)"]
+        verb = "is" if len(names) == 1 else "are"
         print(
-            f"{'/'.join(dfs_only_flags)} {verb} only supported with "
+            f"{'/'.join(names)} {verb} only supported with "
             "--framework dfs",
             file=sys.stderr,
         )
@@ -360,7 +430,60 @@ def _command_mine(args: argparse.Namespace) -> int:
     if args.processes is not None and args.processes < 1:
         print("--processes must be >= 1", file=sys.stderr)
         return 2
-    if supervised:
+    if sharded:
+        from .runtime import (
+            CheckpointError,
+            ShardLossError,
+            ShardSet,
+            SupervisorConfig,
+            run_sharded,
+        )
+
+        try:
+            supervisor = SupervisorConfig(
+                branch_timeout_seconds=args.branch_timeout,
+                max_retries=args.max_retries if args.max_retries is not None else 2,
+            )
+        except ValueError as error:
+            return _error(str(error))
+        if shards is None:
+            shards = ShardSet.from_database(database, args.shards or 1)
+        try:
+            report = run_sharded(
+                shards,
+                config,
+                processes=args.processes,
+                supervisor=supervisor,
+                shard_policy=args.shard_policy or "fail-strict",
+                checkpoint_path=args.resume or args.checkpoint,
+                resume_from_checkpoint=args.resume is not None,
+            )
+        except (OSError, CheckpointError, ShardLossError) as error:
+            return _error(str(error))
+        results = report.results
+        stats = report.stats
+        for index, reason in sorted(report.lost_shards.items()):
+            print(f"warning: shard {index} lost: {reason}", file=sys.stderr)
+        if report.degraded:
+            print(
+                f"warning: {len(report.lost_shards)} shard(s) lost; results "
+                "cover the surviving shards only and carry certified "
+                "support/frequency bounds (provenance shard-degraded)",
+                file=sys.stderr,
+            )
+        for outcome in report.failed:
+            print(
+                f"warning: branch {outcome.rank} ({outcome.item!r}) failed "
+                f"after {outcome.attempts} attempt(s): {outcome.error}",
+                file=sys.stderr,
+            )
+        if report.failed:
+            print(
+                f"warning: {len(report.failed)} branch(es) failed; "
+                "results are partial",
+                file=sys.stderr,
+            )
+    elif supervised:
         from .runtime import CheckpointError, SupervisorConfig, run_supervised
 
         try:
@@ -616,6 +739,36 @@ def _command_convert(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_shard(args: argparse.Namespace) -> int:
+    if args.shards < 1:
+        return _error("--shards must be >= 1")
+    try:
+        database = load_uncertain_database(args.input)
+    except (OSError, ValueError) as error:
+        return _error(str(error))
+    from .data.columnar import save_shards
+
+    try:
+        manifest_path = save_shards(
+            database, args.output_dir, args.shards, stem=args.stem
+        )
+    except (OSError, ValueError) as error:
+        return _error(str(error))
+    from .data.columnar import load_shard_manifest
+
+    manifest = load_shard_manifest(manifest_path)
+    print(
+        f"wrote {len(manifest['shards'])} shard(s) covering "
+        f"{len(database)} transactions; manifest: {manifest_path}"
+    )
+    for entry in manifest["shards"]:
+        print(
+            f"  shard {entry['index']}: rows [{entry['start']}, "
+            f"{entry['stop']}) -> {entry['path']}"
+        )
+    return 0
+
+
 def _command_experiments(args: argparse.Namespace) -> int:
     from .eval.experiments import ExperimentScale, iter_reports, set_default_tidset_backend
 
@@ -660,6 +813,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     _add_generate_parser(subparsers)
     _add_inspect_parser(subparsers)
     _add_convert_parser(subparsers)
+    _add_shard_parser(subparsers)
     _add_experiments_parser(subparsers)
     _add_serve_parser(subparsers)
     args = parser.parse_args(argv)
@@ -669,6 +823,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "generate": _command_generate,
         "inspect": _command_inspect,
         "convert": _command_convert,
+        "shard": _command_shard,
         "experiments": _command_experiments,
         "serve": _command_serve,
     }

@@ -33,7 +33,7 @@ from __future__ import annotations
 import random
 import time
 from dataclasses import dataclass
-from typing import Any, Callable, Dict, List, Optional, Sequence
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from ..registry import DEGRADATION_POLICIES
 from .approx import approx_union_probability
@@ -70,7 +70,17 @@ class ProbabilisticFrequentClosedItemset:
             inclusion–exclusion check was abandoned for the sampling
             estimator because a :class:`~repro.core.config.MinerConfig`
             check budget/deadline was exceeded (``method`` still records
-            which estimator ran; see ``docs/robustness.md``).
+            which estimator ran; see ``docs/robustness.md``), or
+            ``"shard-degraded"`` when a sharded run lost one or more shards
+            under the ``degrade-bounds`` loss policy and the result is a
+            bound computed from the surviving shards only.
+        frequency_bounds: certified ``[lower, upper]`` interval on ``Pr_F``
+            under shard loss; only set with ``"shard-degraded"``
+            provenance, where ``frequent_probability`` holds the lower end.
+        support_bounds: certified ``[lower, upper]`` interval on the
+            itemset's *expected support* under shard loss; only set with
+            ``"shard-degraded"`` provenance (each lost shard can contribute
+            at most its transaction count).
     """
 
     itemset: Itemset
@@ -80,13 +90,15 @@ class ProbabilisticFrequentClosedItemset:
     method: str
     frequent_probability: float
     provenance: str = "exact"
+    frequency_bounds: Optional[Tuple[float, float]] = None
+    support_bounds: Optional[Tuple[float, float]] = None
 
     def __str__(self) -> str:
         return f"{{{', '.join(map(str, self.itemset))}}}: {self.probability:.4f}"
 
     def to_dict(self) -> Dict[str, Any]:
         """JSON-friendly form (items stringified), used by the CLI and harness."""
-        return {
+        payload = {
             "itemset": [str(item) for item in self.itemset],
             "probability": self.probability,
             "lower": self.lower,
@@ -95,6 +107,11 @@ class ProbabilisticFrequentClosedItemset:
             "frequent_probability": self.frequent_probability,
             "provenance": self.provenance,
         }
+        if self.frequency_bounds is not None:
+            payload["frequency_bounds"] = list(self.frequency_bounds)
+        if self.support_bounds is not None:
+            payload["support_bounds"] = list(self.support_bounds)
+        return payload
 
 
 class MPFCIMiner:

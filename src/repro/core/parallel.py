@@ -45,7 +45,9 @@ class BranchTask(NamedTuple):
 
 
 def plan_root_branches(
-    database: UncertainDatabase, config: MinerConfig
+    database: UncertainDatabase,
+    config: MinerConfig,
+    candidates: Optional[List[Item]] = None,
 ) -> Tuple[List[BranchTask], MiningStats]:
     """Run phase 1 (candidate filtering) once and split the root branches.
 
@@ -55,7 +57,19 @@ def plan_root_branches(
     plain parallel driver and the supervised runtime
     (:mod:`repro.runtime.supervisor`) start from this plan, so their branch
     decomposition is identical by construction.
+
+    ``candidates`` short-circuits the filtering: the sharded runtime
+    (:mod:`repro.runtime.sharding`) recomputes the identical candidate list
+    from merged per-shard scans and passes it here, so the branch split —
+    item order, extension suffixes, ranks — is byte-for-byte the one an
+    unsharded planner would produce, without re-reading the database.
     """
+    if candidates is not None:
+        tasks = [
+            BranchTask(item, tuple(candidates[position + 1 :]), position)
+            for position, item in enumerate(candidates)
+        ]
+        return tasks, MiningStats()
     planner = MPFCIMiner(database, config)
     planner_started = time.perf_counter()
     engine_before = planner._engine.counters()

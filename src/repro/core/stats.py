@@ -111,12 +111,23 @@ class MiningStats:
     branches_cancelled: int = 0
     checkpoint_branches_written: int = 0
     checkpoint_branches_skipped: int = 0
+    # --- sharded runtime (repro.runtime.sharding) ------------------------
+    shards_planned: int = 0
+    shards_scanned: int = 0
+    shards_lost: int = 0
+    shard_retries: int = 0
+    shard_timeouts: int = 0
+    shards_recovered_inline: int = 0
+    checkpoint_shards_written: int = 0
+    checkpoint_shards_skipped: int = 0
     # --- results and wall-clock ----------------------------------------
     results_emitted: int = 0
     elapsed_seconds: float = 0.0
     candidate_phase_seconds: float = 0.0
     search_phase_seconds: float = 0.0
     check_phase_seconds: float = 0.0
+    shard_scan_seconds: float = 0.0
+    shard_merge_seconds: float = 0.0
 
     def merge(self, other: "MiningStats") -> None:
         """Accumulate another run's counters into this one.
@@ -258,11 +269,21 @@ class MiningStats:
                 "degraded_by_budget": self.degraded_by_budget,
                 "degraded_by_deadline": self.degraded_by_deadline,
                 "degraded_by_policy": self.degraded_by_policy,
+                "shards_planned": self.shards_planned,
+                "shards_scanned": self.shards_scanned,
+                "shards_lost": self.shards_lost,
+                "shard_retries": self.shard_retries,
+                "shard_timeouts": self.shard_timeouts,
+                "shards_recovered_inline": self.shards_recovered_inline,
+                "checkpoint_shards_written": self.checkpoint_shards_written,
+                "checkpoint_shards_skipped": self.checkpoint_shards_skipped,
             },
             "phases": {
                 "candidate_seconds": self.candidate_phase_seconds,
                 "search_seconds": self.search_phase_seconds,
                 "check_seconds": self.check_phase_seconds,
+                "shard_scan_seconds": self.shard_scan_seconds,
+                "shard_merge_seconds": self.shard_merge_seconds,
                 "total_seconds": self.elapsed_seconds,
             },
         }

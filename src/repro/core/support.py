@@ -29,6 +29,7 @@ import numpy as np
 from ._types import BoolArray, FloatArray
 
 __all__ = [
+    "capped_support_pmf",
     "frequent_probability",
     "frequent_probability_python",
     "frequent_probability_masked_batch",
@@ -37,6 +38,7 @@ __all__ = [
     "support_pmf",
     "pmf_add",
     "pmf_remove",
+    "pmf_tail_convolve",
     "PMFStabilityError",
     "expected_support",
     "support_variance",
@@ -241,6 +243,75 @@ def frequent_probability(probabilities: Sequence[float], min_sup: int) -> float:
         # prolint: ignore[FSUM-REDUCE] DP transition, not a reduction.
         state[min_sup] += cap_mass * probability
     return float(state[min_sup])
+
+
+def capped_support_pmf(probabilities: Sequence[float], cap: int) -> FloatArray:
+    """Tail-capped support PMF: ``out[s] = Pr[min(support, cap) = s]``.
+
+    This is the *full state vector* of the :func:`frequent_probability` DP —
+    exact mass at every count below ``cap`` plus the absorbed tail mass at
+    ``cap`` — computed with the identical scalar transition in the identical
+    order, so ``capped_support_pmf(p, m)[m] == frequent_probability(p, m)``
+    bit-for-bit whenever ``m <= len(p)``.
+
+    Shard workers return this vector per item: capped PMFs over *disjoint*
+    transaction sets compose under :func:`pmf_tail_convolve`, which is what
+    lets a merge phase reconstruct a global ``Pr_F`` from per-shard scans
+    without shipping full probability vectors twice.
+    """
+    if cap < 0:
+        raise ValueError(f"cap must be >= 0, got {cap}")
+    _validate_probabilities(probabilities)
+    state = [0.0] * (cap + 1)
+    state[0] = 1.0
+    if cap == 0:
+        return np.ones(1)
+    for probability in probabilities:
+        absent = 1.0 - probability
+        cap_mass = state[cap]
+        for count in range(cap, 0, -1):
+            state[count] = state[count] * absent + state[count - 1] * probability
+        state[0] *= absent
+        # prolint: ignore[FSUM-REDUCE] DP transition on a cell, not a reduction
+        state[cap] += cap_mass * probability
+    return np.asarray(state, dtype=np.float64)
+
+
+def pmf_tail_convolve(first: Sequence[float], second: Sequence[float]) -> FloatArray:
+    """Convolve two tail-capped support PMFs over disjoint transaction sets.
+
+    Both inputs must be :func:`capped_support_pmf` vectors with the same
+    ``cap`` (length ``cap + 1``, last cell = absorbed ``>= cap`` mass).  The
+    result is the capped PMF of the union: below the cap the counts add like
+    an ordinary convolution, and the cap cell collects every combination
+    whose total reaches ``cap`` — including anything already absorbed on
+    either side.  Mathematically exact over disjoint row sets (independence);
+    each output cell is an :func:`math.fsum` reduction, so the result agrees
+    with the direct DP over the concatenated probabilities to within a few
+    ulps (the sharded-mining merge asserts this as a self-check rather than
+    relying on it bit-for-bit — the DP's sequential rounding differs).
+    """
+    a = np.asarray(first, dtype=np.float64)
+    b = np.asarray(second, dtype=np.float64)
+    if a.shape != b.shape or a.ndim != 1 or len(a) < 1:
+        raise ValueError(
+            f"capped PMFs must share one shape (cap+1,), got {a.shape} and {b.shape}"
+        )
+    cap = len(a) - 1
+    out = np.zeros(cap + 1)
+    for total in range(cap):
+        out[total] = math.fsum(
+            a[i] * b[total - i] for i in range(total + 1)
+        )
+    # Everything not strictly below the cap lands on the cap: pairs whose
+    # exact counts sum past it, plus any mass either side already absorbed.
+    out[cap] = math.fsum(
+        a[i] * b[j]
+        for i in range(cap + 1)
+        for j in range(cap + 1)
+        if i + j >= cap
+    )
+    return out
 
 
 def frequent_probability_padded_batch(

@@ -38,9 +38,10 @@ content-addressed result cache relies on.
 from __future__ import annotations
 
 import json
+import os
 import struct
 from pathlib import Path
-from typing import Dict, List, Optional, Tuple, Union
+from typing import Any, Dict, List, Optional, Tuple, Union
 
 import numpy as np
 
@@ -52,16 +53,30 @@ from ..core.tidsets import pack_positions
 __all__ = [
     "COLUMNAR_SUFFIX",
     "COLUMNAR_VERSION",
+    "SHARD_MANIFEST_SUFFIX",
+    "SHARD_ROW_ALIGNMENT",
     "ColumnarFormatError",
     "ColumnarUncertainDatabase",
     "save_columnar",
     "load_columnar",
+    "load_shard_manifest",
+    "save_shards",
+    "shard_ranges",
 ]
 
 PathLike = Union[str, Path]
 
 COLUMNAR_SUFFIX = ".utdz"
 COLUMNAR_VERSION = 1
+
+#: Suffix of shard manifests written by :func:`save_shards`.
+SHARD_MANIFEST_SUFFIX = ".shards.json"
+SHARD_MANIFEST_VERSION = 1
+
+#: Row-range shards start on multiples of 64 transactions, so a shard of a
+#: packed ``.utdz`` matrix is a pure *word-column* slice — the distributed
+#: split is a file-copy, never a re-pack.
+SHARD_ROW_ALIGNMENT = 64
 
 _MAGIC = b"UTDZ"
 _PREAMBLE = struct.Struct("<4sIQ")  # magic, version, header length
@@ -172,27 +187,48 @@ def _json_safe_items(items: Itemset) -> List[Item]:
     return list(items)
 
 
-def save_columnar(database: UncertainDatabase, path: PathLike) -> None:
-    """Write ``database`` as a ``.utdz`` columnar file.
+def _atomic_write_bytes(path: Path, data: bytes) -> None:
+    """Write ``data`` to ``path`` atomically: temp file + fsync + rename.
 
-    The item matrix is packed from the vertical index in canonical item
-    order; the probability layout is the engine's padded float64 layout.
+    A crash mid-write (power loss, kill -9, ``ENOSPC``) can never leave a
+    truncated file at ``path`` — readers see either the previous contents or
+    the complete new ones.  The temp file lives in the same directory so the
+    ``os.replace`` stays on one filesystem; the directory entry is fsynced
+    best-effort afterwards so the rename itself is durable too.
     """
-    path = Path(path)
-    items = database.items
-    size = len(database)
-    n_words = max((size + 63) // 64, 1)
-    matrix = np.zeros((len(items), n_words), dtype=np.uint64)
-    for row, item in enumerate(items):
-        matrix[row] = pack_positions(database.tidset_of_item(item), n_words * 64)
-    layout = np.zeros(n_words * 64, dtype=np.float64)
-    layout[:size] = database.probability_array
+    temp = path.with_name(path.name + ".tmp")
+    try:
+        with open(temp, "wb") as handle:
+            handle.write(data)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(temp, path)
+    except BaseException:
+        temp.unlink(missing_ok=True)
+        raise
+    try:
+        directory_fd = os.open(path.parent, os.O_RDONLY)
+    except OSError:
+        return
+    try:
+        os.fsync(directory_fd)
+    except OSError:
+        pass
+    finally:
+        os.close(directory_fd)
 
+
+def _assemble_utdz(
+    tids: Tuple[str, ...], items: Itemset, matrix: WordArray, layout: FloatArray
+) -> bytes:
+    """Assemble the ``.utdz`` byte image from already-built regions."""
+    size = len(tids)
+    n_words = matrix.shape[1] if matrix.size else max((size + 63) // 64, 1)
     header = {
         "format": "utdz",
         "transactions": size,
         "words": n_words,
-        "tids": [txn.tid for txn in database.transactions],
+        "tids": list(tids),
         "items": _json_safe_items(items),
     }
     header_bytes = json.dumps(header, separators=(",", ":")).encode("utf-8")
@@ -207,7 +243,206 @@ def save_columnar(database: UncertainDatabase, path: PathLike) -> None:
     buffer[_PREAMBLE.size : _PREAMBLE.size + len(header_bytes)] = header_bytes
     buffer[matrix_offset : matrix_offset + matrix.nbytes] = matrix.tobytes()
     buffer[prob_offset : prob_offset + layout.nbytes] = layout.tobytes()
-    path.write_bytes(bytes(buffer))
+    return bytes(buffer)
+
+
+def _pack_database(database: UncertainDatabase) -> Tuple[WordArray, FloatArray]:
+    """Pack a database into the ``.utdz`` matrix + probability regions."""
+    items = database.items
+    size = len(database)
+    n_words = max((size + 63) // 64, 1)
+    matrix = np.zeros((len(items), n_words), dtype=np.uint64)
+    for row, item in enumerate(items):
+        matrix[row] = pack_positions(database.tidset_of_item(item), n_words * 64)
+    layout = np.zeros(n_words * 64, dtype=np.float64)
+    layout[:size] = database.probability_array
+    return matrix, layout
+
+
+def save_columnar(database: UncertainDatabase, path: PathLike) -> None:
+    """Write ``database`` as a ``.utdz`` columnar file, atomically.
+
+    The item matrix is packed from the vertical index in canonical item
+    order; the probability layout is the engine's padded float64 layout.
+    The bytes land via temp file + fsync + rename, so a crash mid-write
+    never leaves a truncated dataset behind.
+    """
+    path = Path(path)
+    matrix, layout = _pack_database(database)
+    _atomic_write_bytes(
+        path,
+        _assemble_utdz(
+            tuple(txn.tid for txn in database.transactions),
+            database.items,
+            matrix,
+            layout,
+        ),
+    )
+
+
+# ----------------------------------------------------------------------
+# row-range sharding
+# ----------------------------------------------------------------------
+def shard_ranges(transactions: int, num_shards: int) -> List[Tuple[int, int]]:
+    """Split ``transactions`` rows into up to ``num_shards`` aligned ranges.
+
+    Every range starts on a multiple of :data:`SHARD_ROW_ALIGNMENT` (64), so
+    a range of a packed ``.utdz`` matrix is a pure word-column slice.  Ranges
+    are as equal as the alignment permits; when the database is too small
+    for ``num_shards`` aligned non-empty ranges, fewer are returned.
+    """
+    if transactions <= 0:
+        raise ValueError(f"transactions must be > 0, got {transactions}")
+    if num_shards < 1:
+        raise ValueError(f"num_shards must be >= 1, got {num_shards}")
+    blocks = -(-transactions // SHARD_ROW_ALIGNMENT)  # ceil division
+    shards = min(num_shards, blocks)
+    base, extra = divmod(blocks, shards)
+    ranges = []
+    start = 0
+    for index in range(shards):
+        width = (base + (1 if index < extra else 0)) * SHARD_ROW_ALIGNMENT
+        stop = min(start + width, transactions)
+        ranges.append((start, stop))
+        start = stop
+    return ranges
+
+
+def _slice_columnar(
+    database: ColumnarUncertainDatabase, start: int, stop: int
+) -> Tuple[Tuple[str, ...], Itemset, WordArray, FloatArray]:
+    """Word-aligned row slice of an open columnar database (the file-copy
+    path: word columns and probability entries are copied, never re-packed).
+
+    Items whose bitmap is empty within the slice are dropped, matching what
+    ``save_columnar(database.restrict(range(start, stop)))`` would store.
+    """
+    word_start = start // SHARD_ROW_ALIGNMENT
+    words = -(-(stop - start) // SHARD_ROW_ALIGNMENT)
+    matrix = np.ascontiguousarray(
+        database._matrix[:, word_start : word_start + words]
+    )
+    keep = matrix.any(axis=1)
+    matrix = np.ascontiguousarray(matrix[keep])
+    items = tuple(
+        item for row, item in enumerate(database.items) if keep[row]
+    )
+    layout = np.ascontiguousarray(
+        database._layout[start : start + words * SHARD_ROW_ALIGNMENT]
+    )
+    return database._tids[start:stop], items, matrix, layout
+
+
+def save_shards(
+    database: UncertainDatabase,
+    directory: PathLike,
+    num_shards: int,
+    stem: str = "shard",
+) -> Path:
+    """Split ``database`` into row-range ``.utdz`` shards plus a manifest.
+
+    Writes ``<stem>.NN.utdz`` files (every one a self-contained columnar
+    dataset of a 64-aligned row range — for a memmapped columnar source the
+    slice is a file copy of the packed word columns) and a
+    ``<stem>.shards.json`` manifest recording each shard's range, row count
+    and content digest.  The digests make the sharded run's checkpoint
+    identity computable from the manifest alone, even when a shard file is
+    later lost — which is what lets the ``degrade-bounds`` shard-loss policy
+    reason about missing rows.  All writes are atomic.
+
+    Returns the manifest path.
+    """
+    from ..runtime.checkpoint import database_sha256
+
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    ranges = shard_ranges(len(database), num_shards)
+    columnar = database if isinstance(database, ColumnarUncertainDatabase) else None
+    entries: List[Dict[str, Any]] = []
+    for index, (start, stop) in enumerate(ranges):
+        name = f"{stem}.{index:02d}{COLUMNAR_SUFFIX}"
+        path = directory / name
+        if columnar is not None:
+            tids, items, matrix, layout = _slice_columnar(columnar, start, stop)
+            _atomic_write_bytes(path, _assemble_utdz(tids, items, matrix, layout))
+        else:
+            save_columnar(database.restrict(range(start, stop)), path)
+        entries.append(
+            {
+                "index": index,
+                "path": name,
+                "start": start,
+                "stop": stop,
+                "transactions": stop - start,
+                "sha256": database_sha256(load_columnar(path)),
+            }
+        )
+    manifest = {
+        "format": "utdz-shards",
+        "version": SHARD_MANIFEST_VERSION,
+        "transactions": len(database),
+        "shards": entries,
+    }
+    manifest_path = directory / f"{stem}{SHARD_MANIFEST_SUFFIX}"
+    _atomic_write_bytes(
+        manifest_path,
+        json.dumps(manifest, indent=2, sort_keys=True).encode("utf-8"),
+    )
+    return manifest_path
+
+
+def load_shard_manifest(path: PathLike) -> Dict[str, Any]:
+    """Read and validate a ``.shards.json`` manifest written by
+    :func:`save_shards`.
+
+    Shard ``path`` entries are resolved relative to the manifest's own
+    directory and returned absolute.  Raises :class:`ColumnarFormatError`
+    on any structural defect; missing shard *files* are not an error here —
+    shard loss is the runtime's decision
+    (:mod:`repro.runtime.sharding`), not the loader's.
+    """
+    path = Path(path)
+    try:
+        manifest = json.loads(path.read_text(encoding="utf-8"))
+    except (OSError, json.JSONDecodeError) as error:
+        raise ColumnarFormatError(f"{path}: unreadable shard manifest: {error}") from error
+    if not isinstance(manifest, dict) or manifest.get("format") != "utdz-shards":
+        raise ColumnarFormatError(f"{path}: not a shard manifest")
+    if manifest.get("version") != SHARD_MANIFEST_VERSION:
+        raise ColumnarFormatError(
+            f"{path}: unsupported shard manifest version {manifest.get('version')!r}"
+        )
+    shards = manifest.get("shards")
+    if not isinstance(shards, list) or not shards:
+        raise ColumnarFormatError(f"{path}: manifest lists no shards")
+    expected_start = 0
+    for position, entry in enumerate(shards):
+        if not isinstance(entry, dict):
+            raise ColumnarFormatError(f"{path}: shard entry {position} is not an object")
+        try:
+            index = int(entry["index"])
+            start, stop = int(entry["start"]), int(entry["stop"])
+            transactions = int(entry["transactions"])
+            sha256 = str(entry["sha256"])
+            shard_path = str(entry["path"])
+        except (KeyError, TypeError, ValueError) as error:
+            raise ColumnarFormatError(
+                f"{path}: shard entry {position} is malformed: {error}"
+            ) from error
+        if index != position or start != expected_start or stop - start != transactions or stop <= start:
+            raise ColumnarFormatError(
+                f"{path}: shard entry {position} has an inconsistent row range"
+            )
+        if not sha256:
+            raise ColumnarFormatError(f"{path}: shard entry {position} lacks a sha256")
+        entry["path"] = str((path.parent / shard_path).resolve())
+        expected_start = stop
+    if manifest.get("transactions") != expected_start:
+        raise ColumnarFormatError(
+            f"{path}: manifest claims {manifest.get('transactions')} transactions "
+            f"but its shards cover {expected_start}"
+        )
+    return manifest
 
 
 def load_columnar(path: PathLike) -> ColumnarUncertainDatabase:

@@ -71,9 +71,21 @@ def load_uncertain_database(path: PathLike) -> UncertainDatabase:
 
     A ``.utdz`` suffix dispatches to the memmap-backed columnar loader, so
     every caller (CLI, service job materialization, tests) opens columnar
-    datasets transparently.
+    datasets transparently.  A ``.shards.json`` manifest (written by
+    :func:`repro.data.columnar.save_shards`) loads every listed shard and
+    concatenates them back into the original database — every shard file
+    must be present; policy-aware handling of *missing* shards is the
+    sharded runtime's job (:mod:`repro.runtime.sharding`).
     """
     path = Path(path)
+    if path.name.endswith(".shards.json"):
+        from .columnar import load_columnar, load_shard_manifest
+
+        manifest = load_shard_manifest(path)
+        rows = []
+        for entry in manifest["shards"]:
+            rows.extend(load_columnar(entry["path"]).transactions)
+        return UncertainDatabase(rows)
     if path.suffix == ".utdz":
         from .columnar import load_columnar
 

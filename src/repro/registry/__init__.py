@@ -19,6 +19,9 @@ Registry                    Built-ins (bootstrap module)
 :data:`DEGRADATION_POLICIES``"budget-deadline"``, ``"never"``,
                             ``"always-approx"``
                             (:mod:`repro.runtime.degradation`)
+:data:`SHARD_LOSS_POLICIES` ``"fail-strict"`` (alias ``"default"``),
+                            ``"degrade-bounds"``
+                            (:mod:`repro.runtime.sharding`)
 ==========================  ============================================
 
 ``MinerConfig`` validates (and canonicalizes) its component-name fields
@@ -51,6 +54,11 @@ Component contracts
   deciding whether an exact-eligible closedness check must degrade to the
   sampling estimator, and why (``"budget"`` / ``"deadline"`` / a policy
   reason).
+* **shard-loss policy** — ``(shard, reason, surviving, lost) -> str``
+  deciding what a sharded run does when a shard exhausts every recovery
+  path: ``"fail"`` aborts the run (:class:`repro.runtime.sharding.ShardLossError`),
+  ``"degrade"`` continues on the surviving shards and tags every result
+  ``provenance="shard-degraded"`` with certified support/frequency bounds.
 """
 
 from __future__ import annotations
@@ -69,6 +77,7 @@ __all__ = [
     "DuplicateComponentError",
     "Registry",
     "RegistryError",
+    "SHARD_LOSS_POLICIES",
     "TIDSET_BACKENDS",
     "UNCERTAINTY_MODELS",
     "UNION_LOWER_BOUNDS",
@@ -136,5 +145,11 @@ UNION_UPPER_BOUNDS: Registry[_BoundMethod] = Registry(
 DEGRADATION_POLICIES: Registry[Callable[..., Any]] = Registry(
     "degradation policy",
     bootstrap="repro.runtime.degradation",
+    validator=_require_callable,
+)
+
+SHARD_LOSS_POLICIES: Registry[Callable[..., Any]] = Registry(
+    "shard-loss policy",
+    bootstrap="repro.runtime.sharding",
     validator=_require_callable,
 )

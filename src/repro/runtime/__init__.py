@@ -11,8 +11,15 @@ adds the operational layer for long or flaky runs:
 * :mod:`repro.runtime.checkpoint` — durable append-only JSONL branch
   checkpoints with config fingerprinting, and :func:`resume` to continue an
   interrupted run bit-identically;
-* :mod:`repro.runtime.faults` — deterministic fault injection
-  (:class:`FaultPlan`) used by the robustness test suite.
+* :mod:`repro.runtime.sharding` — :func:`run_sharded` /
+  :func:`mine_pfci_sharded`: shard-partitioned mining where each shard is a
+  supervised failure domain, per-shard support DPs merge bit-identically
+  into the global screen, and a registry-resolved shard-loss policy decides
+  between failing strictly and degrading to certified support/frequency
+  bounds (``docs/robustness.md``);
+* :mod:`repro.runtime.faults` — the deterministic chaos harness
+  (:class:`FaultPlan`): scripted crash/hang/exit/slow-IO faults per branch
+  *and* per shard, used by the robustness suite and the CI chaos-smoke job.
 """
 
 from .checkpoint import (
@@ -20,7 +27,9 @@ from .checkpoint import (
     CheckpointCancelledError,
     CheckpointError,
     CheckpointMismatchError,
+    CheckpointWriteError,
     CheckpointWriter,
+    ShardScanRecord,
     config_fingerprint,
     database_sha256,
     fingerprint,
@@ -29,6 +38,20 @@ from .checkpoint import (
     validate_fingerprint,
 )
 from .faults import BranchFault, FaultInjected, FaultPlan
+from .sharding import (
+    ShardIntegrityError,
+    ShardLossError,
+    ShardMergeError,
+    ShardOutcome,
+    ShardSet,
+    ShardSpec,
+    ShardedReport,
+    degrade_bounds_policy,
+    fail_strict_policy,
+    mine_pfci_sharded,
+    run_sharded,
+    sharded_fingerprint,
+)
 from .supervisor import (
     BranchFailedError,
     BranchOutcome,
@@ -47,18 +70,32 @@ __all__ = [
     "CheckpointCancelledError",
     "CheckpointError",
     "CheckpointMismatchError",
+    "CheckpointWriteError",
     "CheckpointWriter",
     "FaultInjected",
     "FaultPlan",
+    "ShardIntegrityError",
+    "ShardLossError",
+    "ShardMergeError",
+    "ShardOutcome",
+    "ShardScanRecord",
+    "ShardSet",
+    "ShardSpec",
+    "ShardedReport",
     "SupervisorConfig",
     "SupervisorReport",
     "config_fingerprint",
     "database_sha256",
+    "degrade_bounds_policy",
+    "fail_strict_policy",
     "fingerprint",
     "has_checkpoint_header",
     "load_checkpoint",
+    "mine_pfci_sharded",
     "mine_pfci_supervised",
     "resume",
+    "run_sharded",
     "run_supervised",
+    "sharded_fingerprint",
     "validate_fingerprint",
 ]

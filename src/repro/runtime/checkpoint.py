@@ -11,6 +11,21 @@ branch's :class:`~repro.core.stats.MiningStats` delta::
     {"kind": "branch", "rank": 0, "item": "a", "results": [...], "stats": {...}}
     {"kind": "branch", "rank": 3, "item": "d", "results": [...], "stats": {...}}
 
+Sharded runs (:mod:`repro.runtime.sharding`) interleave two more record
+kinds before the branch records.  A ``shard-scan`` record captures one
+shard's complete per-item scan — for every item, the probabilities of the
+shard's transactions containing it, in row order — which is everything the
+merge phase needs, so a finished shard is never re-read on resume::
+
+    {"kind": "shard-scan", "shard": 1, "transactions": 64,
+     "items": [["a", [0.9, 0.6]], ["b", [0.6]]]}
+
+and a ``shard-lost`` record durably marks a shard whose retries exhausted
+under the ``degrade-bounds`` loss policy, so a resumed run degrades
+identically instead of quietly retrying its way back to full fidelity::
+
+    {"kind": "shard-lost", "shard": 2, "reason": "scan timed out after ..."}
+
 A cooperatively cancelled run appends one final record naming every branch
 it abandoned::
 
@@ -68,9 +83,11 @@ __all__ = [
     "CheckpointCancelledError",
     "CheckpointError",
     "CheckpointMismatchError",
+    "CheckpointWriteError",
     "CheckpointWriter",
     "BranchRecord",
     "Checkpoint",
+    "ShardScanRecord",
     "config_fingerprint",
     "database_sha256",
     "fingerprint",
@@ -90,6 +107,17 @@ class CheckpointError(ValueError):
 
 class CheckpointMismatchError(CheckpointError):
     """A checkpoint's fingerprint does not match the (database, config) pair."""
+
+
+class CheckpointWriteError(CheckpointError):
+    """A checkpoint append failed at the OS level (disk full, read-only fs).
+
+    Raised instead of letting the underlying :class:`OSError` propagate so
+    the supervisor can fail *one branch* with an actionable message and keep
+    draining the rest of the run, rather than hanging or dying mid-loop.
+    The file's durable prefix (everything up to the last fsynced record) is
+    still a valid, resumable checkpoint.
+    """
 
 
 class CheckpointCancelledError(CheckpointError):
@@ -168,6 +196,17 @@ def validate_fingerprint(
                 f"{recorded_config.get(key)!r} but this run has "
                 f"{key}={expected_config.get(key)!r}"
             )
+    # Sharded fingerprints extend the structure with extra top-level keys
+    # ("shards", "shard_policy"); name the first of those that differs too.
+    for key in sorted(
+        (set(recorded) | set(expected))
+        - {"format", "database_sha256", "transactions", "config"}
+    ):
+        if recorded.get(key) != expected.get(key):
+            raise CheckpointMismatchError(
+                f"{path}: checkpoint {key} {recorded.get(key)!r} does not match "
+                f"this run's {expected.get(key)!r}"
+            )
     raise CheckpointMismatchError(f"{path}: checkpoint fingerprint mismatch")
 
 
@@ -176,7 +215,7 @@ def validate_fingerprint(
 # ----------------------------------------------------------------------
 def serialize_result(result: ProbabilisticFrequentClosedItemset) -> Dict[str, Any]:
     """JSON form preserving item values (unlike ``to_dict``, which stringifies)."""
-    return {
+    payload = {
         "itemset": list(result.itemset),
         "probability": result.probability,
         "lower": result.lower,
@@ -185,6 +224,15 @@ def serialize_result(result: ProbabilisticFrequentClosedItemset) -> Dict[str, An
         "frequent_probability": result.frequent_probability,
         "provenance": result.provenance,
     }
+    if result.frequency_bounds is not None:
+        payload["frequency_bounds"] = list(result.frequency_bounds)
+    if result.support_bounds is not None:
+        payload["support_bounds"] = list(result.support_bounds)
+    return payload
+
+
+def _bounds_pair(raw: Any) -> Any:
+    return None if raw is None else (raw[0], raw[1])
 
 
 def deserialize_result(payload: Dict[str, Any]) -> ProbabilisticFrequentClosedItemset:
@@ -196,6 +244,8 @@ def deserialize_result(payload: Dict[str, Any]) -> ProbabilisticFrequentClosedIt
         method=payload["method"],
         frequent_probability=payload["frequent_probability"],
         provenance=payload.get("provenance", "exact"),
+        frequency_bounds=_bounds_pair(payload.get("frequency_bounds")),
+        support_bounds=_bounds_pair(payload.get("support_bounds")),
     )
 
 
@@ -217,12 +267,30 @@ class BranchRecord:
 
 
 @dataclass
+class ShardScanRecord:
+    """One completed shard scan recovered from a sharded checkpoint.
+
+    ``items`` maps each of the shard's items to the probabilities of the
+    shard's transactions that contain it, in shard row order — the exact
+    inputs the merge phase feeds back through the support DP, so floats
+    must survive the JSON round-trip bit-for-bit (they do; see module
+    docstring).
+    """
+
+    shard: int
+    transactions: int
+    items: List[Any]  # [item, [probability, ...]] pairs, shard item order
+
+
+@dataclass
 class Checkpoint:
     """A parsed checkpoint: fingerprint plus completed branches by rank.
 
     ``valid_bytes`` is the file offset just past the last durable
     (newline-terminated, valid-JSON) record; anything beyond it is a
     crash-truncated tail that resume must cut off before appending.
+    Sharded runs additionally carry ``shard_scans`` (finished scans by
+    shard index) and ``lost_shards`` (shard index → loss reason).
     """
 
     fingerprint: Dict[str, Any]
@@ -232,6 +300,8 @@ class Checkpoint:
     #: ``cancelled_ranks`` lists the branches it abandoned.
     cancelled: bool = False
     cancelled_ranks: List[int] = field(default_factory=list)
+    shard_scans: Dict[int, ShardScanRecord] = field(default_factory=dict)
+    lost_shards: Dict[int, str] = field(default_factory=dict)
 
 
 def load_checkpoint(path: PathLike) -> Checkpoint:
@@ -291,11 +361,24 @@ def load_checkpoint(path: PathLike) -> Checkpoint:
     branches: Dict[int, BranchRecord] = {}
     cancelled = False
     cancelled_ranks: List[int] = []
+    shard_scans: Dict[int, ShardScanRecord] = {}
+    lost_shards: Dict[int, str] = {}
     for record in records[1:]:
         kind = record.get("kind")
         if kind == "cancelled":
             cancelled = True
             cancelled_ranks.extend(int(rank) for rank in record.get("ranks", []))
+            continue
+        if kind == "shard-scan":
+            shard = int(record["shard"])
+            shard_scans[shard] = ShardScanRecord(
+                shard=shard,
+                transactions=int(record["transactions"]),
+                items=[[item, list(probs)] for item, probs in record["items"]],
+            )
+            continue
+        if kind == "shard-lost":
+            lost_shards[int(record["shard"])] = str(record.get("reason", ""))
             continue
         if kind != "branch":
             raise CheckpointError(
@@ -314,6 +397,8 @@ def load_checkpoint(path: PathLike) -> Checkpoint:
         valid_bytes=valid_bytes,
         cancelled=cancelled,
         cancelled_ranks=sorted(set(cancelled_ranks)),
+        shard_scans=shard_scans,
+        lost_shards=lost_shards,
     )
 
 
@@ -381,9 +466,26 @@ class CheckpointWriter:
     def _write_line(self, payload: Dict[str, Any]) -> None:
         if self._handle is None:
             raise CheckpointError(f"{self.path}: writer is closed")
-        self._handle.write(json.dumps(payload, sort_keys=True) + "\n")
-        self._handle.flush()
-        os.fsync(self._handle.fileno())
+        try:
+            self._handle.write(json.dumps(payload, sort_keys=True) + "\n")
+            self._handle.flush()
+            os.fsync(self._handle.fileno())
+        except OSError as error:
+            # Disk full / read-only fs / quota: the handle may now hold a
+            # partial line, so retire it — the durable prefix on disk is
+            # still a valid checkpoint, and the caller fails just this
+            # record instead of hanging or corrupting later appends.
+            handle, self._handle = self._handle, None
+            try:
+                handle.close()
+            except OSError:
+                pass
+            reason = error.strerror or str(error)
+            raise CheckpointWriteError(
+                f"{self.path}: checkpoint append failed ({reason}) — free disk "
+                "space or point the checkpoint at a writable volume and resume; "
+                "progress up to the last durable record is preserved"
+            ) from error
 
     def write_branch(
         self,
@@ -402,6 +504,34 @@ class CheckpointWriter:
                 "stats": stats.as_dict(),
             }
         )
+
+    def write_shard_scan(
+        self, shard: int, transactions: int, items: List[Any]
+    ) -> None:
+        """Durably record one finished shard scan (per-item probabilities).
+
+        ``items`` is a list of ``[item, [probability, ...]]`` pairs in shard
+        item order; a resumed run replays the record instead of re-reading
+        the shard file — which keeps resume working even when that shard's
+        file has since been lost.
+        """
+        self._write_line(
+            {
+                "kind": "shard-scan",
+                "shard": shard,
+                "transactions": transactions,
+                "items": items,
+            }
+        )
+
+    def write_shard_lost(self, shard: int, reason: str) -> None:
+        """Durably mark a shard as lost under a degrading loss policy.
+
+        Once recorded, a resumed run treats the shard as lost without
+        retrying it, so the resumed results (and their ``shard-degraded``
+        provenance) match the run that first declared the loss.
+        """
+        self._write_line({"kind": "shard-lost", "shard": shard, "reason": reason})
 
     def write_cancelled(self, ranks: List[int]) -> None:
         """Durably mark the run as cancelled, naming the abandoned branches.

@@ -1,23 +1,36 @@
-"""Deterministic fault injection for the supervised mining runtime.
+"""Deterministic chaos harness for the supervised and sharded runtimes.
 
-A :class:`FaultPlan` scripts worker failures by branch rank so the
-supervisor's recovery paths (retry, pool rebuild, inline fallback) can be
-exercised reproducibly in tests: a chosen branch can raise an exception,
-hang past the supervisor's branch timeout, or hard-exit its worker process
-(which surfaces to the parent as ``BrokenProcessPool``).
+A :class:`FaultPlan` scripts failures so every recovery path (retry, pool
+rebuild, inline fallback, shard loss) can be exercised reproducibly in
+tests — and, through the service's documented ``chaos`` submission field,
+end-to-end over HTTP.  Faults are injected at two levels:
 
-Faults are keyed on ``(rank, attempt)``: a :class:`BranchFault` with
-``attempts=1`` fires only on the branch's first attempt, so the retry path
-succeeds; ``attempts`` large enough to outlast the retry budget exercises
-the inline fallback and the failure-reporting path.  The plan itself is an
-immutable value object — it travels to worker processes by pickling, and the
-attempt number is passed in by the supervisor, so no cross-process state is
-needed and every run of the same plan fails identically.
+* **branch faults** (``branch_faults``, keyed by branch *rank*) fire inside
+  the mining worker before the branch runs, exactly as before;
+* **shard faults** (``shard_faults``, keyed by *shard index*) fire inside a
+  shard-scan worker of :mod:`repro.runtime.sharding` before the shard is
+  scanned — a crash/hang/exit there makes the whole shard a failure domain
+  that must be retried, rebuilt, or (when retries exhaust) declared lost.
 
-When a branch is executed *inline* (the supervisor's in-process last
-resort), process-level faults cannot be allowed to take the whole run down:
+Four kinds cover the chaos matrix: ``"raise"`` (a crashed task: the worker
+raises :class:`FaultInjected`), ``"hang"`` (sleeps past the supervision
+timeout), ``"exit"`` (hard process exit — ``BrokenProcessPool`` in the
+parent), and ``"slow-io"`` (sleeps ``delay_seconds`` then proceeds,
+modelling a slow disk/NFS read that must *succeed* without tripping
+recovery).
+
+Faults are keyed on ``(rank-or-shard, attempt)``: a fault with
+``attempts=1`` fires only on the first attempt, so the retry path succeeds;
+``attempts`` large enough to outlast the retry budget exercises the inline
+fallback, the failure-reporting path, or shard loss.  The plan is an
+immutable value object — it travels to worker processes by pickling, and
+the attempt number is passed in by the supervisor, so no cross-process
+state is needed and every run of the same plan fails identically.
+
+When a task is executed *inline* (the supervisor's in-process last resort),
+process-level faults cannot be allowed to take the whole run down:
 ``apply(..., inline=True)`` converts ``"hang"`` and ``"exit"`` faults into
-:class:`FaultInjected` errors instead.
+:class:`FaultInjected` errors instead (``"slow-io"`` still just sleeps).
 """
 
 from __future__ import annotations
@@ -25,11 +38,11 @@ from __future__ import annotations
 import os
 import time
 from dataclasses import dataclass, field
-from typing import Mapping, Optional
+from typing import Any, Dict, Mapping, Optional
 
 __all__ = ["BranchFault", "FaultInjected", "FaultPlan"]
 
-_VALID_KINDS = ("raise", "hang", "exit")
+_VALID_KINDS = ("raise", "hang", "exit", "slow-io")
 
 # Distinctive worker exit status for injected "exit" faults, so a genuine
 # crash is distinguishable from an injected one in process listings.
@@ -42,23 +55,28 @@ class FaultInjected(RuntimeError):
 
 @dataclass(frozen=True)
 class BranchFault:
-    """One scripted failure mode for a branch.
+    """One scripted failure mode for a branch or shard scan.
 
     Attributes:
         kind: ``"raise"`` (worker raises :class:`FaultInjected`), ``"hang"``
-            (worker sleeps ``hang_seconds``, tripping the supervisor's
-            branch timeout), or ``"exit"`` (worker process hard-exits,
-            breaking the pool).
+            (worker sleeps ``hang_seconds``, tripping the supervision
+            timeout), ``"exit"`` (worker process hard-exits, breaking the
+            pool), or ``"slow-io"`` (worker sleeps ``delay_seconds`` and
+            then proceeds normally — the task *succeeds*, just slowly).
         attempts: the fault fires while ``attempt < attempts``; later
-            attempts run the branch normally.
+            attempts run normally.
         hang_seconds: sleep duration of ``"hang"`` faults.  The supervisor
-            kills hung workers when the branch timeout fires, so this only
-            bounds how long a *leaked* worker could linger.
+            kills hung workers when the timeout fires, so this only bounds
+            how long a *leaked* worker could linger.
+        delay_seconds: sleep duration of ``"slow-io"`` faults; must stay
+            below the supervision timeout or the slow task degenerates into
+            a hang.
     """
 
     kind: str
     attempts: int = 1
     hang_seconds: float = 30.0
+    delay_seconds: float = 0.2
 
     def __post_init__(self) -> None:
         if self.kind not in _VALID_KINDS:
@@ -69,23 +87,89 @@ class BranchFault:
             raise ValueError(f"attempts must be >= 1, got {self.attempts}")
         if self.hang_seconds <= 0.0:
             raise ValueError(f"hang_seconds must be > 0, got {self.hang_seconds}")
+        if self.delay_seconds <= 0.0:
+            raise ValueError(f"delay_seconds must be > 0, got {self.delay_seconds}")
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON form (round-trips through :meth:`from_dict`)."""
+        return {
+            "kind": self.kind,
+            "attempts": self.attempts,
+            "hang_seconds": self.hang_seconds,
+            "delay_seconds": self.delay_seconds,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "BranchFault":
+        unknown = sorted(set(payload) - {"kind", "attempts", "hang_seconds", "delay_seconds"})
+        if unknown:
+            raise ValueError(f"unknown fault field(s): {', '.join(unknown)}")
+        if "kind" not in payload:
+            raise ValueError("fault requires a 'kind'")
+        return cls(
+            kind=payload["kind"],
+            attempts=int(payload.get("attempts", 1)),
+            hang_seconds=float(payload.get("hang_seconds", 30.0)),
+            delay_seconds=float(payload.get("delay_seconds", 0.2)),
+        )
+
+    def execute(self, where: str, inline: bool = False) -> None:
+        """Carry out this fault (``where`` names the victim for the error)."""
+        if self.kind == "slow-io":
+            time.sleep(self.delay_seconds)
+            return
+        if self.kind == "raise" or inline:
+            raise FaultInjected(f"injected {self.kind!r} fault on {where}")
+        if self.kind == "hang":
+            time.sleep(self.hang_seconds)
+            return
+        os._exit(_EXIT_STATUS)
+
+
+def _parse_fault_map(raw: Any, where: str) -> Dict[int, BranchFault]:
+    if not isinstance(raw, Mapping):
+        raise ValueError(f"{where} must be an object keyed by integer")
+    faults: Dict[int, BranchFault] = {}
+    for key, value in raw.items():
+        try:
+            index = int(key)
+        except (TypeError, ValueError) as error:
+            raise ValueError(f"{where} key {key!r} is not an integer") from error
+        if not isinstance(value, Mapping):
+            raise ValueError(f"{where}[{index}] must be an object")
+        faults[index] = BranchFault.from_dict(value)
+    return faults
 
 
 @dataclass(frozen=True)
 class FaultPlan:
-    """Branch-rank → fault script, applied inside the worker entry point."""
+    """Rank/shard → fault script, applied inside the worker entry points.
+
+    ``branch_faults`` target mining branches (keyed by branch rank);
+    ``shard_faults`` target shard scans (keyed by shard index).  One plan
+    can carry both, so a chaos scenario can take down a shard *and* a
+    branch of the surviving merge in the same deterministic run.
+    """
 
     branch_faults: Mapping[int, BranchFault] = field(default_factory=dict)
+    shard_faults: Mapping[int, BranchFault] = field(default_factory=dict)
 
     def fault_for(self, rank: int, attempt: int) -> Optional[BranchFault]:
-        """The fault to inject for this ``(rank, attempt)``, if any."""
+        """The branch fault to inject for this ``(rank, attempt)``, if any."""
         fault = self.branch_faults.get(rank)
         if fault is not None and attempt < fault.attempts:
             return fault
         return None
 
+    def shard_fault_for(self, shard: int, attempt: int) -> Optional[BranchFault]:
+        """The shard fault to inject for this ``(shard, attempt)``, if any."""
+        fault = self.shard_faults.get(shard)
+        if fault is not None and attempt < fault.attempts:
+            return fault
+        return None
+
     def apply(self, rank: int, attempt: int, inline: bool = False) -> None:
-        """Execute the scripted fault for ``(rank, attempt)``, if any.
+        """Execute the scripted branch fault for ``(rank, attempt)``, if any.
 
         Called by the worker entry point before mining starts.  ``inline``
         marks in-process execution, where process-level faults (``"hang"``,
@@ -93,13 +177,43 @@ class FaultPlan:
         failure cannot stall or kill the supervisor itself.
         """
         fault = self.fault_for(rank, attempt)
-        if fault is None:
-            return
-        if fault.kind == "raise" or inline:
-            raise FaultInjected(
-                f"injected {fault.kind!r} fault on branch {rank}, attempt {attempt}"
-            )
-        if fault.kind == "hang":
-            time.sleep(fault.hang_seconds)
-            return
-        os._exit(_EXIT_STATUS)
+        if fault is not None:
+            fault.execute(f"branch {rank}, attempt {attempt}", inline=inline)
+
+    def apply_shard(self, shard: int, attempt: int, inline: bool = False) -> None:
+        """Execute the scripted shard fault for ``(shard, attempt)``, if any."""
+        fault = self.shard_fault_for(shard, attempt)
+        if fault is not None:
+            fault.execute(f"shard {shard}, attempt {attempt}", inline=inline)
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON form (round-trips through :meth:`from_dict`) — the service's
+        ``chaos`` submission field is exactly this structure."""
+        return {
+            "branch_faults": {
+                str(rank): fault.to_dict()
+                for rank, fault in sorted(self.branch_faults.items())
+            },
+            "shard_faults": {
+                str(shard): fault.to_dict()
+                for shard, fault in sorted(self.shard_faults.items())
+            },
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "FaultPlan":
+        """Parse the JSON form, raising ``ValueError`` on any unknown or
+        malformed field (the service maps these onto 400 responses)."""
+        if not isinstance(payload, Mapping):
+            raise ValueError("chaos plan must be an object")
+        unknown = sorted(set(payload) - {"branch_faults", "shard_faults"})
+        if unknown:
+            raise ValueError(f"unknown chaos field(s): {', '.join(unknown)}")
+        return cls(
+            branch_faults=_parse_fault_map(
+                payload.get("branch_faults", {}), "branch_faults"
+            ),
+            shard_faults=_parse_fault_map(
+                payload.get("shard_faults", {}), "shard_faults"
+            ),
+        )

@@ -372,6 +372,23 @@ class _Supervision:
         branch_stats: MiningStats,
         status: str,
     ) -> None:
+        if self.writer is not None:
+            # Checkpoint *before* keeping the results: a branch whose record
+            # could not be made durable (disk full, read-only volume) is a
+            # failed branch — counting it as completed would let a resumed
+            # run silently lose it.  The writer is retired after the first
+            # failure; the durable prefix on disk stays resumable, later
+            # branches complete uncheckpointed, and the run reports >= 1
+            # failed branch so the job ends failed instead of hanging.
+            try:
+                self.writer.write_branch(
+                    task.rank, task.item, branch_results, branch_stats
+                )
+            except CheckpointError as error:
+                self.writer = None
+                self._record_failure(task, error)
+                return
+            self.merged.checkpoint_branches_written += 1
         self.pending.pop(task.rank, None)
         self.results.extend(branch_results)
         self.merged.merge(branch_stats)
@@ -381,11 +398,6 @@ class _Supervision:
             status=status,
             attempts=self.attempts[task.rank] + 1,
         )
-        if self.writer is not None:
-            self.writer.write_branch(
-                task.rank, task.item, branch_results, branch_stats
-            )
-            self.merged.checkpoint_branches_written += 1
 
     def _record_failure(self, task: BranchTask, error: BaseException) -> None:
         self.pending.pop(task.rank, None)
@@ -624,6 +636,8 @@ def run_supervised(
     fault_plan: Optional[FaultPlan] = None,
     live_stats: Optional[MiningStats] = None,
     cancel_event: Optional[threading.Event] = None,
+    plan: Optional[List[BranchTask]] = None,
+    fingerprint_override: Optional[Dict[str, Any]] = None,
 ) -> SupervisorReport:
     """Mine under supervision and return the full :class:`SupervisorReport`.
 
@@ -650,10 +664,23 @@ def run_supervised(
             run keeps every branch that already finished, kills in-flight
             workers, resolves the rest as ``"cancelled"`` outcomes, and
             durably marks the checkpoint cancelled so it cannot be resumed.
+        plan: precomputed root-branch decomposition.  When provided,
+            :func:`~repro.core.parallel.plan_root_branches` is skipped and
+            the caller owns the planner's candidate-phase stats — this is
+            how the sharded runtime reuses the supervisor after computing
+            the candidate screen from per-shard scans.
+        fingerprint_override: checkpoint identity to use instead of
+            ``config_fingerprint(database, config)`` — the sharded runtime
+            extends the fingerprint with shard layout and loss policy so a
+            sharded checkpoint can never be resumed unsharded (or vice
+            versa).
     """
     supervisor = supervisor or SupervisorConfig()
     started = time.perf_counter()
-    tasks, planner_stats = plan_root_branches(database, config)
+    if plan is None:
+        tasks, planner_stats = plan_root_branches(database, config)
+    else:
+        tasks, planner_stats = list(plan), MiningStats()
 
     merged = live_stats if live_stats is not None else MiningStats()
     merged.merge(planner_stats)
@@ -663,7 +690,11 @@ def run_supervised(
     recovered_results: List[ProbabilisticFrequentClosedItemset] = []
     remaining = tasks
     if checkpoint_path is not None:
-        fingerprint = config_fingerprint(database, config)
+        fingerprint = (
+            fingerprint_override
+            if fingerprint_override is not None
+            else config_fingerprint(database, config)
+        )
         if resume_from_checkpoint:
             checkpoint = load_checkpoint(checkpoint_path)
             if checkpoint.cancelled:

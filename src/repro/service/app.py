@@ -139,6 +139,7 @@ class MiningService:
         job_request = parse_job_request(request.json())
 
         database = job_request.database
+        shards = job_request.shards
         if database is None:
             assert job_request.database_path is not None
             try:
@@ -150,6 +151,14 @@ class MiningService:
                     f"cannot load database.path {job_request.database_path!r}: {error}",
                     details={"field": "database.path"},
                 ) from None
+            if shards is None and job_request.database_path.endswith(".shards.json"):
+                # A pre-sharded submission: the manifest's own partition
+                # count carries over (the job re-shards its materialized
+                # copy with the same 64-aligned split rule, so the ranges
+                # match the manifest's).
+                from ..data.columnar import load_shard_manifest
+
+                shards = len(load_shard_manifest(job_request.database_path)["shards"])
 
         job = self.store.create(
             database,
@@ -157,6 +166,9 @@ class MiningService:
             processes=job_request.processes,
             supervisor=job_request.supervisor,
             submitted_at=self._clock(),
+            shards=shards,
+            shard_policy=job_request.shard_policy,
+            chaos=None if job_request.chaos is None else job_request.chaos.to_dict(),
         )
 
         # Coalesce: an identical (database, config) already queued/running
@@ -214,7 +226,7 @@ class MiningService:
 
     def _job_summary(self, job: Job) -> Dict[str, Any]:
         stats = job.stats_view()
-        return {
+        summary = {
             "job_id": job.id,
             "state": job.state,
             "fingerprint": job.fingerprint,
@@ -230,6 +242,14 @@ class MiningService:
                 "results_emitted": stats.results_emitted,
             },
         }
+        if job.shards is not None:
+            summary["progress"]["shards"] = {
+                "planned": stats.shards_planned,
+                "scanned": stats.shards_scanned
+                + stats.checkpoint_shards_skipped,
+                "lost": stats.shards_lost,
+            }
+        return summary
 
     async def list_jobs(self, request: Request) -> Response:
         states = request.query.get("state")
@@ -257,10 +277,23 @@ class MiningService:
                 "degradation": _degradation_view(stats),
             }
         )
+        if job.shards is not None:
+            payload["sharding"] = {
+                "shards": job.shards,
+                "shard_policy": job.shard_policy or "fail-strict",
+            }
         if job.state not in ACTIVE_STATES:
             result = job.result_payload()
             if result is not None:
                 payload["outcomes"] = result.get("outcomes", [])
+                if job.shards is not None:
+                    payload["sharding"].update(
+                        {
+                            "shard_outcomes": result.get("shard_outcomes", []),
+                            "lost_shards": result.get("lost_shards", {}),
+                            "degraded": result.get("degraded", False),
+                        }
+                    )
         return json_response(payload)
 
     async def job_result(self, request: Request) -> Response:
@@ -336,6 +369,22 @@ class MiningService:
                     "counters": report["counters"],
                     "derived": report["derived"],
                     "runtime": report["runtime"],
+                },
+                # Cross-job recovery totals: how hard the supervised and
+                # sharded runtimes have had to work to keep jobs alive
+                # (docs/robustness.md).
+                "robustness": {
+                    "branch_retries": merged.branch_retries,
+                    "branch_timeouts": merged.branch_timeouts,
+                    "branch_collateral_restarts": merged.branch_collateral_restarts,
+                    "pool_rebuilds": merged.pool_rebuilds,
+                    "branches_recovered_inline": merged.branches_recovered_inline,
+                    "branches_failed": merged.branches_failed,
+                    "shard_retries": merged.shard_retries,
+                    "shard_timeouts": merged.shard_timeouts,
+                    "shards_recovered_inline": merged.shards_recovered_inline,
+                    "shards_lost": merged.shards_lost,
+                    "degraded_fraction": round(merged.degraded_fraction, 6),
                 },
             }
         )

@@ -29,6 +29,7 @@ submitted database's exactly.
 
 from __future__ import annotations
 
+import hashlib
 import json
 import os
 import re
@@ -66,6 +67,13 @@ class Job:
     config: Dict[str, Any]
     processes: Optional[int] = None
     supervisor: Optional[Dict[str, Any]] = None
+    #: sharded runtime selection (None = unsharded): shard count, the
+    #: canonical shard-loss policy name, and the chaos plan
+    #: (:meth:`repro.runtime.FaultPlan.to_dict` form) — persisted so a
+    #: restarted service resumes the job through the same runtime.
+    shards: Optional[int] = None
+    shard_policy: Optional[str] = None
+    chaos: Optional[Dict[str, Any]] = None
     submitted_at: float = 0.0
     started_at: Optional[float] = None
     finished_at: Optional[float] = None
@@ -123,6 +131,9 @@ class Job:
             "config": self.config,
             "processes": self.processes,
             "supervisor": self.supervisor,
+            "shards": self.shards,
+            "shard_policy": self.shard_policy,
+            "chaos": self.chaos,
             "submitted_at": self.submitted_at,
             "started_at": self.started_at,
             "finished_at": self.finished_at,
@@ -141,6 +152,9 @@ class Job:
             config=payload["config"],
             processes=payload.get("processes"),
             supervisor=payload.get("supervisor"),
+            shards=payload.get("shards"),
+            shard_policy=payload.get("shard_policy"),
+            chaos=payload.get("chaos"),
             submitted_at=payload.get("submitted_at", 0.0),
             started_at=payload.get("started_at"),
             finished_at=payload.get("finished_at"),
@@ -209,6 +223,9 @@ class JobStore:
         processes: Optional[int],
         supervisor: Optional[SupervisorConfig],
         submitted_at: float,
+        shards: Optional[int] = None,
+        shard_policy: Optional[str] = None,
+        chaos: Optional[Dict[str, Any]] = None,
     ) -> Job:
         """Materialize a new job: directory, canonical database, manifest.
 
@@ -224,14 +241,28 @@ class JobStore:
         directory.mkdir(parents=True)
         save_uncertain_database(database, directory / "database.utdz")
         canonical = load_uncertain_database(directory / "database.utdz")
+        digest = runtime_fingerprint(canonical, config)
+        if chaos is not None:
+            # A chaos job must never coalesce onto — or be served from the
+            # cache of — a clean run with the same inputs: the whole point
+            # of the submission is to exercise the failure path.  Folding
+            # the fault plan into a fresh sha256 keeps the fingerprint a
+            # plain hex digest (the cache's key contract) while making it
+            # unreachable from any clean submission.
+            digest = hashlib.sha256(
+                f"{digest}:chaos:{json.dumps(chaos, sort_keys=True)}".encode("utf-8")
+            ).hexdigest()
         job = Job(
             id=job_id,
             directory=directory,
-            fingerprint=runtime_fingerprint(canonical, config),
+            fingerprint=digest,
             state="queued",
             config=asdict(config),
             processes=processes,
             supervisor=None if supervisor is None else asdict(supervisor),
+            shards=shards,
+            shard_policy=shard_policy,
+            chaos=chaos,
             submitted_at=submitted_at,
         )
         self.save(job)

@@ -35,9 +35,12 @@ from typing import Callable, Dict, Optional
 from ..data.io import load_uncertain_database
 from ..runtime import (
     CheckpointError,
+    FaultPlan,
+    ShardSet,
     SupervisorReport,
     has_checkpoint_header,
     load_checkpoint,
+    run_sharded,
     run_supervised,
 )
 from .cache import ResultCache
@@ -56,8 +59,25 @@ def _execute_job(job: Job, resume: bool) -> SupervisorReport:
     Deliberately free of any job-store access — the thread only touches the
     job's own directory and its two shared in-memory objects (live stats,
     cancel event); every state mutation happens back on the event loop.
+    Sharded jobs (``job.shards``) run through the sharded runtime with the
+    persisted loss policy; either way the chaos plan (if any) is threaded
+    through so scripted faults exercise the real service path.
     """
     database = load_uncertain_database(job.database_path)
+    fault_plan = None if job.chaos is None else FaultPlan.from_dict(job.chaos)
+    if job.shards is not None:
+        return run_sharded(
+            ShardSet.from_database(database, job.shards),
+            job.miner_config(),
+            processes=job.processes,
+            supervisor=job.supervisor_config(),
+            shard_policy=job.shard_policy or "fail-strict",
+            checkpoint_path=job.checkpoint_path,
+            resume_from_checkpoint=resume,
+            fault_plan=fault_plan,
+            live_stats=job.live_stats,
+            cancel_event=job.cancel_event,
+        )
     return run_supervised(
         database,
         job.miner_config(),
@@ -65,6 +85,7 @@ def _execute_job(job: Job, resume: bool) -> SupervisorReport:
         supervisor=job.supervisor_config(),
         checkpoint_path=job.checkpoint_path,
         resume_from_checkpoint=resume,
+        fault_plan=fault_plan,
         live_stats=job.live_stats,
         cancel_event=job.cancel_event,
     )
@@ -167,10 +188,19 @@ class JobRunner:
         elif report.complete:
             job.state = "completed"
             self.store.write_result(job, document)
-            cache_entry = dict(document)
-            cache_entry.pop("job_id", None)
-            cache_entry.pop("cached", None)
-            self.cache.put(job.fingerprint, cache_entry)
+            if getattr(report, "degraded", False):
+                # Shard-degraded results are certified *bounds* over the
+                # surviving shards, not the database's answer — serving
+                # them from the cache to a future submission of the same
+                # (database, config) would silently replace exact results
+                # with bounds.  Completed-degraded is a valid terminal
+                # state; it just never populates the cache.
+                pass
+            else:
+                cache_entry = dict(document)
+                cache_entry.pop("job_id", None)
+                cache_entry.pop("cached", None)
+                self.cache.put(job.fingerprint, cache_entry)
         else:
             job.state = "failed"
             job.error = f"{len(report.failed)} branch(es) failed"

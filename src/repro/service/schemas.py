@@ -15,10 +15,21 @@ plus the database itself, either inline or by server-side path::
     }
 
 or ``{"database": {"path": "data/mushroom.utd"}}`` for datasets already on
-the service host — the path may name a text ``.utd``/``.utd.gz`` file or a
-zero-copy columnar ``.utdz`` file (loading dispatches on the suffix, so
-cached jobs and mmap loading compose).  Validation is strict: unknown keys
-anywhere in the
+the service host — the path may name a text ``.utd``/``.utd.gz`` file, a
+zero-copy columnar ``.utdz`` file, or a ``.shards.json`` shard manifest
+(loading dispatches on the suffix, so cached jobs and mmap loading
+compose).  Three further optional fields select the sharded runtime:
+
+* ``"shards": N`` — mine the database as N supervised row-range failure
+  domains (:mod:`repro.runtime.sharding`); a ``.shards.json`` path implies
+  this with the manifest's own shard count;
+* ``"shard_policy": "fail-strict" | "degrade-bounds"`` — registry-resolved
+  shard-loss policy (see docs/robustness.md);
+* ``"chaos": {...}`` — a :meth:`repro.runtime.FaultPlan.to_dict` document
+  scripting deterministic per-branch/per-shard faults, for chaos testing
+  the service path end to end.
+
+Validation is strict: unknown keys anywhere in the
 request are a 400 (``unknown-field``), not silently ignored — a typo'd
 pruning toggle must not silently mine with the default.
 
@@ -33,14 +44,23 @@ from typing import Any, Dict, List, Optional, Tuple
 
 from ..core.config import MinerConfig
 from ..core.database import UncertainDatabase
-from ..runtime import SupervisorConfig
+from ..registry import SHARD_LOSS_POLICIES, UnknownComponentError
+from ..runtime import FaultPlan, SupervisorConfig
 from .http import ApiError
 
 __all__ = ["JobRequest", "parse_job_request"]
 
 _CONFIG_FIELDS = set(MinerConfig.__dataclass_fields__)
 _SUPERVISOR_FIELDS = set(SupervisorConfig.__dataclass_fields__)
-_TOP_LEVEL_FIELDS = {"database", "config", "processes", "supervisor"}
+_TOP_LEVEL_FIELDS = {
+    "database",
+    "config",
+    "processes",
+    "supervisor",
+    "shards",
+    "shard_policy",
+    "chaos",
+}
 _DATABASE_FIELDS = {"transactions", "path"}
 _TRANSACTION_FIELDS = {"tid", "probability", "items"}
 
@@ -59,6 +79,12 @@ class JobRequest:
     database_path: Optional[str]
     processes: Optional[int]
     supervisor: Optional[SupervisorConfig]
+    #: sharded runtime selection: shard count (``None`` = unsharded unless
+    #: the path is a ``.shards.json`` manifest), canonicalized loss-policy
+    #: name, and the validated chaos plan.
+    shards: Optional[int] = None
+    shard_policy: Optional[str] = None
+    chaos: Optional[FaultPlan] = None
 
 
 def _require_object(value: Any, where: str) -> Dict[str, Any]:
@@ -213,10 +239,52 @@ def parse_job_request(payload: Any) -> JobRequest:
     if body.get("supervisor") is not None:
         supervisor = _parse_supervisor(body["supervisor"])
 
+    shards: Optional[int] = None
+    if body.get("shards") is not None:
+        raw_shards = body["shards"]
+        if not isinstance(raw_shards, int) or isinstance(raw_shards, bool) or raw_shards < 1:
+            raise ApiError(
+                400, "invalid-request", "shards must be an integer >= 1",
+                details={"field": "shards"},
+            )
+        shards = raw_shards
+
+    shard_policy: Optional[str] = None
+    if body.get("shard_policy") is not None:
+        raw_policy = body["shard_policy"]
+        if not isinstance(raw_policy, str):
+            raise ApiError(
+                400, "invalid-request", "shard_policy must be a string",
+                details={"field": "shard_policy"},
+            )
+        try:
+            shard_policy = SHARD_LOSS_POLICIES.canonicalize(raw_policy)
+        except UnknownComponentError as error:
+            raise ApiError(
+                400, "invalid-request", str(error),
+                details={
+                    "field": "shard_policy",
+                    "known": sorted(SHARD_LOSS_POLICIES.names()),
+                },
+            ) from None
+
+    chaos: Optional[FaultPlan] = None
+    if body.get("chaos") is not None:
+        chaos_spec = _require_object(body["chaos"], "chaos")
+        try:
+            chaos = FaultPlan.from_dict(chaos_spec)
+        except ValueError as error:
+            raise ApiError(
+                400, "invalid-chaos", str(error), details={"field": "chaos"}
+            ) from None
+
     return JobRequest(
         config=config,
         database=database,
         database_path=database_path,
         processes=processes,
         supervisor=supervisor,
+        shards=shards,
+        shard_policy=shard_policy,
+        chaos=chaos,
     )

@@ -1,0 +1,38 @@
+"""Sharded mining against every tidset backend's serial run.
+
+The sharded runtime promises bit-identity with the unsharded miner; the
+backend registry promises bit-identity across tidset representations.
+Composing the two: for every registered backend, mining N shards with
+that backend must equal the serial oracle run — one conformance square,
+no special cases.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.config import MinerConfig
+from repro.runtime import mine_pfci_sharded
+from tests.strategies import random_uncertain_database
+
+from .checks import assert_identical_results, mine_with_backend
+
+
+@pytest.fixture(scope="module")
+def database():
+    return random_uncertain_database(random.Random(1234), rows=150, items="abcde")
+
+
+@pytest.mark.parametrize("num_shards", [2, 3])
+def test_sharded_matches_every_backend(database, tidset_backend, num_shards):
+    serial = mine_with_backend(
+        database, tidset_backend, min_sup=20, pfct=0.5, exact_event_limit=12, seed=7
+    )
+    config = MinerConfig(
+        min_sup=20, pfct=0.5, exact_event_limit=12, seed=7,
+        tidset_backend=tidset_backend,
+    )
+    sharded = mine_pfci_sharded(database, config, num_shards, processes=2)
+    assert_identical_results(sharded, serial)

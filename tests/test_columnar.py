@@ -174,3 +174,43 @@ class TestCorruptFiles:
         text = tmp_path / "db.utd"
         save_uncertain_database(database, text)
         self._expect_error(tmp_path, text.read_bytes(), match="not a .utdz file")
+
+
+class TestAtomicWrites:
+    """``save_columnar`` lands via temp + fsync + rename: a failed save can
+    never leave a truncated ``.utdz`` (or a stray temp file) behind."""
+
+    def test_save_leaves_no_temp_sibling(self, tmp_path, database):
+        path = tmp_path / "db.utdz"
+        save_columnar(database, path)
+        assert_same_database(load_columnar(path), database)
+        assert [p.name for p in tmp_path.iterdir()] == ["db.utdz"]
+
+    def test_failed_replace_preserves_previous_contents(
+        self, tmp_path, database, monkeypatch
+    ):
+        import errno
+        import os as os_module
+
+        path = tmp_path / "db.utdz"
+        save_columnar(database, path)
+        before = path.read_bytes()
+
+        real_replace = os_module.replace
+
+        def full_disk(src, dst, *args, **kwargs):
+            if str(dst) == str(path):
+                raise OSError(errno.ENOSPC, "No space left on device")
+            return real_replace(src, dst, *args, **kwargs)
+
+        from repro.data import columnar as columnar_module
+
+        monkeypatch.setattr(columnar_module.os, "replace", full_disk)
+        smaller = UncertainDatabase(list(database)[:2])
+        with pytest.raises(OSError):
+            save_columnar(smaller, path)
+        monkeypatch.undo()
+        # The original file is untouched and the temp file was cleaned up.
+        assert path.read_bytes() == before
+        assert [p.name for p in tmp_path.iterdir()] == ["db.utdz"]
+        assert_same_database(load_columnar(path), database)

@@ -271,3 +271,80 @@ class TestResume:
         assert path.read_bytes() == before  # untouched
         resumed = resume(database, config, path, processes=2)  # --resume still works
         assert result_key(resumed.results) == result_key(first.results)
+
+
+class TestDiskFullDuringAppend:
+    """ENOSPC (or any OSError) on a checkpoint append must fail loudly and
+    locally: one actionable error, the durable prefix still resumable, the
+    supervised run ending *failed* — never hung, never corrupted."""
+
+    @staticmethod
+    def _enospc_handle(handle):
+        import errno
+        import io
+
+        class Full(io.TextIOBase):
+            def fileno(self):
+                return handle.fileno()
+
+            def write(self, text):
+                raise OSError(errno.ENOSPC, "No space left on device")
+
+        return Full()
+
+    def test_writer_raises_actionable_error_and_retires(
+        self, tmp_path, database, config
+    ):
+        from repro.runtime.checkpoint import CheckpointWriteError
+
+        path = tmp_path / "run.ckpt"
+        writer = CheckpointWriter(path, config_fingerprint(database, config))
+        durable = path.read_bytes()
+        writer._handle = self._enospc_handle(writer._handle)
+        with pytest.raises(CheckpointWriteError, match="free disk space"):
+            writer.write_shard_scan(0, 4, [])
+        # Retired: later appends fail fast instead of corrupting the file.
+        with pytest.raises(CheckpointError, match="writer is closed"):
+            writer.write_branch(0, "a", [], MiningStats())
+        # The durable prefix (the header) is still a loadable checkpoint.
+        assert path.read_bytes() == durable
+        loaded = load_checkpoint(path)
+        validate_fingerprint(
+            loaded.fingerprint, config_fingerprint(database, config), path
+        )
+
+    def test_supervised_run_fails_branch_but_never_hangs(
+        self, tmp_path, database, config, monkeypatch
+    ):
+        from repro.runtime import checkpoint as checkpoint_module
+
+        original = checkpoint_module.CheckpointWriter._write_line
+
+        enospc = TestDiskFullDuringAppend._enospc_handle
+
+        def failing(self, payload):
+            # Poison the handle for branch records only: the write then
+            # fails *inside* ``_write_line``, exercising the real
+            # OSError → CheckpointWriteError wrapping and retirement.
+            if payload.get("kind") == "branch" and self._handle is not None:
+                self._handle = enospc(self._handle)
+            return original(self, payload)
+
+        monkeypatch.setattr(
+            checkpoint_module.CheckpointWriter, "_write_line", failing
+        )
+        path = tmp_path / "run.ckpt"
+        report = run_supervised(
+            database, config, processes=2, checkpoint_path=path
+        )
+        assert not report.complete
+        assert len(report.failed) >= 1
+        for outcome in report.failed:
+            assert "checkpoint append failed" in outcome.error
+            assert "free disk space" in outcome.error
+        # The header-only file is still a valid checkpoint; once space is
+        # back (monkeypatch undone), resume completes bit-identically.
+        monkeypatch.undo()
+        serial = MPFCIMiner(database, config).mine()
+        resumed = resume(database, config, path, processes=2)
+        assert result_key(resumed.results) == result_key(serial)
